@@ -1,0 +1,261 @@
+// Benchmarks regenerating every table and figure of the paper at a
+// reduced scale (the full-scale runs are `dssmem -exp all -scale 0.01`).
+// Each benchmark reports the experiment's headline numbers as custom
+// metrics so the shape of the paper's result is visible in the bench
+// output: who wins, by what factor, and where the crossovers fall.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/simm"
+	"repro/internal/tpcd"
+)
+
+const benchScale = 0.002
+
+func benchOptions() experiments.Options {
+	o := experiments.Defaults()
+	o.Scale = benchScale
+	return o
+}
+
+// BenchmarkTable1Plans regenerates Table 1: the operator matrix of the
+// 17 read-only TPC-D queries.
+func BenchmarkTable1Plans(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Table1(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) != len(tpcd.QueryNames) {
+			b.Fatalf("rows = %d", len(tbl.Rows))
+		}
+	}
+}
+
+// BenchmarkFig6Breakdown reproduces Figure 6: execution-time breakdowns
+// of Q3, Q6, Q12 on the baseline machine. Reported metrics: percent of
+// time spent busy and in memory stall per query.
+func BenchmarkFig6Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunCold(benchOptions(), machine.Baseline())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			tot := r.Report.Total()
+			b.ReportMetric(100*float64(tot.Busy)/float64(tot.Total()), r.Query+"_busy%")
+			b.ReportMetric(100*float64(tot.MemTotal())/float64(tot.Total()), r.Query+"_mem%")
+			b.ReportMetric(100*float64(tot.MSync)/float64(tot.Total()), r.Query+"_msync%")
+		}
+	}
+}
+
+// BenchmarkFig7Misses reproduces Figure 7: the miss profile per data
+// structure. Reported metrics: miss rates and the private share of
+// primary-cache misses.
+func BenchmarkFig7Misses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunCold(benchOptions(), machine.Baseline())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			st := r.Report.Machine
+			b.ReportMetric(100*st.L1MissRate(), r.Query+"_L1mr%")
+			b.ReportMetric(100*st.L2MissRate(), r.Query+"_L2mr%")
+			b.ReportMetric(100*float64(st.L1Misses.ByCategory(simm.CatPriv))/float64(st.L1Misses.Total()),
+				r.Query+"_L1priv%")
+		}
+	}
+}
+
+// BenchmarkFig8LineSize reproduces Figure 8: misses vs line size.
+// Reported metric: the factor by which Q6's secondary Data misses fall
+// from 16-byte to 256-byte lines (the spatial-locality headline).
+func BenchmarkFig8LineSize(b *testing.B) {
+	o := benchOptions()
+	o.Queries = []string{"Q6"}
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.RunLineSweep(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var d16, d256, p64, p256 float64
+		for _, p := range points {
+			switch p.Param {
+			case 16:
+				d16 = float64(p.L2Miss[simm.GroupData])
+			case 64:
+				p64 = float64(p.L1Miss[simm.GroupPriv])
+			case 256:
+				d256 = float64(p.L2Miss[simm.GroupData])
+				p256 = float64(p.L1Miss[simm.GroupPriv])
+			}
+		}
+		b.ReportMetric(d16/d256, "Q6_data_miss_drop_16to256")
+		b.ReportMetric(p256/p64, "Q6_priv_miss_rise_64to256")
+	}
+}
+
+// BenchmarkFig9LineSizeTime reproduces Figure 9: execution time vs line
+// size. Reported metrics: time at 16B and 256B relative to the 64-byte
+// baseline (the 64-byte optimum).
+func BenchmarkFig9LineSizeTime(b *testing.B) {
+	o := benchOptions()
+	o.Queries = []string{"Q6"}
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.RunLineSweep(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var t16, t64, t256 float64
+		for _, p := range points {
+			switch p.Param {
+			case 16:
+				t16 = float64(p.Bd.Total())
+			case 64:
+				t64 = float64(p.Bd.Total())
+			case 256:
+				t256 = float64(p.Bd.Total())
+			}
+		}
+		b.ReportMetric(100*t16/t64, "Q6_t16_rel%")
+		b.ReportMetric(100*t256/t64, "Q6_t256_rel%")
+	}
+}
+
+// BenchmarkFig10CacheSize reproduces Figure 10: misses vs cache size.
+// Reported metrics: the flatness of the Data curve (no intra-query
+// temporal locality) and the collapse of private misses.
+func BenchmarkFig10CacheSize(b *testing.B) {
+	o := benchOptions()
+	o.Queries = []string{"Q6"}
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.RunCacheSweep(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var dSmall, dBig, pSmall, pBig float64
+		for _, p := range points {
+			switch p.Param {
+			case 128:
+				dSmall = float64(p.L2Miss[simm.GroupData])
+				pSmall = float64(p.L1Miss[simm.GroupPriv])
+			case 8192:
+				dBig = float64(p.L2Miss[simm.GroupData])
+				pBig = float64(p.L1Miss[simm.GroupPriv])
+			}
+		}
+		b.ReportMetric(dBig/dSmall, "Q6_data_flatness") // ~1.0 = flat
+		b.ReportMetric(pSmall/pBig, "Q6_priv_miss_drop")
+	}
+}
+
+// BenchmarkFig11CacheSizeTime reproduces Figure 11: execution time vs
+// cache size (speedups come from private data).
+func BenchmarkFig11CacheSizeTime(b *testing.B) {
+	o := benchOptions()
+	o.Queries = []string{"Q6"}
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.RunCacheSweep(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var tSmall, tBig float64
+		for _, p := range points {
+			switch p.Param {
+			case 128:
+				tSmall = float64(p.Bd.Total())
+			case 8192:
+				tBig = float64(p.Bd.Total())
+			}
+		}
+		b.ReportMetric(100*tBig/tSmall, "Q6_t8MB_rel%")
+	}
+}
+
+// BenchmarkFig12WarmCache reproduces Figure 12: inter-query reuse.
+// Reported metrics: the surviving fraction of Q12's Data misses after a
+// prior Q12 (large reuse) and after a prior Q3 (little reuse).
+func BenchmarkFig12WarmCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunWarmCache(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cold, afterQ12, afterQ3 float64
+		for _, r := range results {
+			if r.Target != "Q12" {
+				continue
+			}
+			d := float64(r.L2[simm.GroupData])
+			switch r.Warmer {
+			case "":
+				cold = d
+			case "Q12":
+				afterQ12 = d
+			case "Q3":
+				afterQ3 = d
+			}
+		}
+		b.ReportMetric(100*afterQ12/cold, "Q12_data_left_after_Q12%")
+		b.ReportMetric(100*afterQ3/cold, "Q12_data_left_after_Q3%")
+	}
+}
+
+// BenchmarkFig13Prefetch reproduces Figure 13: the prefetching
+// optimization. Reported metrics: percent execution-time change per
+// query (negative = speedup).
+func BenchmarkFig13Prefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunPrefetch(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			delta := 100 * (float64(r.Opt.Total()) - float64(r.Base.Total())) / float64(r.Base.Total())
+			b.ReportMetric(delta, r.Query+"_time_delta%")
+		}
+	}
+}
+
+// BenchmarkUpdateFunctions measures the extension experiment: the TPC-D
+// update functions the paper declined to trace. Reported metric: MSync
+// share — the locking-pressure headline.
+func BenchmarkUpdateFunctions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunUpdate(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			b.ReportMetric(100*float64(r.Bd.MSync)/float64(r.Bd.Total()), r.Workload+"_msync%")
+		}
+	}
+}
+
+// BenchmarkIntraQuery measures the intra-query-parallelism extension.
+// Reported metric: the 4-way partitioned Q6's speedup over one
+// processor.
+func BenchmarkIntraQuery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunIntraQuery(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var one, intra int64
+		for _, r := range results {
+			switch r.Name {
+			case "1-proc":
+				one = r.Clock
+			case "intra-query-4":
+				intra = r.Clock
+			}
+		}
+		b.ReportMetric(float64(one)/float64(intra), "speedup")
+	}
+}

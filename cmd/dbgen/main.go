@@ -1,0 +1,100 @@
+// Command dbgen generates the scaled TPC-D database (the role of the
+// TPC's dbgen program in the paper) and prints its inventory:
+// cardinalities, bytes per relation and index, and the lineitem share
+// the paper calls out (~70% of the database data).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/layout"
+	"repro/internal/pg/bufmgr"
+	"repro/internal/pg/catalog"
+	"repro/internal/pg/lockmgr"
+	"repro/internal/simm"
+	"repro/internal/stats"
+	"repro/internal/tpcd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dbgen: ")
+	scale := flag.Float64("scale", 0.01, "TPC-D scale factor relative to SF 1")
+	seed := flag.Uint64("seed", 12345, "generation seed")
+	out := flag.String("o", "", "directory to write dbgen-style .tbl files into (optional)")
+	flag.Parse()
+
+	mem := simm.New(4)
+	bm := bufmgr.New(mem, tpcd.BuffersNeeded(*scale))
+	lm := lockmgr.New(mem, 8192)
+	cat := catalog.New(mem, bm, lm, 4)
+
+	t0 := time.Now()
+	db := tpcd.Generate(cat, tpcd.Config{ScaleFactor: *scale, Seed: *seed})
+	elapsed := time.Since(t0)
+
+	tbl := &stats.Table{Header: []string{"Relation", "Tuples", "TupleBytes", "Pages", "MB", "Indices"}}
+	var totalData uint64
+	for _, r := range cat.Relations() {
+		totalData += r.Heap.Bytes()
+	}
+	for _, r := range cat.Relations() {
+		idx := ""
+		for i, ix := range r.Indexes {
+			if i > 0 {
+				idx += ", "
+			}
+			idx += ix.Name
+		}
+		tbl.AddRow(r.Name, r.Heap.NTuples, r.Heap.Schema.Size(), r.Heap.NPages,
+			float64(r.Heap.Bytes())/1e6, idx)
+	}
+	fmt.Print(tbl)
+
+	data, index := cat.Footprint()
+	fmt.Printf("\ndata: %.1f MB, indices: %.1f MB, total: %.1f MB\n",
+		float64(data)/1e6, float64(index)/1e6, float64(data+index)/1e6)
+	fmt.Printf("lineitem share of data: %.0f%% (the paper reports ~70%%)\n",
+		100*float64(db.Lineitem.Heap.Bytes())/float64(data))
+	fmt.Printf("generated in %v\n", elapsed.Round(time.Millisecond))
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range cat.Relations() {
+			f, err := os.Create(filepath.Join(*out, r.Name+".tbl"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tpcd.Dump(db, r, f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("wrote .tbl files to %s\n", *out)
+	}
+
+	// A few sample rows as a sanity check.
+	fmt.Println("\nfirst lineitems:")
+	sch := db.Lineitem.Heap.Schema
+	shown := 0
+	db.Lineitem.Heap.ScanRaw(func(addr simm.Addr, _ layout.RID) bool {
+		fmt.Printf("  orderkey=%d part=%d qty=%d price=%d ship=%s mode=%q\n",
+			layout.ReadAttrRaw(mem, sch, addr, 0).Int,
+			layout.ReadAttrRaw(mem, sch, addr, 1).Int,
+			layout.ReadAttrRaw(mem, sch, addr, sch.Index("l_quantity")).Int,
+			layout.ReadAttrRaw(mem, sch, addr, sch.Index("l_extendedprice")).Int,
+			tpcd.DateString(layout.ReadAttrRaw(mem, sch, addr, sch.Index("l_shipdate")).Int),
+			layout.ReadAttrRaw(mem, sch, addr, sch.Index("l_shipmode")).Str)
+		shown++
+		return shown < 5
+	})
+}

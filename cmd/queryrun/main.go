@@ -1,0 +1,84 @@
+// Command queryrun executes one TPC-D query on the simulated
+// multiprocessor (one instance per processor with different parameters,
+// as in the paper) and prints its plan, a result sample, and the full
+// memory characterization.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/executorutil"
+	"repro/internal/simm"
+	"repro/internal/stats"
+	"repro/internal/tpcd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("queryrun: ")
+	query := flag.String("q", "Q6", "query to run (Q1..Q17)")
+	scale := flag.Float64("scale", 0.01, "TPC-D scale factor")
+	procs := flag.Int("procs", 4, "processors running the query (1..4)")
+	rows := flag.Int("rows", 10, "result rows to print (processor 0's instance)")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.DB.ScaleFactor = *scale
+	s, err := core.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plan := tpcd.BuildQuery(s.DB, *query, 0)
+	fmt.Printf("%s plan operators: %s\n", *query, plan.OpsString())
+	fmt.Println(executorutil.PlanTree(plan.Root))
+
+	runs := make([]core.QueryRun, s.Mem.Nodes())
+	for i := 0; i < *procs && i < len(runs); i++ {
+		runs[i] = core.QueryRun{Query: *query, Variant: uint64(i)}
+	}
+	s.ColdStart()
+	t0 := time.Now()
+	rep := s.RunQueries(runs)
+	fmt.Printf("simulated %d cycles in %v wall\n\n", rep.MaxClock(), time.Since(t0).Round(time.Millisecond))
+
+	tot := rep.Total()
+	fmt.Println("time breakdown:")
+	fmt.Printf("  Busy  %s\n  MSync %s\n  Mem   %s\n",
+		stats.Pct(tot.Busy, tot.Total()), stats.Pct(tot.MSync, tot.Total()), stats.Pct(tot.MemTotal(), tot.Total()))
+	g := tot.MemByGroup()
+	fmt.Printf("  Mem by structure: Data %s, Index %s, Metadata %s, Priv %s\n",
+		stats.Pct(g[simm.GroupData], tot.MemTotal()), stats.Pct(g[simm.GroupIndex], tot.MemTotal()),
+		stats.Pct(g[simm.GroupMetadata], tot.MemTotal()), stats.Pct(g[simm.GroupPriv], tot.MemTotal()))
+	st := rep.Machine
+	fmt.Printf("  L1 miss rate %.1f%%, L2 global miss rate %.2f%%\n",
+		100*st.L1MissRate(), 100*st.L2MissRate())
+	fmt.Printf("  reads=%d writes=%d syncs=%d invalidations=%d\n\n",
+		st.Reads, st.Writes, st.Syncs, st.Invalidations)
+
+	if *rows > 0 {
+		resultRows, cols := s.CollectRows(*query, 0)
+		fmt.Println("result sample:")
+		fmt.Println("  " + strings.Join(cols, " | "))
+		for i, r := range resultRows {
+			if i >= *rows {
+				break
+			}
+			cells := make([]string, len(r))
+			for j, d := range r {
+				if d.IsStr {
+					cells[j] = d.Str
+				} else {
+					cells[j] = fmt.Sprint(d.Int)
+				}
+			}
+			fmt.Println("  " + strings.Join(cells, " | "))
+		}
+		fmt.Printf("  (%d rows total)\n", len(resultRows))
+	}
+}

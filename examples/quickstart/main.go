@@ -1,0 +1,57 @@
+// Quickstart: build the scaled TPC-D database on the simulated 4-node
+// CC-NUMA machine, run Q6 (the paper's canonical Sequential query) on
+// all four processors with different parameters, and print the memory
+// characterization — the minimal end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/simm"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A small database keeps the example fast; the paper's scale is 0.01.
+	cfg := core.DefaultConfig()
+	cfg.DB.ScaleFactor = 0.002
+
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, index := sys.Cat.Footprint()
+	fmt.Printf("database loaded: %.1f MB data + %.1f MB indices, %d lineitems\n",
+		float64(data)/1e6, float64(index)/1e6, sys.DB.NLineitems())
+
+	// Cold caches, one Q6 instance per processor (inter-query
+	// parallelism, the paper's workload model).
+	rep := sys.RunCold("Q6")
+
+	fmt.Printf("\nQ6 on %d processors: %d simulated cycles\n", len(rep.Clocks), rep.MaxClock())
+	tot := rep.Total()
+	fmt.Printf("  Busy %s  MSync %s  Mem %s\n",
+		stats.Pct(tot.Busy, tot.Total()),
+		stats.Pct(tot.MSync, tot.Total()),
+		stats.Pct(tot.MemTotal(), tot.Total()))
+
+	g := tot.MemByGroup()
+	fmt.Printf("  memory stall by structure: Data %s, Index %s, Metadata %s, Priv %s\n",
+		stats.Pct(g[simm.GroupData], tot.MemTotal()),
+		stats.Pct(g[simm.GroupIndex], tot.MemTotal()),
+		stats.Pct(g[simm.GroupMetadata], tot.MemTotal()),
+		stats.Pct(g[simm.GroupPriv], tot.MemTotal()))
+
+	st := rep.Machine
+	fmt.Printf("  L1 miss rate %.1f%%, L2 global miss rate %.2f%%\n",
+		100*st.L1MissRate(), 100*st.L2MissRate())
+
+	// The query's answer, for the curious.
+	rows, cols := sys.CollectRows("Q6", 0)
+	fmt.Printf("\n%s = %d (revenue increase from eliminating the discount)\n",
+		cols[0], rows[0][0].Int)
+}

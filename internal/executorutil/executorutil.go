@@ -1,0 +1,25 @@
+// Package executorutil holds small presentation helpers over executor
+// plan trees shared by the command-line tools and examples.
+package executorutil
+
+import (
+	"strings"
+
+	"repro/internal/pg/executor"
+)
+
+// PlanTree renders a plan tree as indented text, one operator per line.
+func PlanTree(root executor.Node) string {
+	var sb strings.Builder
+	var walk func(n executor.Node, depth int)
+	walk = func(n executor.Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.Kind().String())
+		sb.WriteString("\n")
+		for _, ch := range n.Children() {
+			walk(ch, depth+1)
+		}
+	}
+	walk(root, 0)
+	return strings.TrimRight(sb.String(), "\n")
+}

@@ -1,0 +1,34 @@
+package executorutil
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tpcd"
+)
+
+func TestPlanTreeRendering(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.DB.ScaleFactor = 0.001
+	s, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := tpcd.BuildQuery(s.DB, "Q3", 0)
+	out := PlanTree(plan.Root)
+	lines := strings.Split(out, "\n")
+	if len(lines) < 6 {
+		t.Fatalf("tree too shallow:\n%s", out)
+	}
+	// Q3's shape: sorts and group on top, nested loops over index scans.
+	for _, want := range []string{"Sort", "Group", "NestLoop", "IndexScan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %s:\n%s", want, out)
+		}
+	}
+	// Children are indented deeper than parents.
+	if !strings.HasPrefix(lines[1], "  ") {
+		t.Error("no indentation")
+	}
+}

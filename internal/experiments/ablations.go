@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// Ablations for the modeling decisions DESIGN.md calls out: how much
+// each mechanism matters to the headline results. Each sweep reuses one
+// loaded database and reports execution time and the affected stall
+// component.
+
+// AblationPoint is one configuration's measurement.
+type AblationPoint struct {
+	Name  string
+	Query string
+	Bd    stats.CycleBreakdown
+	Mach  machine.Stats
+	Clock int64
+}
+
+func runConfigs(o Options, query string, cfgs []struct {
+	name string
+	cfg  machine.Config
+}) ([]AblationPoint, error) {
+	s, err := NewSystem(o)
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationPoint
+	for _, c := range cfgs {
+		if err := s.ReplaceMachine(c.cfg); err != nil {
+			return nil, err
+		}
+		rep := s.RunCold(query)
+		out = append(out, AblationPoint{
+			Name: c.name, Query: query,
+			Bd: rep.Total(), Mach: rep.Machine, Clock: rep.MaxClock(),
+		})
+	}
+	return out, nil
+}
+
+// PrefetchDegrees is the prefetch-depth ablation (the paper fixes 4).
+var PrefetchDegrees = []int{1, 2, 4, 8, 16}
+
+// AblatePrefetchDegree sweeps the sequential prefetcher's depth on a
+// Sequential query: deeper prefetching removes more Data stall until
+// cache disruption and late arrivals flatten the curve.
+func AblatePrefetchDegree(o Options, query string) ([]AblationPoint, error) {
+	cfgs := []struct {
+		name string
+		cfg  machine.Config
+	}{{"off", machine.Baseline()}}
+	for _, d := range PrefetchDegrees {
+		cfg := machine.Baseline()
+		cfg.PrefetchData = true
+		cfg.PrefetchDegree = d
+		cfgs = append(cfgs, struct {
+			name string
+			cfg  machine.Config
+		}{name: "deg" + itoa(d), cfg: cfg})
+	}
+	return runConfigs(o, query, cfgs)
+}
+
+// WriteBufferDepths is the write-buffer ablation (the paper fixes 16).
+var WriteBufferDepths = []int{1, 2, 4, 8, 16, 32}
+
+// AblateWriteBuffer sweeps the coalescing write buffer's depth: shallow
+// buffers stall the processor on store bursts (tuple copies into
+// private slots), deep ones hide them entirely.
+func AblateWriteBuffer(o Options, query string) ([]AblationPoint, error) {
+	var cfgs []struct {
+		name string
+		cfg  machine.Config
+	}
+	for _, d := range WriteBufferDepths {
+		cfg := machine.Baseline()
+		cfg.WriteBufEntries = d
+		cfgs = append(cfgs, struct {
+			name string
+			cfg  machine.Config
+		}{name: "wb" + itoa(d), cfg: cfg})
+	}
+	return runConfigs(o, query, cfgs)
+}
+
+// AblateContention toggles directory-occupancy queueing — the paper
+// models "all contention in the system ... except in the network". An
+// Index query's hot lock homes feel it; with it off, MSync shrinks.
+func AblateContention(o Options, query string) ([]AblationPoint, error) {
+	on := machine.Baseline()
+	off := machine.Baseline()
+	off.DirOccupancy = 0
+	return runConfigs(o, query, []struct {
+		name string
+		cfg  machine.Config
+	}{{"contention-on", on}, {"contention-off", off}})
+}
+
+// CompareTopology runs each query on the paper's directory CC-NUMA and
+// on a bus-based snooping SMP with the same caches — the two
+// shared-memory organizations of the paper's era (its machine is the
+// NUMA; the Sequent systems it cites were buses). Streaming queries
+// saturate the single bus where the page-interleaved directories
+// spread the load.
+func CompareTopology(o Options) ([]AblationPoint, error) {
+	s, err := NewSystem(o)
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationPoint
+	for _, q := range o.Queries {
+		for _, top := range []struct {
+			name string
+			cfg  machine.Config
+		}{
+			{"numa", machine.Baseline()},
+			{"bus", func() machine.Config {
+				c := machine.Baseline()
+				c.SnoopingBus = true
+				return c
+			}()},
+		} {
+			if err := s.ReplaceMachine(top.cfg); err != nil {
+				return nil, err
+			}
+			rep := s.RunCold(q)
+			out = append(out, AblationPoint{
+				Name: q + "/" + top.name, Query: q,
+				Bd: rep.Total(), Mach: rep.Machine, Clock: rep.MaxClock(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// TopologyTable renders the NUMA-vs-bus comparison, normalizing each
+// query to its own NUMA baseline.
+func TopologyTable(points []AblationPoint) *stats.Table {
+	t := &stats.Table{Header: []string{"Config", "Busy", "MSync", "PMem", "SMem", "Total"}}
+	base := map[string]uint64{}
+	for _, p := range points {
+		if _, ok := base[p.Query]; !ok {
+			base[p.Query] = p.Bd.Total() // first point per query = numa
+		}
+	}
+	for _, p := range points {
+		b := base[p.Query]
+		t.AddRow(p.Name,
+			100*float64(p.Bd.Busy)/float64(b),
+			100*float64(p.Bd.MSync)/float64(b),
+			100*float64(p.Bd.PMem())/float64(b),
+			100*float64(p.Bd.SMem())/float64(b),
+			100*float64(p.Bd.Total())/float64(b))
+	}
+	return t
+}
+
+// AblationTable renders a sweep: total time normalized to the first
+// point, with the stall decomposition.
+func AblationTable(points []AblationPoint) *stats.Table {
+	t := &stats.Table{Header: []string{"Config", "Busy", "MSync", "PMem", "SMem", "Total", "WBStalls", "Prefetches"}}
+	if len(points) == 0 {
+		return t
+	}
+	base := points[0].Bd.Total()
+	for _, p := range points {
+		t.AddRow(p.Name,
+			100*float64(p.Bd.Busy)/float64(base),
+			100*float64(p.Bd.MSync)/float64(base),
+			100*float64(p.Bd.PMem())/float64(base),
+			100*float64(p.Bd.SMem())/float64(base),
+			100*float64(p.Bd.Total())/float64(base),
+			p.Mach.WBOverflows,
+			p.Mach.Prefetches)
+	}
+	return t
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

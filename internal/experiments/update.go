@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"repro/internal/machine"
+	"repro/internal/simm"
+	"repro/internal/stats"
+)
+
+// The update-query extension. The paper declined to trace TPC-D's two
+// update functions because Postgres95 implements only relation-level
+// data locking, making "update queries much more demanding on the
+// locking algorithm" — and lists write-intensive queries as future
+// work. This experiment runs them anyway on the same machine and
+// quantifies that prediction: four processors inserting (UF1) or
+// deleting (UF2) serialize on the relation write locks, so MSync and
+// lock-metadata traffic dwarf the read-only queries'.
+
+// UpdateResult is one workload's characterization.
+type UpdateResult struct {
+	Workload string
+	Bd       stats.CycleBreakdown
+	Machine  machine.Stats
+	Rows     int
+}
+
+// RunUpdate measures Q6 (a read-only baseline), UF1, and UF2, each from
+// a cold start with one instance per processor.
+func RunUpdate(o Options) ([]UpdateResult, error) {
+	s, err := NewSystem(o)
+	if err != nil {
+		return nil, err
+	}
+	var out []UpdateResult
+	for _, w := range []string{"Q6", "UF1", "UF2"} {
+		rep := s.RunCold(w)
+		rows := 0
+		for _, r := range rep.Rows {
+			rows += r
+		}
+		out = append(out, UpdateResult{
+			Workload: w,
+			Bd:       rep.Total(),
+			Machine:  rep.Machine,
+			Rows:     rows,
+		})
+	}
+	return out, nil
+}
+
+// UpdateTable renders the extension experiment: the time breakdown and
+// the lock-metadata share of misses for each workload.
+func UpdateTable(results []UpdateResult) *stats.Table {
+	t := &stats.Table{Header: []string{
+		"Workload", "Busy%", "MSync%", "Mem%", "LockMeta-L2miss%", "Rows",
+	}}
+	for _, r := range results {
+		whole := r.Bd.Total()
+		l2 := r.Machine.L2Misses
+		lockMeta := l2.ByCategory(simm.CatLockSLock) + l2.ByCategory(simm.CatLockHash) +
+			l2.ByCategory(simm.CatXidHash)
+		total := l2.Total()
+		if total == 0 {
+			total = 1
+		}
+		t.AddRow(r.Workload,
+			100*float64(r.Bd.Busy)/float64(whole),
+			100*float64(r.Bd.MSync)/float64(whole),
+			100*float64(r.Bd.MemTotal())/float64(whole),
+			100*float64(lockMeta)/float64(total),
+			r.Rows)
+	}
+	return t
+}

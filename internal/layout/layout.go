@@ -1,0 +1,298 @@
+// Package layout defines the on-page representation of database tuples:
+// fixed-width attributes at computed offsets, the encoding Postgres95-era
+// systems used for the TPC-D tables. Attribute reads and writes go
+// through a simulated processor so every reference is traced.
+package layout
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+// PageSize is the size of a database buffer block (Postgres95's 8-KB
+// buffer blocks).
+const PageSize = 8192
+
+// Kind is an attribute type.
+type Kind uint8
+
+const (
+	// Int32 is a 4-byte integer.
+	Int32 Kind = iota
+	// Int64 is an 8-byte integer (keys).
+	Int64
+	// Date is a 4-byte day number since 1992-01-01.
+	Date
+	// Money is an 8-byte integer count of cents.
+	Money
+	// Char is a fixed-length, NUL-padded character field.
+	Char
+)
+
+// Attr describes one attribute of a schema.
+type Attr struct {
+	Name string
+	Kind Kind
+	Len  int // byte length for Char attributes
+}
+
+func (a Attr) size() int {
+	switch a.Kind {
+	case Int32, Date:
+		return 4
+	case Int64, Money:
+		return 8
+	case Char:
+		return a.Len
+	}
+	panic("layout: unknown kind")
+}
+
+func (a Attr) align() int {
+	switch a.Kind {
+	case Int32, Date:
+		return 4
+	case Int64, Money:
+		return 8
+	default:
+		return 1
+	}
+}
+
+// Schema is an ordered set of attributes with computed offsets.
+type Schema struct {
+	attrs   []Attr
+	offsets []int
+	size    int
+	byName  map[string]int
+}
+
+// NewSchema computes the layout of the given attributes: each is placed
+// at its natural alignment and the tuple size is rounded to 8 bytes.
+func NewSchema(attrs ...Attr) *Schema {
+	s := &Schema{attrs: attrs, byName: make(map[string]int, len(attrs))}
+	off := 0
+	for i, a := range attrs {
+		al := a.align()
+		off = (off + al - 1) &^ (al - 1)
+		s.offsets = append(s.offsets, off)
+		off += a.size()
+		if _, dup := s.byName[a.Name]; dup {
+			panic("layout: duplicate attribute " + a.Name)
+		}
+		s.byName[a.Name] = i
+	}
+	s.size = (off + 7) &^ 7
+	return s
+}
+
+// NumAttrs returns the attribute count.
+func (s *Schema) NumAttrs() int { return len(s.attrs) }
+
+// Attr returns the i-th attribute.
+func (s *Schema) Attr(i int) Attr { return s.attrs[i] }
+
+// Offset returns the byte offset of attribute i within a tuple.
+func (s *Schema) Offset(i int) int { return s.offsets[i] }
+
+// Size returns the (aligned) tuple size in bytes.
+func (s *Schema) Size() int { return s.size }
+
+// Index returns the position of the named attribute.
+func (s *Schema) Index(name string) int {
+	i, ok := s.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("layout: no attribute %q", name))
+	}
+	return i
+}
+
+// Concat returns a schema holding this schema's attributes followed by
+// o's — the shape of a join result. Name collisions get a suffix.
+func (s *Schema) Concat(o *Schema) *Schema {
+	attrs := make([]Attr, 0, len(s.attrs)+len(o.attrs))
+	attrs = append(attrs, s.attrs...)
+	for _, a := range o.attrs {
+		if _, dup := s.byName[a.Name]; dup {
+			a.Name += "_r"
+		}
+		attrs = append(attrs, a)
+	}
+	return NewSchema(attrs...)
+}
+
+// Project returns a schema of the selected attributes.
+func (s *Schema) Project(idx []int) *Schema {
+	attrs := make([]Attr, len(idx))
+	for i, j := range idx {
+		attrs[i] = s.attrs[j]
+	}
+	return NewSchema(attrs...)
+}
+
+// Datum is a runtime attribute value: integers, dates, and money travel
+// as Int; Char values as Str.
+type Datum struct {
+	Int   int64
+	Str   string
+	IsStr bool
+}
+
+// IntDatum wraps an integer value.
+func IntDatum(v int64) Datum { return Datum{Int: v} }
+
+// StrDatum wraps a string value.
+func StrDatum(v string) Datum { return Datum{Str: v, IsStr: true} }
+
+// Key returns an order-preserving int64 encoding of the datum, used as
+// a B-tree key: integers map to themselves and strings to their first
+// eight bytes interpreted big-endian.
+func (d Datum) Key() int64 {
+	if !d.IsStr {
+		return d.Int
+	}
+	return StringKey(d.Str)
+}
+
+// StringKey is the order-preserving int64 encoding of a string.
+func StringKey(v string) int64 {
+	var k uint64
+	for i := 0; i < 8; i++ {
+		k <<= 8
+		if i < len(v) {
+			k |= uint64(v[i])
+		}
+	}
+	// Flip the sign bit so unsigned byte order maps to signed int64 order.
+	return int64(k ^ (1 << 63))
+}
+
+// Compare orders two data of the same kind.
+func Compare(a, b Datum) int {
+	if a.IsStr != b.IsStr {
+		panic("layout: comparing incompatible datums")
+	}
+	if a.IsStr {
+		return strings.Compare(a.Str, b.Str)
+	}
+	switch {
+	case a.Int < b.Int:
+		return -1
+	case a.Int > b.Int:
+		return 1
+	}
+	return 0
+}
+
+// ReadAttr reads attribute i of the tuple at base through the simulated
+// processor (traced).
+func ReadAttr(p *sched.Proc, s *Schema, base simm.Addr, i int) Datum {
+	a := s.attrs[i]
+	addr := base + simm.Addr(s.offsets[i])
+	switch a.Kind {
+	case Int32, Date:
+		return Datum{Int: int64(int32(p.Read32(addr)))}
+	case Int64, Money:
+		return Datum{Int: int64(p.Read64(addr))}
+	case Char:
+		buf := make([]byte, a.Len)
+		p.ReadBytes(addr, buf, a.Len)
+		return Datum{Str: trimNul(buf), IsStr: true}
+	}
+	panic("layout: unknown kind")
+}
+
+// ReadAttrWalk reads attribute i the way Postgres95's heap_getattr
+// reaches a non-cached attribute: stepping over every preceding
+// attribute of the tuple (one word read each) before reading the
+// target. Scan selects evaluate their predicates this way, which is
+// why the paper sees several shared references per tuple with strong
+// spatial locality at the front of the tuple.
+func ReadAttrWalk(p *sched.Proc, s *Schema, base simm.Addr, i int) Datum {
+	for j := 0; j < i; j++ {
+		p.Read64(base + simm.Addr(s.offsets[j]&^7))
+	}
+	return ReadAttr(p, s, base, i)
+}
+
+// WriteAttr writes attribute i of the tuple at base (traced).
+func WriteAttr(p *sched.Proc, s *Schema, base simm.Addr, i int, d Datum) {
+	a := s.attrs[i]
+	addr := base + simm.Addr(s.offsets[i])
+	switch a.Kind {
+	case Int32, Date:
+		p.Write32(addr, uint32(int32(d.Int)))
+	case Int64, Money:
+		p.Write64(addr, uint64(d.Int))
+	case Char:
+		p.WriteBytes(addr, padNul(d.Str, a.Len))
+	default:
+		panic("layout: unknown kind")
+	}
+}
+
+// ReadAttrRaw reads attribute i without tracing (load-time and test use).
+func ReadAttrRaw(mem *simm.Memory, s *Schema, base simm.Addr, i int) Datum {
+	a := s.attrs[i]
+	addr := base + simm.Addr(s.offsets[i])
+	switch a.Kind {
+	case Int32, Date:
+		return Datum{Int: int64(int32(mem.Load32(addr)))}
+	case Int64, Money:
+		return Datum{Int: int64(mem.Load64(addr))}
+	case Char:
+		buf := make([]byte, a.Len)
+		mem.LoadBytes(addr, buf, a.Len)
+		return Datum{Str: trimNul(buf), IsStr: true}
+	}
+	panic("layout: unknown kind")
+}
+
+// WriteAttrRaw writes attribute i without tracing (database population).
+func WriteAttrRaw(mem *simm.Memory, s *Schema, base simm.Addr, i int, d Datum) {
+	a := s.attrs[i]
+	addr := base + simm.Addr(s.offsets[i])
+	switch a.Kind {
+	case Int32, Date:
+		mem.Store32(addr, uint32(int32(d.Int)))
+	case Int64, Money:
+		mem.Store64(addr, uint64(d.Int))
+	case Char:
+		mem.StoreBytes(addr, padNul(d.Str, a.Len))
+	default:
+		panic("layout: unknown kind")
+	}
+}
+
+func trimNul(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+func padNul(s string, n int) []byte {
+	b := make([]byte, n)
+	copy(b, s)
+	return b
+}
+
+// RID identifies a tuple: a page number within its relation and a slot
+// within the page.
+type RID struct {
+	Page uint32
+	Slot uint16
+}
+
+// Pack encodes the RID into a uint64 (for B-tree leaf entries).
+func (r RID) Pack() uint64 { return uint64(r.Page)<<16 | uint64(r.Slot) }
+
+// UnpackRID decodes a packed RID.
+func UnpackRID(v uint64) RID {
+	return RID{Page: uint32(v >> 16), Slot: uint16(v)}
+}

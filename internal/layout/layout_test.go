@@ -1,0 +1,214 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Attr{Name: "key", Kind: Int64},
+		Attr{Name: "qty", Kind: Int32},
+		Attr{Name: "price", Kind: Money},
+		Attr{Name: "ship", Kind: Date},
+		Attr{Name: "mode", Kind: Char, Len: 10},
+	)
+}
+
+func TestSchemaOffsets(t *testing.T) {
+	s := testSchema()
+	// key@0(8), qty@8(4), price aligned to 8 -> @16(8), ship@24(4), mode@28(10) => 38 -> 40
+	want := []int{0, 8, 16, 24, 28}
+	for i, w := range want {
+		if got := s.Offset(i); got != w {
+			t.Errorf("offset(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if s.Size() != 40 {
+		t.Errorf("size = %d, want 40", s.Size())
+	}
+	if s.Index("price") != 2 {
+		t.Errorf("Index(price) = %d", s.Index("price"))
+	}
+}
+
+func TestSchemaConcatAndProject(t *testing.T) {
+	s := testSchema()
+	j := s.Concat(testSchema())
+	if j.NumAttrs() != 10 {
+		t.Fatalf("concat attrs = %d", j.NumAttrs())
+	}
+	if j.Attr(5).Name != "key_r" {
+		t.Errorf("collision rename: %q", j.Attr(5).Name)
+	}
+	pr := s.Project([]int{4, 0})
+	if pr.NumAttrs() != 2 || pr.Attr(0).Name != "mode" || pr.Attr(1).Name != "key" {
+		t.Errorf("projection wrong: %+v", pr.attrs)
+	}
+}
+
+func TestDuplicateAttrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate attribute name")
+		}
+	}()
+	NewSchema(Attr{Name: "a", Kind: Int32}, Attr{Name: "a", Kind: Int64})
+}
+
+func rig(t *testing.T) (*sched.Engine, simm.Addr) {
+	t.Helper()
+	cfg := machine.Baseline()
+	cfg.Nodes = 1
+	mem := simm.New(1)
+	r := mem.AllocRegion("tuples", 1<<16, simm.CatData, 0)
+	m, err := machine.New(cfg, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched.New(sched.DefaultConfig(), mem, m), r.Base
+}
+
+func TestAttrRoundTripTraced(t *testing.T) {
+	e, base := rig(t)
+	s := testSchema()
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		WriteAttr(p, s, base, 0, IntDatum(987654321))
+		WriteAttr(p, s, base, 1, IntDatum(-42))
+		WriteAttr(p, s, base, 2, IntDatum(123456789012))
+		WriteAttr(p, s, base, 3, IntDatum(1024))
+		WriteAttr(p, s, base, 4, StrDatum("TRUCK"))
+		if d := ReadAttr(p, s, base, 0); d.Int != 987654321 {
+			t.Errorf("key = %d", d.Int)
+		}
+		if d := ReadAttr(p, s, base, 1); d.Int != -42 {
+			t.Errorf("qty = %d", d.Int)
+		}
+		if d := ReadAttr(p, s, base, 2); d.Int != 123456789012 {
+			t.Errorf("price = %d", d.Int)
+		}
+		if d := ReadAttr(p, s, base, 3); d.Int != 1024 {
+			t.Errorf("ship = %d", d.Int)
+		}
+		if d := ReadAttr(p, s, base, 4); d.Str != "TRUCK" {
+			t.Errorf("mode = %q", d.Str)
+		}
+	}})
+}
+
+func TestAttrRoundTripRawProperty(t *testing.T) {
+	mem := simm.New(1)
+	r := mem.AllocRegion("tuples", 1<<16, simm.CatData, 0)
+	s := testSchema()
+	f := func(key int64, qty int32, price int64, mode string) bool {
+		if len(mode) > 10 {
+			mode = mode[:10]
+		}
+		for _, c := range []byte(mode) {
+			if c == 0 {
+				return true // NUL-padded encoding cannot hold NULs
+			}
+		}
+		WriteAttrRaw(mem, s, r.Base, 0, IntDatum(key))
+		WriteAttrRaw(mem, s, r.Base, 1, IntDatum(int64(qty)))
+		WriteAttrRaw(mem, s, r.Base, 2, IntDatum(price))
+		WriteAttrRaw(mem, s, r.Base, 4, StrDatum(mode))
+		return ReadAttrRaw(mem, s, r.Base, 0).Int == key &&
+			ReadAttrRaw(mem, s, r.Base, 1).Int == int64(qty) &&
+			ReadAttrRaw(mem, s, r.Base, 2).Int == price &&
+			ReadAttrRaw(mem, s, r.Base, 4).Str == mode
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringKeyOrderPreserving(t *testing.T) {
+	pairs := [][2]string{
+		{"", "A"}, {"A", "B"}, {"AIR", "AIRREG"}, {"BUILDING", "FURNITURE"},
+		{"AUTOMOBILE", "BUILDING"}, {"MAIL", "SHIP"}, {"RAIL", "TRUCK"},
+	}
+	for _, pr := range pairs {
+		if !(StringKey(pr[0]) < StringKey(pr[1])) {
+			t.Errorf("StringKey(%q) >= StringKey(%q)", pr[0], pr[1])
+		}
+	}
+}
+
+func TestStringKeyOrderProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 8 {
+			a = a[:8]
+		}
+		if len(b) > 8 {
+			b = b[:8]
+		}
+		ka, kb := StringKey(a), StringKey(b)
+		switch {
+		case a < b:
+			return ka <= kb
+		case a > b:
+			return ka >= kb
+		default:
+			return ka == kb
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if Compare(IntDatum(1), IntDatum(2)) >= 0 {
+		t.Error("1 < 2 failed")
+	}
+	if Compare(StrDatum("a"), StrDatum("a")) != 0 {
+		t.Error("string equality failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic comparing int to string")
+		}
+	}()
+	Compare(IntDatum(1), StrDatum("x"))
+}
+
+func TestRIDPack(t *testing.T) {
+	f := func(page uint32, slot uint16) bool {
+		r := RID{Page: page, Slot: slot}
+		return UnpackRID(r.Pack()) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatumKey(t *testing.T) {
+	if IntDatum(42).Key() != 42 {
+		t.Error("int key should be identity")
+	}
+	if StrDatum("TRUCK").Key() != StringKey("TRUCK") {
+		t.Error("string key mismatch")
+	}
+}
+
+func TestReadAttrWalkTouchesPrefix(t *testing.T) {
+	e, base := rig(t)
+	s := testSchema()
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		WriteAttr(p, s, base, 3, IntDatum(777))
+		if d := ReadAttrWalk(p, s, base, 3); d.Int != 777 {
+			t.Errorf("walk read = %d", d.Int)
+		}
+	}})
+	// Walking to attribute 3 reads one word per preceding attribute
+	// plus the target: at least 4 reads land on the tuple's prefix.
+	st := e.Machine().Stats()
+	if st.ReadsByCat[simm.CatData] < 4 {
+		t.Errorf("walk issued %d reads, want >= 4", st.ReadsByCat[simm.CatData])
+	}
+}

@@ -1,0 +1,68 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/simm"
+)
+
+func benchRig(b *testing.B) (*Machine, simm.Addr) {
+	b.Helper()
+	cfg := Baseline()
+	mem := simm.New(cfg.Nodes)
+	r := mem.AllocRegion("data", 64<<20, simm.CatData, simm.AnyNode)
+	m, err := New(cfg, mem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, r.Base
+}
+
+func BenchmarkReadHit(b *testing.B) {
+	m, base := benchRig(b)
+	m.Read(0, base, 8, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Read(0, base, 8, int64(i))
+	}
+}
+
+func BenchmarkReadStreamCold(b *testing.B) {
+	m, base := benchRig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Read(0, base+simm.Addr((i*8)%(48<<20)), 8, int64(i))
+	}
+}
+
+func BenchmarkWriteBuffered(b *testing.B) {
+	m, base := benchRig(b)
+	b.ResetTimer()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		// Advance time by the reported stall, as the execution engine
+		// does: otherwise drains never catch up and the pending list
+		// grows without bound.
+		r := m.Write(0, base+simm.Addr((i*64)%(48<<20)), 8, now)
+		now += 100 + r.Stall
+	}
+}
+
+func BenchmarkSyncPingPong(b *testing.B) {
+	m, base := benchRig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Sync(i%2, base, int64(i)*1000)
+	}
+}
+
+func BenchmarkCoherenceInvalidation(b *testing.B) {
+	m, base := benchRig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := int64(i) * 2000
+		m.Read(0, base, 8, now)
+		m.Read(1, base, 8, now+500)
+		m.Write(2, base, 8, now+1000)
+	}
+}

@@ -1,0 +1,199 @@
+package machine
+
+import "repro/internal/stats"
+
+// Absence reasons recorded per line per cache, used to classify the next
+// miss on that line (cold if never recorded, conflict if replaced,
+// coherence if invalidated by another processor's write).
+const (
+	absentReplaced    = uint8(1)
+	absentInvalidated = uint8(2)
+	present           = uint8(3)
+)
+
+func classify(seen map[uint64]uint8, line uint64) stats.MissKind {
+	switch seen[line] {
+	case absentReplaced:
+		return stats.Conf
+	case absentInvalidated:
+		return stats.Cohe
+	default:
+		return stats.Cold
+	}
+}
+
+// l1Cache is a direct-mapped primary cache. It holds no coherence state
+// of its own: it is kept inclusive in the node's secondary cache, which
+// is where the directory protocol acts.
+type l1Cache struct {
+	lineSize uint64
+	sets     uint64
+	lines    []uint64 // line address per set; 0 = invalid
+	seen     map[uint64]uint8
+}
+
+func newL1(bytes, line int) *l1Cache {
+	sets := uint64(bytes / line)
+	return &l1Cache{
+		lineSize: uint64(line),
+		sets:     sets,
+		lines:    make([]uint64, sets),
+		seen:     make(map[uint64]uint8),
+	}
+}
+
+func (c *l1Cache) lineOf(a uint64) uint64 { return a &^ (c.lineSize - 1) }
+func (c *l1Cache) setOf(line uint64) uint64 {
+	return (line / c.lineSize) % c.sets
+}
+
+func (c *l1Cache) lookup(a uint64) bool {
+	line := c.lineOf(a)
+	return c.lines[c.setOf(line)] == line
+}
+
+// fill inserts the line holding a, evicting the direct-mapped victim.
+func (c *l1Cache) fill(a uint64) {
+	line := c.lineOf(a)
+	s := c.setOf(line)
+	if v := c.lines[s]; v != 0 && v != line {
+		c.seen[v] = absentReplaced
+	}
+	c.lines[s] = line
+	c.seen[line] = present
+}
+
+// invalidateRange drops any line overlapping [a, a+n) for the given
+// reason (coherence invalidation or inclusion-forced replacement).
+func (c *l1Cache) invalidateRange(a, n uint64, reason uint8) {
+	for line := c.lineOf(a); line < a+n; line += c.lineSize {
+		s := c.setOf(line)
+		if c.lines[s] == line {
+			c.lines[s] = 0
+			c.seen[line] = reason
+		}
+	}
+}
+
+func (c *l1Cache) flush() {
+	for i := range c.lines {
+		c.lines[i] = 0
+	}
+	c.seen = make(map[uint64]uint8)
+}
+
+// MSI states of a secondary-cache line.
+const (
+	stInvalid  = uint8(0)
+	stShared   = uint8(1)
+	stModified = uint8(2)
+)
+
+// l2Cache is the set-associative secondary cache; its lines carry the
+// MSI coherence state.
+type l2Cache struct {
+	lineSize uint64
+	sets     uint64
+	ways     int
+	tags     []uint64 // sets*ways; 0 = invalid
+	state    []uint8
+	lastUse  []uint64
+	tick     uint64
+	seen     map[uint64]uint8
+}
+
+func newL2(bytes, line, ways int) *l2Cache {
+	sets := uint64(bytes / (line * ways))
+	n := sets * uint64(ways)
+	return &l2Cache{
+		lineSize: uint64(line),
+		sets:     sets,
+		ways:     ways,
+		tags:     make([]uint64, n),
+		state:    make([]uint8, n),
+		lastUse:  make([]uint64, n),
+		seen:     make(map[uint64]uint8),
+	}
+}
+
+func (c *l2Cache) lineOf(a uint64) uint64 { return a &^ (c.lineSize - 1) }
+func (c *l2Cache) setOf(line uint64) uint64 {
+	return (line / c.lineSize) % c.sets
+}
+
+// find returns the way index of the line, or -1.
+func (c *l2Cache) find(line uint64) int {
+	base := int(c.setOf(line)) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line && c.state[base+w] != stInvalid {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// lookup probes for the line and refreshes LRU on a hit, returning the
+// line's state (stInvalid on miss).
+func (c *l2Cache) lookup(line uint64) uint8 {
+	if i := c.find(line); i >= 0 {
+		c.tick++
+		c.lastUse[i] = c.tick
+		return c.state[i]
+	}
+	return stInvalid
+}
+
+// fill inserts the line in the given state and returns the victim line
+// address and state (victim==0 if the slot was free).
+func (c *l2Cache) fill(line uint64, st uint8) (victim uint64, victimState uint8) {
+	base := int(c.setOf(line)) * c.ways
+	slot := -1
+	for w := 0; w < c.ways; w++ {
+		if c.state[base+w] == stInvalid {
+			slot = base + w
+			break
+		}
+	}
+	if slot < 0 {
+		slot = base
+		for w := 1; w < c.ways; w++ {
+			if c.lastUse[base+w] < c.lastUse[slot] {
+				slot = base + w
+			}
+		}
+		victim, victimState = c.tags[slot], c.state[slot]
+		c.seen[victim] = absentReplaced
+	}
+	c.tick++
+	c.tags[slot] = line
+	c.state[slot] = st
+	c.lastUse[slot] = c.tick
+	c.seen[line] = present
+	return victim, victimState
+}
+
+// setState changes the state of a resident line.
+func (c *l2Cache) setState(line uint64, st uint8) {
+	if i := c.find(line); i >= 0 {
+		c.state[i] = st
+	}
+}
+
+// invalidate drops the line for a coherence reason.
+func (c *l2Cache) invalidate(line uint64) bool {
+	if i := c.find(line); i >= 0 {
+		c.state[i] = stInvalid
+		c.seen[line] = absentInvalidated
+		return true
+	}
+	return false
+}
+
+func (c *l2Cache) flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.state[i] = stInvalid
+		c.lastUse[i] = 0
+	}
+	c.seen = make(map[uint64]uint8)
+}

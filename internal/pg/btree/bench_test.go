@@ -1,0 +1,66 @@
+package btree
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/pg/bufmgr"
+	"repro/internal/pg/lockmgr"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+func benchTree(b *testing.B, n int) (*sched.Engine, *Tree) {
+	b.Helper()
+	cfg := machine.Baseline()
+	cfg.Nodes = 1
+	mem := simm.New(1)
+	bm := bufmgr.New(mem, 1024)
+	lm := lockmgr.New(mem, 4096)
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{Key: int64(i), Val: uint64(i + 1)}
+	}
+	tr := Build(mem, bm, lm, 50, "bench", entries)
+	m, err := machine.New(cfg, mem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sched.New(sched.DefaultConfig(), mem, m), tr
+}
+
+func BenchmarkBuild100k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchTree(b, 100_000)
+	}
+}
+
+func BenchmarkSearchTraced(b *testing.B) {
+	e, tr := benchTree(b, 100_000)
+	b.ResetTimer()
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		for i := 0; i < b.N; i++ {
+			tr.Search(p, 0, int64(i%100_000))
+		}
+	}})
+}
+
+func BenchmarkRangeScanTraced(b *testing.B) {
+	e, tr := benchTree(b, 100_000)
+	b.ResetTimer()
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		for i := 0; i < b.N; i++ {
+			lo := int64((i * 997) % 90_000)
+			n := 0
+			tr.Range(p, 0, lo, lo+100, func(uint64) bool { n++; return true })
+		}
+	}})
+}
+
+func BenchmarkSearchRaw(b *testing.B) {
+	_, tr := benchTree(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.RangeRaw(int64(i%100_000), int64(i%100_000), func(uint64) bool { return false })
+	}
+}

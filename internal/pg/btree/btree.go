@@ -1,0 +1,280 @@
+// Package btree implements the B+-tree indices of the database. Index
+// nodes live in 8-KB buffer-cache pages tagged as Index data, and every
+// node visit during execution pins the buffer and takes a page-level
+// lock through the lock manager — the access discipline that makes
+// Index queries hammer the metadata structures in the paper. Trees are
+// bulk-loaded at database-population time (the TPC-D indices are
+// read-only) and searched/range-scanned during execution.
+package btree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/layout"
+	"repro/internal/pg/bufmgr"
+	"repro/internal/pg/lockmgr"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+const (
+	nodeHeader = 16 // level(2) nkeys(2) rightLink(4) pad(8)
+	entrySize  = 16 // key(8) val(8)
+
+	// maxFanout is how many entries fit one node; bulk load fills nodes
+	// to fillFraction of it so the tree resembles a naturally grown one.
+	maxFanout    = (layout.PageSize - nodeHeader) / entrySize
+	loadedFanout = maxFanout * 9 / 10
+)
+
+// Entry is one (key, value) pair: values are packed RIDs in leaves and
+// child page numbers in internal nodes.
+type Entry struct {
+	Key int64
+	Val uint64
+}
+
+// Tree is a bulk-loaded B+-tree.
+type Tree struct {
+	IndexID uint32
+	Name    string
+
+	mem *simm.Memory
+	bm  *bufmgr.Manager
+	lm  *lockmgr.Manager
+
+	root    uint32
+	npages  uint32
+	height  int
+	nuplets int
+}
+
+// Build bulk-loads a tree from entries (sorted in place by key; equal
+// keys keep their relative order).
+func Build(mem *simm.Memory, bm *bufmgr.Manager, lm *lockmgr.Manager, indexID uint32, name string, entries []Entry) *Tree {
+	t := &Tree{IndexID: indexID, Name: name, mem: mem, bm: bm, lm: lm}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	t.nuplets = len(entries)
+
+	// Build the leaf level, chaining right links, then internal levels
+	// until a single root remains.
+	level := t.buildLevel(entries, 0)
+	height := 1
+	for len(level) > 1 {
+		level = t.buildLevel(level, height)
+		height++
+	}
+	t.height = height
+	if len(level) == 1 {
+		t.root = uint32(level[0].Val)
+	} else {
+		// Empty index: a single empty leaf as root.
+		t.root = t.newPageRaw()
+		addr := t.pageAddrRaw(t.root)
+		t.mem.Store16(addr, 0)
+		t.mem.Store16(addr+2, 0)
+	}
+	return t
+}
+
+// buildLevel writes the entries into a chain of nodes at the given level
+// and returns one (firstKey, pageNo) entry per node for the level above.
+func (t *Tree) buildLevel(entries []Entry, level int) []Entry {
+	if len(entries) == 0 {
+		return nil
+	}
+	var parents []Entry
+	var prev simm.Addr
+	for start := 0; start < len(entries); start += loadedFanout {
+		end := start + loadedFanout
+		if end > len(entries) {
+			end = len(entries)
+		}
+		pageNo := t.newPageRaw()
+		addr := t.pageAddrRaw(pageNo)
+		t.mem.Store16(addr, uint16(level))
+		t.mem.Store16(addr+2, uint16(end-start))
+		t.mem.Store32(addr+4, 0)
+		for i, e := range entries[start:end] {
+			ea := addr + simm.Addr(nodeHeader+i*entrySize)
+			t.mem.Store64(ea, uint64(e.Key))
+			t.mem.Store64(ea+8, e.Val)
+		}
+		if prev != 0 {
+			t.mem.Store32(prev+4, pageNo+1) // rightLink, 1-based (0 = none)
+		}
+		prev = addr
+		parents = append(parents, Entry{Key: entries[start].Key, Val: uint64(pageNo)})
+	}
+	return parents
+}
+
+func (t *Tree) newPageRaw() uint32 {
+	pageNo := t.npages
+	t.npages++
+	t.bm.AllocPageRaw(t.IndexID, pageNo, simm.CatIndex)
+	return pageNo
+}
+
+func (t *Tree) pageAddrRaw(pageNo uint32) simm.Addr {
+	bufID, ok := t.bm.LookupRaw(t.IndexID, pageNo)
+	if !ok {
+		panic(fmt.Sprintf("btree: %s page %d not resident", t.Name, pageNo))
+	}
+	return t.bm.BlockAddr(bufID)
+}
+
+// Height returns the number of node levels.
+func (t *Tree) Height() int { return t.height }
+
+// NPages returns the number of index pages.
+func (t *Tree) NPages() uint32 { return t.npages }
+
+// Len returns the number of indexed entries.
+func (t *Tree) Len() int { return t.nuplets }
+
+// Bytes returns the index footprint.
+func (t *Tree) Bytes() uint64 { return uint64(t.npages) * layout.PageSize }
+
+// visit pins an internal index node, runs fn on it, and releases.
+// Internal nodes are protected by their buffer pins alone; only leaf
+// visits go through the lock manager (see Cursor.pinLeaf), mirroring
+// how Postgres95's nbtree locks the pages an index scan dwells on.
+func (t *Tree) visit(p *sched.Proc, xid int, pageNo uint32, fn func(addr simm.Addr)) {
+	bufID, addr := t.bm.ReadBuffer(p, t.IndexID, pageNo)
+	fn(addr)
+	t.bm.ReleaseBuffer(p, bufID)
+}
+
+// lowerBound returns the index of the first entry >= key via a traced
+// binary search within the node.
+func lowerBound(p *sched.Proc, addr simm.Addr, n int, key int64) int {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		k := int64(p.Read64(addr + simm.Addr(nodeHeader+mid*entrySize)))
+		p.Busy(2)
+		if k < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childFor returns the child page to descend into for key. Separators
+// are each child's first key, and equal keys can straddle a node
+// boundary, so the descent must be conservative: take the child just
+// left of the first separator >= key (the leaf walk then moves right
+// over the chain as needed).
+func childFor(p *sched.Proc, addr simm.Addr, n int, key int64) uint32 {
+	i := lowerBound(p, addr, n, key) - 1
+	if i < 0 {
+		i = 0
+	}
+	return uint32(p.Read64(addr + simm.Addr(nodeHeader+i*entrySize+8)))
+}
+
+// descendToLeaf walks from the root to the leaf that would contain key.
+func (t *Tree) descendToLeaf(p *sched.Proc, xid int, key int64) uint32 {
+	pageNo := t.root
+	for {
+		var level uint16
+		var child uint32
+		t.visit(p, xid, pageNo, func(addr simm.Addr) {
+			level = p.Read16(addr)
+			n := int(p.Read16(addr + 2))
+			if level > 0 {
+				child = childFor(p, addr, n, key)
+			}
+		})
+		if level == 0 {
+			return pageNo
+		}
+		pageNo = child
+	}
+}
+
+// Range performs a traced range scan, calling fn for every entry with
+// lo <= key <= hi until fn returns false.
+func (t *Tree) Range(p *sched.Proc, xid int, lo, hi int64, fn func(val uint64) bool) {
+	c := t.OpenRange(p, xid, lo, hi)
+	defer c.Close()
+	for {
+		_, v, ok := c.Next()
+		if !ok {
+			return
+		}
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// Search returns the value of the first entry with the exact key.
+func (t *Tree) Search(p *sched.Proc, xid int, key int64) (uint64, bool) {
+	var out uint64
+	found := false
+	t.Range(p, xid, key, key, func(v uint64) bool {
+		out, found = v, true
+		return false
+	})
+	return out, found
+}
+
+// SearchRaw returns the first value stored under key without tracing.
+func (t *Tree) SearchRaw(key int64) (uint64, bool) {
+	var out uint64
+	found := false
+	t.RangeRaw(key, key, func(v uint64) bool {
+		out, found = v, true
+		return false
+	})
+	return out, found
+}
+
+// RangeRaw is the untraced equivalent of Range (validation and tests).
+func (t *Tree) RangeRaw(lo, hi int64, fn func(val uint64) bool) {
+	pageNo := t.root
+	// Descend.
+	for {
+		addr := t.pageAddrRaw(pageNo)
+		level := t.mem.Load16(addr)
+		n := int(t.mem.Load16(addr + 2))
+		if level == 0 {
+			break
+		}
+		i := sort.Search(n, func(i int) bool {
+			return int64(t.mem.Load64(addr+simm.Addr(nodeHeader+i*entrySize))) >= lo
+		}) - 1
+		if i < 0 {
+			i = 0
+		}
+		pageNo = uint32(t.mem.Load64(addr + simm.Addr(nodeHeader+i*entrySize+8)))
+	}
+	// Walk leaves.
+	for {
+		addr := t.pageAddrRaw(pageNo)
+		n := int(t.mem.Load16(addr + 2))
+		i := sort.Search(n, func(i int) bool {
+			return int64(t.mem.Load64(addr+simm.Addr(nodeHeader+i*entrySize))) >= lo
+		})
+		for ; i < n; i++ {
+			ea := addr + simm.Addr(nodeHeader+i*entrySize)
+			if int64(t.mem.Load64(ea)) > hi {
+				return
+			}
+			if !fn(t.mem.Load64(ea + 8)) {
+				return
+			}
+		}
+		next := t.mem.Load32(addr + 4)
+		if next == 0 {
+			return
+		}
+		pageNo = next - 1
+		lo = -1 << 63
+	}
+}

@@ -1,0 +1,238 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/pg/bufmgr"
+	"repro/internal/pg/lockmgr"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+func rig(t *testing.T, nbuffers int) (*sched.Engine, *bufmgr.Manager, *lockmgr.Manager) {
+	t.Helper()
+	cfg := machine.Baseline()
+	cfg.Nodes = 1
+	mem := simm.New(1)
+	bm := bufmgr.New(mem, nbuffers)
+	lm := lockmgr.New(mem, 4096)
+	m, err := machine.New(cfg, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched.New(sched.DefaultConfig(), mem, m), bm, lm
+}
+
+func buildTree(t *testing.T, e *sched.Engine, bm *bufmgr.Manager, lm *lockmgr.Manager, entries []Entry) *Tree {
+	t.Helper()
+	return Build(e.Mem(), bm, lm, 100, "idx", entries)
+}
+
+func TestEmptyTree(t *testing.T) {
+	e, bm, lm := rig(t, 16)
+	tr := buildTree(t, e, bm, lm, nil)
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		if _, ok := tr.Search(p, 0, 5); ok {
+			t.Error("found key in empty tree")
+		}
+	}})
+}
+
+func TestSingleLevel(t *testing.T) {
+	e, bm, lm := rig(t, 16)
+	entries := []Entry{{Key: 3, Val: 30}, {Key: 1, Val: 10}, {Key: 2, Val: 20}}
+	tr := buildTree(t, e, bm, lm, entries)
+	if tr.Height() != 1 {
+		t.Errorf("height = %d, want 1", tr.Height())
+	}
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		for k := int64(1); k <= 3; k++ {
+			v, ok := tr.Search(p, 0, k)
+			if !ok || v != uint64(k*10) {
+				t.Errorf("Search(%d) = (%d,%v)", k, v, ok)
+			}
+		}
+		if _, ok := tr.Search(p, 0, 99); ok {
+			t.Error("found missing key")
+		}
+	}})
+}
+
+func TestMultiLevelRangeMatchesReference(t *testing.T) {
+	e, bm, lm := rig(t, 64)
+	const n = 20000 // forces at least two levels (fanout ~459)
+	rng := rand.New(rand.NewSource(3))
+	entries := make([]Entry, n)
+	keys := make([]int64, n)
+	for i := range entries {
+		k := int64(rng.Intn(5000)) // plenty of duplicates
+		entries[i] = Entry{Key: k, Val: uint64(i + 1)}
+		keys[i] = k
+	}
+	tr := buildTree(t, e, bm, lm, entries)
+	if tr.Height() < 2 {
+		t.Fatalf("height = %d, want >= 2", tr.Height())
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	countIn := func(lo, hi int64) int {
+		a := sort.Search(len(keys), func(i int) bool { return keys[i] >= lo })
+		b := sort.Search(len(keys), func(i int) bool { return keys[i] > hi })
+		return b - a
+	}
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		for trial := 0; trial < 30; trial++ {
+			lo := int64(rng.Intn(5200) - 100)
+			hi := lo + int64(rng.Intn(500))
+			got := 0
+			tr.Range(p, 0, lo, hi, func(v uint64) bool { got++; return true })
+			if want := countIn(lo, hi); got != want {
+				t.Fatalf("Range(%d,%d) yielded %d entries, want %d", lo, hi, got, want)
+			}
+		}
+	}})
+}
+
+func TestRangeRawMatchesTraced(t *testing.T) {
+	e, bm, lm := rig(t, 64)
+	rng := rand.New(rand.NewSource(5))
+	var entries []Entry
+	for i := 0; i < 3000; i++ {
+		entries = append(entries, Entry{Key: int64(rng.Intn(1000)), Val: uint64(i + 1)})
+	}
+	tr := buildTree(t, e, bm, lm, entries)
+	var traced []uint64
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		tr.Range(p, 0, 100, 200, func(v uint64) bool { traced = append(traced, v); return true })
+	}})
+	var raw []uint64
+	tr.RangeRaw(100, 200, func(v uint64) bool { raw = append(raw, v); return true })
+	if len(traced) != len(raw) {
+		t.Fatalf("traced %d vs raw %d results", len(traced), len(raw))
+	}
+	for i := range traced {
+		if traced[i] != raw[i] {
+			t.Fatalf("result %d differs: %d vs %d", i, traced[i], raw[i])
+		}
+	}
+}
+
+func TestDuplicatesAcrossLeafBoundary(t *testing.T) {
+	e, bm, lm := rig(t, 64)
+	// One run of duplicates longer than a leaf guarantees the run spans
+	// a boundary; all copies must be found.
+	var entries []Entry
+	for i := 0; i < 300; i++ {
+		entries = append(entries, Entry{Key: 10, Val: uint64(i + 1)})
+	}
+	for i := 0; i < 600; i++ {
+		entries = append(entries, Entry{Key: 20, Val: uint64(1000 + i)})
+	}
+	for i := 0; i < 300; i++ {
+		entries = append(entries, Entry{Key: 30, Val: uint64(5000 + i)})
+	}
+	tr := buildTree(t, e, bm, lm, entries)
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		got := 0
+		tr.Range(p, 0, 20, 20, func(v uint64) bool { got++; return true })
+		if got != 600 {
+			t.Errorf("found %d duplicates of key 20, want 600", got)
+		}
+	}})
+}
+
+func TestNegativeKeys(t *testing.T) {
+	e, bm, lm := rig(t, 16)
+	entries := []Entry{{Key: -100, Val: 1}, {Key: 0, Val: 2}, {Key: 100, Val: 3}}
+	tr := buildTree(t, e, bm, lm, entries)
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		var got []uint64
+		tr.Range(p, 0, -200, 50, func(v uint64) bool { got = append(got, v); return true })
+		if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+			t.Errorf("range over negatives = %v", got)
+		}
+	}})
+}
+
+func TestEarlyStop(t *testing.T) {
+	e, bm, lm := rig(t, 64)
+	var entries []Entry
+	for i := 0; i < 2000; i++ {
+		entries = append(entries, Entry{Key: int64(i), Val: uint64(i + 1)})
+	}
+	tr := buildTree(t, e, bm, lm, entries)
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		got := 0
+		tr.Range(p, 0, 0, 1999, func(v uint64) bool { got++; return got < 5 })
+		if got != 5 {
+			t.Errorf("early stop yielded %d", got)
+		}
+	}})
+}
+
+func TestIndexTrafficCategories(t *testing.T) {
+	e, bm, lm := rig(t, 64)
+	var entries []Entry
+	for i := 0; i < 5000; i++ {
+		entries = append(entries, Entry{Key: int64(i), Val: uint64(i + 1)})
+	}
+	tr := buildTree(t, e, bm, lm, entries)
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		for k := int64(0); k < 200; k++ {
+			tr.Search(p, 0, k*20)
+		}
+	}})
+	st := e.Machine().Stats()
+	if st.ReadsByCat[simm.CatIndex] == 0 {
+		t.Error("index descent produced no Index reads")
+	}
+	// The index-scan discipline must route through the lock manager and
+	// buffer manager on every node visit.
+	if st.ReadsByCat[simm.CatLockHash] == 0 || st.ReadsByCat[simm.CatLockSLock] == 0 {
+		t.Error("index visits skipped the lock manager")
+	}
+	if st.ReadsByCat[simm.CatBufDesc] == 0 {
+		t.Error("index visits skipped the buffer manager")
+	}
+}
+
+func TestPropertySearchRandom(t *testing.T) {
+	e, bm, lm := rig(t, 128)
+	rng := rand.New(rand.NewSource(11))
+	ref := map[int64]uint64{}
+	var entries []Entry
+	for i := 0; i < 10000; i++ {
+		k := rng.Int63n(1 << 40)
+		if _, dup := ref[k]; dup {
+			continue
+		}
+		v := uint64(i + 1)
+		ref[k] = v
+		entries = append(entries, Entry{Key: k, Val: v})
+	}
+	tr := buildTree(t, e, bm, lm, entries)
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		checked := 0
+		for k, want := range ref {
+			v, ok := tr.Search(p, 0, k)
+			if !ok || v != want {
+				t.Fatalf("Search(%d) = (%d,%v), want %d", k, v, ok, want)
+			}
+			checked++
+			if checked >= 500 {
+				break
+			}
+		}
+		for i := 0; i < 200; i++ {
+			k := rng.Int63n(1 << 40)
+			if _, present := ref[k]; present {
+				continue
+			}
+			if _, ok := tr.Search(p, 0, k); ok {
+				t.Fatalf("found absent key %d", k)
+			}
+		}
+	}})
+}

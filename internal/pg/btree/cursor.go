@@ -1,0 +1,92 @@
+package btree
+
+import (
+	"repro/internal/pg/lockmgr"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+// Cursor is a pull-based index range scan. The current leaf stays
+// pinned and page-locked between calls (the btgetnext discipline);
+// moving to the next leaf releases the old one and acquires the new.
+type Cursor struct {
+	t   *Tree
+	p   *sched.Proc
+	xid int
+	hi  int64
+
+	pageNo uint32
+	bufID  int32
+	addr   simm.Addr
+	idx    int
+	n      int
+	open   bool
+}
+
+// OpenRange positions a cursor at the first entry with key >= lo; the
+// cursor yields entries until key > hi.
+func (t *Tree) OpenRange(p *sched.Proc, xid int, lo, hi int64) *Cursor {
+	c := &Cursor{t: t, p: p, xid: xid, hi: hi, bufID: -1}
+	c.pageNo = t.descendToLeaf(p, xid, lo)
+	c.pinLeaf()
+	c.idx = lowerBound(p, c.addr, c.n, lo)
+	c.open = true
+	return c
+}
+
+func (c *Cursor) pinLeaf() {
+	tag := lockmgr.Tag{RelID: c.t.IndexID, Level: lockmgr.LevelPage, Page: c.pageNo}
+	c.t.lm.Acquire(c.p, c.xid, tag, lockmgr.Read)
+	c.bufID, c.addr = c.t.bm.ReadBuffer(c.p, c.t.IndexID, c.pageNo)
+	c.n = int(c.p.Read16(c.addr + 2))
+}
+
+func (c *Cursor) unpinLeaf() {
+	if c.bufID < 0 {
+		return
+	}
+	c.t.bm.ReleaseBuffer(c.p, c.bufID)
+	c.t.lm.Release(c.p, c.xid,
+		lockmgr.Tag{RelID: c.t.IndexID, Level: lockmgr.LevelPage, Page: c.pageNo},
+		lockmgr.Read)
+	c.bufID = -1
+}
+
+// Next returns the next (key, val) in range, or ok=false when the scan
+// is exhausted.
+func (c *Cursor) Next() (key int64, val uint64, ok bool) {
+	if !c.open {
+		return 0, 0, false
+	}
+	for {
+		if c.idx < c.n {
+			ea := c.addr + simm.Addr(nodeHeader+c.idx*entrySize)
+			k := int64(c.p.Read64(ea))
+			if k > c.hi {
+				c.Close()
+				return 0, 0, false
+			}
+			v := c.p.Read64(ea + 8)
+			c.idx++
+			return k, v, true
+		}
+		next := c.p.Read32(c.addr + 4)
+		c.unpinLeaf()
+		if next == 0 {
+			c.open = false
+			return 0, 0, false
+		}
+		c.pageNo = next - 1
+		c.pinLeaf()
+		c.idx = 0
+	}
+}
+
+// Close releases the cursor's pin and lock. Safe to call repeatedly.
+func (c *Cursor) Close() {
+	if !c.open {
+		return
+	}
+	c.unpinLeaf()
+	c.open = false
+}

@@ -1,0 +1,127 @@
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/pg/lockmgr"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+// Insert adds (key, val) to the tree during traced execution, splitting
+// nodes as needed. The whole index is write-locked for the duration:
+// Postgres95 fully implements only relation-level data locking, the
+// very limitation that makes the paper call update queries "much more
+// demanding on the locking algorithm".
+func (t *Tree) Insert(p *sched.Proc, xid int, key int64, val uint64) {
+	tag := lockmgr.Tag{RelID: t.IndexID, Level: lockmgr.LevelRelation}
+	t.lm.Acquire(p, xid, tag, lockmgr.Write)
+	defer t.lm.Release(p, xid, tag, lockmgr.Write)
+
+	// Descend to the target leaf, recording the path for splits.
+	var path []uint32
+	pageNo := t.root
+	for {
+		path = append(path, pageNo)
+		var level uint16
+		var child uint32
+		t.visit(p, xid, pageNo, func(addr simm.Addr) {
+			level = p.Read16(addr)
+			if level > 0 {
+				n := int(p.Read16(addr + 2))
+				child = childFor(p, addr, n, key)
+			}
+		})
+		if level == 0 {
+			break
+		}
+		pageNo = child
+	}
+	t.insertAt(p, path, len(path)-1, Entry{Key: key, Val: val})
+	t.nuplets++
+}
+
+// entryAddr returns the address of entry i in the node at addr.
+func entryAddr(addr simm.Addr, i int) simm.Addr {
+	return addr + simm.Addr(nodeHeader+i*entrySize)
+}
+
+// insertAt places e into the node at path[depth], splitting upward as
+// needed.
+func (t *Tree) insertAt(p *sched.Proc, path []uint32, depth int, e Entry) {
+	pageNo := path[depth]
+	bufID, addr := t.bm.ReadBuffer(p, t.IndexID, pageNo)
+	n := int(p.Read16(addr + 2))
+	if n < maxFanout {
+		t.insertIntoNode(p, addr, n, e)
+		t.bm.ReleaseBuffer(p, bufID)
+		return
+	}
+	// Split: move the upper half to a fresh right sibling.
+	half := n / 2
+	level := p.Read16(addr)
+	newPageNo := t.npages
+	t.npages++
+	newBuf, newAddr := t.bm.NewPage(p, t.IndexID, newPageNo, simm.CatIndex)
+	p.Write16(newAddr, level)
+	p.Write16(newAddr+2, uint16(n-half))
+	for i := half; i < n; i++ {
+		p.Write64(entryAddr(newAddr, i-half), p.Read64(entryAddr(addr, i)))
+		p.Write64(entryAddr(newAddr, i-half)+8, p.Read64(entryAddr(addr, i)+8))
+	}
+	// Chain right links (stored as pageNo+1; 0 = none).
+	p.Write32(newAddr+4, p.Read32(addr+4))
+	p.Write32(addr+4, newPageNo+1)
+	p.Write16(addr+2, uint16(half))
+
+	// Place the new entry in whichever half owns its key range.
+	splitKey := int64(p.Read64(entryAddr(newAddr, 0)))
+	if e.Key < splitKey {
+		t.insertIntoNode(p, addr, half, e)
+	} else {
+		t.insertIntoNode(p, newAddr, n-half, e)
+	}
+	oldFirst := int64(p.Read64(entryAddr(addr, 0)))
+	t.bm.ReleaseBuffer(p, bufID)
+	t.bm.ReleaseBuffer(p, newBuf)
+
+	// Propagate the new sibling's separator upward.
+	sep := Entry{Key: splitKey, Val: uint64(newPageNo)}
+	if depth > 0 {
+		t.insertAt(p, path, depth-1, sep)
+		return
+	}
+	// Root split: grow the tree by one level.
+	rootNo := t.npages
+	t.npages++
+	rootBuf, rootAddr := t.bm.NewPage(p, t.IndexID, rootNo, simm.CatIndex)
+	p.Write16(rootAddr, level+1)
+	p.Write16(rootAddr+2, 2)
+	p.Write64(entryAddr(rootAddr, 0), uint64(oldFirst))
+	p.Write64(entryAddr(rootAddr, 0)+8, uint64(pageNo))
+	p.Write64(entryAddr(rootAddr, 1), uint64(sep.Key))
+	p.Write64(entryAddr(rootAddr, 1)+8, sep.Val)
+	t.bm.ReleaseBuffer(p, rootBuf)
+	t.root = rootNo
+	t.height++
+}
+
+// insertIntoNode shifts entries right and writes e at its sorted
+// position; the node must have room.
+func (t *Tree) insertIntoNode(p *sched.Proc, addr simm.Addr, n int, e Entry) {
+	if n >= maxFanout {
+		panic(fmt.Sprintf("btree: %s: insert into full node", t.Name))
+	}
+	pos := lowerBound(p, addr, n, e.Key)
+	// Append duplicates after their equals to keep insertion order.
+	for pos < n && int64(p.Read64(entryAddr(addr, pos))) == e.Key {
+		pos++
+	}
+	for i := n; i > pos; i-- {
+		p.Write64(entryAddr(addr, i), p.Read64(entryAddr(addr, i-1)))
+		p.Write64(entryAddr(addr, i)+8, p.Read64(entryAddr(addr, i-1)+8))
+	}
+	p.Write64(entryAddr(addr, pos), uint64(e.Key))
+	p.Write64(entryAddr(addr, pos)+8, e.Val)
+	p.Write16(addr+2, uint16(n+1))
+}

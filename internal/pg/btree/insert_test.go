@@ -1,0 +1,164 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestInsertIntoEmptyTree(t *testing.T) {
+	e, bm, lm := rig(t, 256)
+	tr := buildTree(t, e, bm, lm, nil)
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		for i := int64(0); i < 100; i++ {
+			tr.Insert(p, 0, i*3, uint64(i+1))
+		}
+		for i := int64(0); i < 100; i++ {
+			v, ok := tr.Search(p, 0, i*3)
+			if !ok || v != uint64(i+1) {
+				t.Fatalf("Search(%d) = (%d,%v)", i*3, v, ok)
+			}
+		}
+		if _, ok := tr.Search(p, 0, 1); ok {
+			t.Error("found absent key")
+		}
+	}})
+	if tr.Len() != 100 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestInsertCausesLeafSplits(t *testing.T) {
+	e, bm, lm := rig(t, 256)
+	tr := buildTree(t, e, bm, lm, nil)
+	const n = 2000 // well past one leaf (fanout 511)
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		for i := 0; i < n; i++ {
+			tr.Insert(p, 0, int64(i), uint64(i+1))
+		}
+	}})
+	if tr.Height() < 2 {
+		t.Errorf("height = %d after %d inserts, want >= 2", tr.Height(), n)
+	}
+	// Full ordered scan sees everything.
+	var keys []int64
+	prev := int64(-1)
+	tr.RangeRaw(-1<<62, 1<<62, func(v uint64) bool {
+		keys = append(keys, int64(v))
+		return true
+	})
+	if len(keys) != n {
+		t.Fatalf("scan found %d entries, want %d", len(keys), n)
+	}
+	_ = prev
+}
+
+func TestInsertRandomAgainstReference(t *testing.T) {
+	e, bm, lm := rig(t, 512)
+	tr := buildTree(t, e, bm, lm, nil)
+	rng := rand.New(rand.NewSource(17))
+	ref := map[int64][]uint64{}
+	var allKeys []int64
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		for i := 0; i < 8000; i++ {
+			k := int64(rng.Intn(2000)) // duplicates guaranteed
+			v := uint64(i + 1)
+			tr.Insert(p, 0, k, v)
+			ref[k] = append(ref[k], v)
+		}
+		for k := range ref {
+			allKeys = append(allKeys, k)
+		}
+		sort.Slice(allKeys, func(i, j int) bool { return allKeys[i] < allKeys[j] })
+		// Every key's full duplicate set is found.
+		for trial := 0; trial < 200; trial++ {
+			k := allKeys[rng.Intn(len(allKeys))]
+			var got []uint64
+			tr.Range(p, 0, k, k, func(v uint64) bool { got = append(got, v); return true })
+			if len(got) != len(ref[k]) {
+				t.Fatalf("key %d: %d values, want %d", k, len(got), len(ref[k]))
+			}
+		}
+		// Range counts match the reference.
+		for trial := 0; trial < 50; trial++ {
+			lo := int64(rng.Intn(2200) - 100)
+			hi := lo + int64(rng.Intn(400))
+			want := 0
+			for k, vs := range ref {
+				if k >= lo && k <= hi {
+					want += len(vs)
+				}
+			}
+			got := 0
+			tr.Range(p, 0, lo, hi, func(uint64) bool { got++; return true })
+			if got != want {
+				t.Fatalf("Range(%d,%d) = %d, want %d", lo, hi, got, want)
+			}
+		}
+	}})
+}
+
+func TestInsertIntoBulkLoadedTree(t *testing.T) {
+	e, bm, lm := rig(t, 512)
+	var entries []Entry
+	for i := 0; i < 10000; i++ {
+		entries = append(entries, Entry{Key: int64(i * 2), Val: uint64(i + 1)})
+	}
+	tr := buildTree(t, e, bm, lm, entries)
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		// Insert odd keys between the existing even ones.
+		for i := 0; i < 3000; i++ {
+			tr.Insert(p, 0, int64(i*2+1), uint64(100000+i))
+		}
+		for i := 0; i < 3000; i += 97 {
+			v, ok := tr.Search(p, 0, int64(i*2+1))
+			if !ok || v != uint64(100000+i) {
+				t.Fatalf("inserted key %d not found: (%d,%v)", i*2+1, v, ok)
+			}
+		}
+		// Old keys still present.
+		for i := 0; i < 10000; i += 501 {
+			if _, ok := tr.Search(p, 0, int64(i*2)); !ok {
+				t.Fatalf("bulk key %d lost", i*2)
+			}
+		}
+	}})
+	// Global order invariant across the leaf chain.
+	prev := int64(-1)
+	count := 0
+	tr.RangeRaw(-1<<62, 1<<62, func(v uint64) bool { count++; return true })
+	if count != 13000 {
+		t.Errorf("total entries = %d, want 13000", count)
+	}
+	_ = prev
+}
+
+func TestInsertKeysAreOrderedAcrossChain(t *testing.T) {
+	e, bm, lm := rig(t, 512)
+	tr := buildTree(t, e, bm, lm, nil)
+	rng := rand.New(rand.NewSource(23))
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		for i := 0; i < 5000; i++ {
+			tr.Insert(p, 0, rng.Int63n(1<<32), uint64(i+1))
+		}
+		prev := int64(-1 << 62)
+		n := 0
+		c := tr.OpenRange(p, 0, -1<<62, 1<<62)
+		for {
+			k, _, ok := c.Next()
+			if !ok {
+				break
+			}
+			if k < prev {
+				t.Fatalf("order violated at entry %d: %d < %d", n, k, prev)
+			}
+			prev = k
+			n++
+		}
+		if n != 5000 {
+			t.Errorf("chain has %d entries, want 5000", n)
+		}
+	}})
+}

@@ -1,0 +1,213 @@
+// Package bufmgr implements Postgres95's Buffer Cache Module: 8-KB
+// buffer blocks holding database data and indices, buffer descriptors,
+// a buffer lookup hash, and the BufMgrLock spinlock that guards them.
+// Every page visit during query execution pins and unpins its buffer,
+// which is the source of the BufDesc/BufLook/BufSLock traffic in the
+// paper's miss breakdowns.
+package bufmgr
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/pg/shmtab"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+const (
+	descSize = 16 // relid(4) pageno(4) refcount(4) usage(4)
+
+	hdrClockHand = 0 // offset of the clock-replacement hand in the header
+)
+
+// Manager is the buffer cache. All of its state lives in simulated
+// shared memory.
+type Manager struct {
+	mem      *simm.Memory
+	nbuffers int
+
+	blocks *simm.Region // the buffer blocks (Data/Index, tagged per block)
+	descs  *simm.Region // buffer descriptors
+	hdr    *simm.Region // clock hand & allocation counter
+	lookup *shmtab.Table
+
+	// Lock is the BufMgrLock protecting all of the above.
+	Lock sched.SpinLock
+
+	nalloc int // buffers handed out at load time (host-side mirror)
+}
+
+// New creates a buffer cache with nbuffers 8-KB blocks.
+func New(mem *simm.Memory, nbuffers int) *Manager {
+	if nbuffers < 1 {
+		panic("bufmgr: need at least one buffer")
+	}
+	m := &Manager{
+		mem:      mem,
+		nbuffers: nbuffers,
+		blocks:   mem.AllocRegion("BufferBlocks", uint64(nbuffers)*layout.PageSize, simm.CatData, simm.AnyNode),
+		descs:    mem.AllocRegion("BufferDescriptors", uint64(nbuffers)*descSize, simm.CatBufDesc, simm.AnyNode),
+		hdr:      mem.AllocRegion("BufMgrHeader", simm.PageSize, simm.CatBufDesc, 0),
+		lookup:   shmtab.New(mem, "BufferLookupHash", 2*nbuffers, simm.CatBufLook),
+	}
+	lockRegion := mem.AllocRegion("BufMgrLock", simm.PageSize, simm.CatBufSLock, 0)
+	m.Lock = sched.SpinLock{Addr: lockRegion.Base}
+	return m
+}
+
+// NBuffers returns the pool size.
+func (m *Manager) NBuffers() int { return m.nbuffers }
+
+// BlockAddr returns the address of buffer bufID's 8-KB block.
+func (m *Manager) BlockAddr(bufID int32) simm.Addr {
+	return m.blocks.Base + simm.Addr(int64(bufID)*layout.PageSize)
+}
+
+func (m *Manager) descAddr(bufID int32) simm.Addr {
+	return m.descs.Base + simm.Addr(int64(bufID)*descSize)
+}
+
+func tagKey(relID, pageNo uint32) uint64 { return uint64(relID)<<32 | uint64(pageNo) }
+
+// AllocPageRaw claims the next free buffer for (relID, pageNo) during
+// untraced database load, tags the block with the given data-structure
+// category (Data for heap pages, Index for B-tree pages), and returns
+// its address. It panics when the pool is exhausted: the memory-resident
+// configuration sizes the pool to hold the whole database.
+func (m *Manager) AllocPageRaw(relID, pageNo uint32, cat simm.Category) (int32, simm.Addr) {
+	if m.nalloc >= m.nbuffers {
+		panic(fmt.Sprintf("bufmgr: pool exhausted after %d buffers", m.nalloc))
+	}
+	bufID := int32(m.nalloc)
+	m.nalloc++
+	d := m.descAddr(bufID)
+	m.mem.Store32(d, relID)
+	m.mem.Store32(d+4, pageNo)
+	m.mem.Store32(d+8, 0) // refcount
+	m.mem.Store32(d+12, 1)
+	m.lookup.InsertRaw(tagKey(relID, pageNo), uint64(bufID))
+	addr := m.BlockAddr(bufID)
+	m.mem.SetPageCategory(addr, layout.PageSize, cat)
+	return bufID, addr
+}
+
+// LookupRaw finds the buffer for (relID, pageNo) without tracing.
+func (m *Manager) LookupRaw(relID, pageNo uint32) (int32, bool) {
+	v, ok := m.lookup.LookupRaw(tagKey(relID, pageNo))
+	return int32(v), ok
+}
+
+// ReadBuffer pins the buffer holding (relID, pageNo) and returns its
+// buffer id and block address: BufMgrLock acquire, lookup-hash probe,
+// descriptor refcount bump, release. In the memory-resident experiments
+// the page is always present; if it is not (smaller pools, exercised in
+// tests), a clock-replacement victim is claimed and the caller receives
+// a zeroed page, standing in for the I/O path.
+func (m *Manager) ReadBuffer(p *sched.Proc, relID, pageNo uint32) (int32, simm.Addr) {
+	p.Acquire(m.Lock)
+	var bufID int32
+	if v, ok := m.lookup.Lookup(p, tagKey(relID, pageNo)); ok {
+		bufID = int32(v)
+	} else {
+		bufID = m.replaceVictim(p, relID, pageNo)
+	}
+	d := m.descAddr(bufID)
+	ref := p.Read32(d + 8)
+	p.Write32(d+8, ref+1)
+	p.Release(m.Lock)
+	return bufID, m.BlockAddr(bufID)
+}
+
+// ReleaseBuffer unpins a buffer: BufMgrLock acquire, refcount decrement,
+// usage mark for the clock sweep, release.
+func (m *Manager) ReleaseBuffer(p *sched.Proc, bufID int32) {
+	p.Acquire(m.Lock)
+	d := m.descAddr(bufID)
+	ref := p.Read32(d + 8)
+	if ref == 0 {
+		panic("bufmgr: releasing unpinned buffer")
+	}
+	p.Write32(d+8, ref-1)
+	p.Write32(d+12, 1)
+	p.Release(m.Lock)
+}
+
+// replaceVictim runs the clock sweep to find an unpinned buffer, evicts
+// its old page from the lookup hash, rebinds it to (relID, pageNo), and
+// zero-fills the block. Called with BufMgrLock held.
+func (m *Manager) replaceVictim(p *sched.Proc, relID, pageNo uint32) int32 {
+	if m.nalloc < m.nbuffers {
+		// Free buffers remain: claim the next one.
+		bufID := int32(m.nalloc)
+		m.nalloc++
+		d := m.descAddr(bufID)
+		p.Write32(d, relID)
+		p.Write32(d+4, pageNo)
+		p.Write32(d+8, 0)
+		p.Write32(d+12, 1)
+		m.lookup.Insert(p, tagKey(relID, pageNo), uint64(bufID))
+		return bufID
+	}
+	hand := p.Read32(m.hdr.Base + hdrClockHand)
+	for tries := 0; tries < 2*m.nbuffers+1; tries++ {
+		bufID := int32(hand % uint32(m.nbuffers))
+		hand++
+		d := m.descAddr(bufID)
+		if p.Read32(d+8) != 0 { // pinned
+			continue
+		}
+		if p.Read32(d+12) != 0 { // recently used: give a second chance
+			p.Write32(d+12, 0)
+			continue
+		}
+		p.Write32(m.hdr.Base+hdrClockHand, hand)
+		oldRel := p.Read32(d)
+		oldPage := p.Read32(d + 4)
+		m.lookup.Delete(p, tagKey(oldRel, oldPage))
+		p.Write32(d, relID)
+		p.Write32(d+4, pageNo)
+		p.Write32(d+12, 1)
+		m.lookup.Insert(p, tagKey(relID, pageNo), uint64(bufID))
+		addr := m.BlockAddr(bufID)
+		m.mem.StoreBytes(addr, make([]byte, layout.PageSize)) // "I/O" fill, untraced
+		return bufID
+	}
+	panic("bufmgr: no replaceable buffer (all pinned)")
+}
+
+// NewPage claims a buffer for a brand-new page of (relID, pageNo)
+// during traced execution (the write path extends relations at run
+// time): BufMgrLock acquire, descriptor initialization, lookup-hash
+// insert, release. The new page comes back pinned and zeroed.
+func (m *Manager) NewPage(p *sched.Proc, relID, pageNo uint32, cat simm.Category) (int32, simm.Addr) {
+	p.Acquire(m.Lock)
+	if _, dup := m.lookup.LookupRaw(tagKey(relID, pageNo)); dup {
+		panic(fmt.Sprintf("bufmgr: NewPage for existing page %d/%d", relID, pageNo))
+	}
+	var bufID int32
+	if m.nalloc < m.nbuffers {
+		bufID = int32(m.nalloc)
+		m.nalloc++
+		d := m.descAddr(bufID)
+		p.Write32(d, relID)
+		p.Write32(d+4, pageNo)
+		p.Write32(d+8, 1) // pinned for the caller
+		p.Write32(d+12, 1)
+		m.lookup.Insert(p, tagKey(relID, pageNo), uint64(bufID))
+	} else {
+		bufID = m.replaceVictim(p, relID, pageNo)
+		d := m.descAddr(bufID)
+		p.Write32(d+8, 1)
+	}
+	p.Release(m.Lock)
+	addr := m.BlockAddr(bufID)
+	m.mem.StoreBytes(addr, make([]byte, layout.PageSize))
+	m.mem.SetPageCategory(addr, layout.PageSize, cat)
+	return bufID, addr
+}
+
+// Refcount reports a buffer's pin count (untraced; for tests).
+func (m *Manager) Refcount(bufID int32) uint32 {
+	return m.mem.Load32(m.descAddr(bufID) + 8)
+}

@@ -1,0 +1,185 @@
+package bufmgr
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+func rig(t *testing.T, nodes, nbuffers int) (*sched.Engine, *Manager) {
+	t.Helper()
+	cfg := machine.Baseline()
+	cfg.Nodes = nodes
+	mem := simm.New(nodes)
+	bm := New(mem, nbuffers)
+	m, err := machine.New(cfg, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched.New(sched.DefaultConfig(), mem, m), bm
+}
+
+func TestAllocAndLookupRaw(t *testing.T) {
+	_, bm := rig(t, 1, 8)
+	id0, a0 := bm.AllocPageRaw(1, 0, simm.CatData)
+	id1, a1 := bm.AllocPageRaw(1, 1, simm.CatIndex)
+	if id0 == id1 || a0 == a1 {
+		t.Fatal("duplicate allocation")
+	}
+	if a1-a0 != layout.PageSize {
+		t.Errorf("blocks not contiguous: %d apart", a1-a0)
+	}
+	if got, ok := bm.LookupRaw(1, 1); !ok || got != id1 {
+		t.Errorf("LookupRaw = (%d,%v)", got, ok)
+	}
+	if _, ok := bm.LookupRaw(9, 9); ok {
+		t.Error("found unallocated page")
+	}
+}
+
+func TestBlockCategoryTagging(t *testing.T) {
+	e, bm := rig(t, 1, 8)
+	_, ad := bm.AllocPageRaw(1, 0, simm.CatData)
+	_, ai := bm.AllocPageRaw(2, 0, simm.CatIndex)
+	mem := e.Mem()
+	if got := mem.CategoryOf(ad); got != simm.CatData {
+		t.Errorf("data block category = %v", got)
+	}
+	if got := mem.CategoryOf(ai + 100); got != simm.CatIndex {
+		t.Errorf("index block category = %v", got)
+	}
+	if got := mem.CategoryOf(ai + layout.PageSize - 1); got != simm.CatIndex {
+		t.Errorf("index block tail category = %v", got)
+	}
+}
+
+func TestPinUnpin(t *testing.T) {
+	e, bm := rig(t, 1, 8)
+	bm.AllocPageRaw(1, 0, simm.CatData)
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		id, addr := bm.ReadBuffer(p, 1, 0)
+		if addr != bm.BlockAddr(id) {
+			t.Error("address mismatch")
+		}
+		if bm.Refcount(id) != 1 {
+			t.Errorf("refcount = %d, want 1", bm.Refcount(id))
+		}
+		id2, _ := bm.ReadBuffer(p, 1, 0)
+		if id2 != id || bm.Refcount(id) != 2 {
+			t.Errorf("double pin: id=%d ref=%d", id2, bm.Refcount(id))
+		}
+		bm.ReleaseBuffer(p, id)
+		bm.ReleaseBuffer(p, id)
+		if bm.Refcount(id) != 0 {
+			t.Errorf("refcount after releases = %d", bm.Refcount(id))
+		}
+	}})
+}
+
+func TestReleaseUnpinnedPanics(t *testing.T) {
+	e, bm := rig(t, 1, 4)
+	bm.AllocPageRaw(1, 0, simm.CatData)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic releasing unpinned buffer")
+		}
+	}()
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		bm.ReleaseBuffer(p, 0)
+	}})
+}
+
+func TestClockReplacement(t *testing.T) {
+	e, bm := rig(t, 1, 4)
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		// Fill the pool through the traced path.
+		for pg := uint32(0); pg < 4; pg++ {
+			id, _ := bm.ReadBuffer(p, 1, pg)
+			bm.ReleaseBuffer(p, id)
+		}
+		// A fifth page forces a replacement.
+		id, _ := bm.ReadBuffer(p, 1, 100)
+		bm.ReleaseBuffer(p, id)
+		if _, ok := bm.LookupRaw(1, 100); !ok {
+			t.Error("new page not mapped")
+		}
+		// Exactly one old page must have been evicted.
+		evicted := 0
+		for pg := uint32(0); pg < 4; pg++ {
+			if _, ok := bm.LookupRaw(1, pg); !ok {
+				evicted++
+			}
+		}
+		if evicted != 1 {
+			t.Errorf("evicted %d pages, want 1", evicted)
+		}
+	}})
+}
+
+func TestReplacementSkipsPinned(t *testing.T) {
+	e, bm := rig(t, 1, 2)
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		idA, _ := bm.ReadBuffer(p, 1, 0) // pinned
+		idB, _ := bm.ReadBuffer(p, 1, 1)
+		bm.ReleaseBuffer(p, idB)
+		// The only unpinned buffer is idB: the new page must land there.
+		idC, _ := bm.ReadBuffer(p, 1, 2)
+		if idC != idB {
+			t.Errorf("victim = %d, want %d", idC, idB)
+		}
+		if _, ok := bm.LookupRaw(1, 0); !ok {
+			t.Error("pinned page was evicted")
+		}
+		bm.ReleaseBuffer(p, idA)
+		bm.ReleaseBuffer(p, idC)
+	}})
+}
+
+func TestAllPinnedPanics(t *testing.T) {
+	e, bm := rig(t, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when every buffer is pinned")
+		}
+	}()
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		bm.ReadBuffer(p, 1, 0)
+		bm.ReadBuffer(p, 1, 1)
+		bm.ReadBuffer(p, 1, 2)
+	}})
+}
+
+func TestPinTrafficHitsDescriptorsAndHash(t *testing.T) {
+	e, bm := rig(t, 2, 8)
+	bm.AllocPageRaw(1, 0, simm.CatData)
+	bodies := []func(*sched.Proc){
+		func(p *sched.Proc) {
+			for i := 0; i < 50; i++ {
+				id, _ := bm.ReadBuffer(p, 1, 0)
+				bm.ReleaseBuffer(p, id)
+			}
+		},
+		func(p *sched.Proc) {
+			for i := 0; i < 50; i++ {
+				id, _ := bm.ReadBuffer(p, 1, 0)
+				bm.ReleaseBuffer(p, id)
+			}
+		},
+	}
+	e.Run(bodies)
+	st := e.Machine().Stats()
+	if st.ReadsByCat[simm.CatBufDesc] == 0 {
+		t.Error("no BufDesc traffic")
+	}
+	if st.ReadsByCat[simm.CatBufLook] == 0 {
+		t.Error("no BufLook traffic")
+	}
+	// Two processors bouncing the same descriptor: coherence misses.
+	cohe := st.L2Misses[simm.CatBufDesc][1] + st.L2Misses[simm.CatBufDesc][2]
+	if cohe == 0 {
+		t.Error("no descriptor coherence/conflict misses under sharing")
+	}
+}

@@ -1,0 +1,201 @@
+// Package catalog holds the database schema: relations, their heaps,
+// and their B-tree indices. It also models the catalog-access machinery
+// of Figure 4 in the paper: per-process private catalog caches, the
+// shared system catalog they are filled from, and the shared
+// invalidation cache that keeps them consistent. Opening a relation at
+// query start touches all three, producing the small but visible
+// Catalog/Inval metadata traffic.
+package catalog
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/pg/btree"
+	"repro/internal/pg/bufmgr"
+	"repro/internal/pg/heap"
+	"repro/internal/pg/lockmgr"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+const (
+	catEntrySize = 64 // one shared catalog entry per relation/index
+	maxRelations = 256
+)
+
+// Index is a B-tree index over one attribute of a relation.
+type Index struct {
+	Name    string
+	AttrIdx int
+	Tree    *btree.Tree
+}
+
+// Relation is a named heap with its indices.
+type Relation struct {
+	Name    string
+	Heap    *heap.Table
+	Indexes []*Index
+}
+
+// IndexOn returns the index over the named attribute, or nil.
+func (r *Relation) IndexOn(attr string) *Index {
+	i := r.Heap.Schema.Index(attr)
+	for _, ix := range r.Indexes {
+		if ix.AttrIdx == i {
+			return ix
+		}
+	}
+	return nil
+}
+
+// Catalog is the schema registry plus the catalog-cache machinery.
+type Catalog struct {
+	mem    *simm.Memory
+	bm     *bufmgr.Manager
+	lm     *lockmgr.Manager
+	rels   map[string]*Relation
+	order  []string
+	nextID uint32
+
+	shared *simm.Region   // system catalog entries (CatCatalog)
+	inval  *simm.Region   // invalidation cache (CatInval)
+	caches []*simm.Region // per-process private catalog caches (CatPriv)
+	filled []map[uint32]bool
+}
+
+// New creates an empty catalog for nprocs simulated processes.
+func New(mem *simm.Memory, bm *bufmgr.Manager, lm *lockmgr.Manager, nprocs int) *Catalog {
+	c := &Catalog{
+		mem:    mem,
+		bm:     bm,
+		lm:     lm,
+		rels:   make(map[string]*Relation),
+		nextID: 1,
+		shared: mem.AllocRegion("SystemCatalog", maxRelations*catEntrySize, simm.CatCatalog, simm.AnyNode),
+		inval:  mem.AllocRegion("InvalidationCache", simm.PageSize, simm.CatInval, simm.AnyNode),
+	}
+	for i := 0; i < nprocs; i++ {
+		c.caches = append(c.caches,
+			mem.AllocRegion(fmt.Sprintf("CatCache%d", i), maxRelations*catEntrySize, simm.CatPriv, i))
+		c.filled = append(c.filled, make(map[uint32]bool))
+	}
+	return c
+}
+
+// Mem returns the simulated address space the catalog's relations live in.
+func (c *Catalog) Mem() *simm.Memory { return c.mem }
+
+func (c *Catalog) allocID(name string) uint32 {
+	id := c.nextID
+	if id >= maxRelations {
+		panic("catalog: too many relations/indices")
+	}
+	c.nextID++
+	// Write the shared catalog entry (untraced; catalog bootstrapping).
+	base := c.shared.Base + simm.Addr(id*catEntrySize)
+	c.mem.Store32(base, id)
+	for i, b := range []byte(name) {
+		if i >= 24 {
+			break
+		}
+		c.mem.Store8(base+8+simm.Addr(i), b)
+	}
+	return id
+}
+
+// CreateRelation registers a new heap relation.
+func (c *Catalog) CreateRelation(name string, schema *layout.Schema) *Relation {
+	if _, dup := c.rels[name]; dup {
+		panic("catalog: duplicate relation " + name)
+	}
+	id := c.allocID(name)
+	r := &Relation{Name: name, Heap: heap.New(c.mem, c.bm, c.lm, id, name, schema)}
+	c.rels[name] = r
+	c.order = append(c.order, name)
+	return r
+}
+
+// BuildIndex bulk-loads a B-tree over one attribute of a relation from
+// the heap's current contents (untraced load-time work).
+func (c *Catalog) BuildIndex(rel *Relation, attr string) *Index {
+	ai := rel.Heap.Schema.Index(attr)
+	name := rel.Name + "_" + attr + "_idx"
+	id := c.allocID(name)
+	entries := make([]btree.Entry, 0, rel.Heap.NTuples)
+	rel.Heap.ScanRaw(func(addr simm.Addr, rid layout.RID) bool {
+		d := layout.ReadAttrRaw(c.mem, rel.Heap.Schema, addr, ai)
+		entries = append(entries, btree.Entry{Key: d.Key(), Val: rid.Pack()})
+		return true
+	})
+	ix := &Index{
+		Name:    name,
+		AttrIdx: ai,
+		Tree:    btree.Build(c.mem, c.bm, c.lm, id, name, entries),
+	}
+	rel.Indexes = append(rel.Indexes, ix)
+	return ix
+}
+
+// Reindex rebuilds every index of a relation from its current heap
+// contents (after a vacuum has moved tuples). The old index pages stay
+// allocated in the buffer pool — like dead space awaiting a pool-level
+// cleanup — so repeated reindexing needs pool headroom.
+func (c *Catalog) Reindex(rel *Relation) {
+	old := rel.Indexes
+	rel.Indexes = nil
+	for _, ix := range old {
+		c.BuildIndex(rel, rel.Heap.Schema.Attr(ix.AttrIdx).Name)
+	}
+}
+
+// Relation looks up a relation by name.
+func (c *Catalog) Relation(name string) *Relation {
+	r, ok := c.rels[name]
+	if !ok {
+		panic("catalog: no relation " + name)
+	}
+	return r
+}
+
+// Relations returns all relations in creation order.
+func (c *Catalog) Relations() []*Relation {
+	out := make([]*Relation, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, c.rels[n])
+	}
+	return out
+}
+
+// OpenRelation models the query-start catalog work for one relation:
+// check the shared invalidation cache, then read the relation's entry
+// from this process's private catalog cache, filling it from the shared
+// system catalog the first time.
+func (c *Catalog) OpenRelation(p *sched.Proc, name string) *Relation {
+	r := c.Relation(name)
+	id := r.Heap.RelID
+	// Invalidation-cache check: read the shared message counter.
+	p.Read64(c.inval.Base)
+	priv := c.caches[p.ID()].Base + simm.Addr(id*catEntrySize)
+	if !c.filled[p.ID()][id] {
+		// Cold private cache: copy the shared entry in.
+		p.Copy(priv, c.shared.Base+simm.Addr(id*catEntrySize), catEntrySize)
+		c.filled[p.ID()][id] = true
+	}
+	// Consult the (now warm) private entry.
+	p.Read64(priv)
+	p.Read64(priv + 8)
+	p.Read64(priv + 16)
+	return r
+}
+
+// Footprint reports total data and index bytes.
+func (c *Catalog) Footprint() (data, index uint64) {
+	for _, r := range c.Relations() {
+		data += r.Heap.Bytes()
+		for _, ix := range r.Indexes {
+			index += ix.Tree.Bytes()
+		}
+	}
+	return data, index
+}

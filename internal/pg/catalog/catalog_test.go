@@ -1,0 +1,140 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/pg/bufmgr"
+	"repro/internal/pg/lockmgr"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+func rig(t *testing.T) (*sched.Engine, *Catalog) {
+	t.Helper()
+	cfg := machine.Baseline()
+	mem := simm.New(cfg.Nodes)
+	bm := bufmgr.New(mem, 64)
+	lm := lockmgr.New(mem, 1024)
+	cat := New(mem, bm, lm, cfg.Nodes)
+	m, err := machine.New(cfg, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched.New(sched.DefaultConfig(), mem, m), cat
+}
+
+func schema() *layout.Schema {
+	return layout.NewSchema(
+		layout.Attr{Name: "k", Kind: layout.Int64},
+		layout.Attr{Name: "v", Kind: layout.Int32},
+	)
+}
+
+func TestCreateAndLookup(t *testing.T) {
+	_, cat := rig(t)
+	r := cat.CreateRelation("t1", schema())
+	if cat.Relation("t1") != r {
+		t.Error("lookup failed")
+	}
+	if r.Heap.RelID == 0 {
+		t.Error("relid not assigned")
+	}
+	r2 := cat.CreateRelation("t2", schema())
+	if r2.Heap.RelID == r.Heap.RelID {
+		t.Error("duplicate relids")
+	}
+	rels := cat.Relations()
+	if len(rels) != 2 || rels[0] != r || rels[1] != r2 {
+		t.Errorf("Relations() order wrong: %v", rels)
+	}
+}
+
+func TestDuplicateRelationPanics(t *testing.T) {
+	_, cat := rig(t)
+	cat.CreateRelation("t", schema())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate relation")
+		}
+	}()
+	cat.CreateRelation("t", schema())
+}
+
+func TestBuildIndexAndIndexOn(t *testing.T) {
+	_, cat := rig(t)
+	r := cat.CreateRelation("t", schema())
+	for i := 0; i < 100; i++ {
+		r.Heap.InsertRaw([]layout.Datum{layout.IntDatum(int64(i * 3)), layout.IntDatum(int64(i))})
+	}
+	ix := cat.BuildIndex(r, "k")
+	if r.IndexOn("k") != ix {
+		t.Error("IndexOn(k) wrong")
+	}
+	if r.IndexOn("v") != nil {
+		t.Error("IndexOn(v) should be nil")
+	}
+	if ix.Tree.Len() != 100 {
+		t.Errorf("index entries = %d", ix.Tree.Len())
+	}
+	// The index actually finds rows.
+	var found bool
+	ix.Tree.RangeRaw(150, 150, func(v uint64) bool { found = true; return true })
+	if !found {
+		t.Error("key 150 (row 50) not indexed")
+	}
+}
+
+func TestOpenRelationTouchesCatalogStructures(t *testing.T) {
+	e, cat := rig(t)
+	r := cat.CreateRelation("t", schema())
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		if got := cat.OpenRelation(p, "t"); got != r {
+			t.Error("OpenRelation returned wrong relation")
+		}
+		// Second open hits the warm private cache.
+		cat.OpenRelation(p, "t")
+	}, nil, nil, nil})
+	st := e.Machine().Stats()
+	if st.ReadsByCat[simm.CatInval] == 0 {
+		t.Error("no invalidation-cache traffic")
+	}
+	if st.ReadsByCat[simm.CatCatalog] == 0 {
+		t.Error("no shared-catalog traffic (cold fill)")
+	}
+	if st.ReadsByCat[simm.CatPriv] == 0 {
+		t.Error("no private catalog-cache traffic")
+	}
+}
+
+func TestPrivateCachePerProcess(t *testing.T) {
+	e, cat := rig(t)
+	cat.CreateRelation("t", schema())
+	bodies := make([]func(*sched.Proc), 4)
+	for i := range bodies {
+		bodies[i] = func(p *sched.Proc) { cat.OpenRelation(p, "t") }
+	}
+	e.Run(bodies)
+	// Each process fills its own cache: four cold fills from the shared
+	// catalog.
+	if got := e.Machine().Stats().ReadsByCat[simm.CatCatalog]; got < 4 {
+		t.Errorf("shared catalog reads = %d, want >= 4 (one fill per process)", got)
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	_, cat := rig(t)
+	r := cat.CreateRelation("t", schema())
+	for i := 0; i < 2000; i++ {
+		r.Heap.InsertRaw([]layout.Datum{layout.IntDatum(int64(i)), layout.IntDatum(0)})
+	}
+	cat.BuildIndex(r, "k")
+	data, index := cat.Footprint()
+	if data == 0 || index == 0 {
+		t.Errorf("footprint = (%d, %d)", data, index)
+	}
+	if data != r.Heap.Bytes() {
+		t.Errorf("data footprint %d != heap bytes %d", data, r.Heap.Bytes())
+	}
+}

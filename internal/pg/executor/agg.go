@@ -1,0 +1,298 @@
+package executor
+
+import (
+	"repro/internal/layout"
+	"repro/internal/simm"
+)
+
+// AggFn is an aggregate function.
+type AggFn uint8
+
+// Aggregate functions.
+const (
+	AggSum AggFn = iota
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// AggSpec is one aggregate column: Fn applied to Arg (nil for Count),
+// emitted as Out.
+type AggSpec struct {
+	Fn  AggFn
+	Arg Expr
+	Out layout.Attr
+}
+
+type accum struct {
+	sum   int64
+	count int64
+	min   int64
+	max   int64
+}
+
+func (a *accum) reset() { *a = accum{min: 1<<63 - 1, max: -1 << 63} }
+
+func (a *accum) add(v int64) {
+	a.sum += v
+	a.count++
+	if v < a.min {
+		a.min = v
+	}
+	if v > a.max {
+		a.max = v
+	}
+}
+
+func (a *accum) result(fn AggFn) int64 {
+	switch fn {
+	case AggSum:
+		return a.sum
+	case AggCount:
+		return a.count
+	case AggMin:
+		if a.count == 0 {
+			return 0
+		}
+		return a.min
+	case AggMax:
+		if a.count == 0 {
+			return 0
+		}
+		return a.max
+	case AggAvg:
+		if a.count == 0 {
+			return 0
+		}
+		return a.sum / a.count
+	}
+	panic("executor: unknown aggregate")
+}
+
+func aggOutSchema(in *layout.Schema, groupBy []int, aggs []AggSpec) *layout.Schema {
+	attrs := make([]layout.Attr, 0, len(groupBy)+len(aggs))
+	for _, g := range groupBy {
+		attrs = append(attrs, in.Attr(g))
+	}
+	for _, a := range aggs {
+		attrs = append(attrs, a.Out)
+	}
+	return layout.NewSchema(attrs...)
+}
+
+// GroupAgg implements the Group and Aggregate operations over an input
+// sorted on the grouping columns: it emits one tuple per group carrying
+// the group key and the aggregate results.
+type GroupAgg struct {
+	Input   Node
+	GroupBy []int
+	Aggs    []AggSpec
+
+	out  *layout.Schema
+	slot simm.Addr
+	scr  *scratch
+
+	pendKey []layout.Datum
+	pending bool
+	accs    []accum
+	opened  bool
+}
+
+// NewGroupAgg builds the node; the input must arrive sorted on GroupBy.
+func NewGroupAgg(input Node, groupBy []int, aggs []AggSpec) *GroupAgg {
+	if len(groupBy) == 0 {
+		panic("executor: GroupAgg needs grouping columns (use Aggregate)")
+	}
+	return &GroupAgg{
+		Input: input, GroupBy: groupBy, Aggs: aggs,
+		out:  aggOutSchema(input.Schema(), groupBy, aggs),
+		accs: make([]accum, len(aggs)),
+	}
+}
+
+// Kind implements Node.
+func (g *GroupAgg) Kind() OpKind { return OpGroup }
+
+// Schema implements Node.
+func (g *GroupAgg) Schema() *layout.Schema { return g.out }
+
+// Children implements Node.
+func (g *GroupAgg) Children() []Node { return []Node{g.Input} }
+
+// Open implements Node.
+func (g *GroupAgg) Open(c *Ctx) {
+	if !g.opened {
+		g.slot = c.Alloc(g.out.Size())
+		g.scr = newScratch(c)
+		g.opened = true
+	}
+	g.Input.Open(c)
+	g.pending = false
+	g.pendKey = nil
+}
+
+func (g *GroupAgg) readKey(c *Ctx, t Tuple) []layout.Datum {
+	key := make([]layout.Datum, len(g.GroupBy))
+	for i, col := range g.GroupBy {
+		key[i] = layout.ReadAttr(c.P, t.Schema, t.Addr, col)
+	}
+	return key
+}
+
+func sameKey(c *Ctx, a, b []layout.Datum) bool {
+	for i := range a {
+		c.P.Busy(1)
+		if layout.Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *GroupAgg) accumulate(c *Ctx, t Tuple) {
+	g.scr.touch(c, 1)
+	for i, a := range g.Aggs {
+		var v int64
+		if a.Arg != nil {
+			v = a.Arg.Eval(c, t).Int
+		}
+		c.P.Busy(1)
+		g.accs[i].add(v)
+	}
+}
+
+func (g *GroupAgg) emit(c *Ctx, key []layout.Datum) Tuple {
+	for i, d := range key {
+		layout.WriteAttr(c.P, g.out, g.slot, i, d)
+	}
+	for i := range g.Aggs {
+		d := layout.IntDatum(g.accs[i].result(g.Aggs[i].Fn))
+		layout.WriteAttr(c.P, g.out, g.slot, len(key)+i, d)
+	}
+	return Tuple{Addr: g.slot, Schema: g.out}
+}
+
+// Next implements Node. The invariant between calls: when pending is
+// true, the accumulators already hold the first tuple of the next group
+// and pendKey is its grouping key.
+func (g *GroupAgg) Next(c *Ctx) (Tuple, bool) {
+	if !g.pending {
+		t, ok := g.Input.Next(c)
+		if !ok {
+			return Tuple{}, false
+		}
+		g.pendKey = g.readKey(c, t)
+		for i := range g.accs {
+			g.accs[i].reset()
+		}
+		g.accumulate(c, t)
+		g.pending = true
+	}
+	key := g.pendKey
+	for {
+		t, ok := g.Input.Next(c)
+		if !ok {
+			g.pending = false
+			return g.emit(c, key), true
+		}
+		k := g.readKey(c, t)
+		if sameKey(c, key, k) {
+			g.accumulate(c, t)
+			continue
+		}
+		// A new group starts: emit the finished one and prime the
+		// accumulators with the new group's first tuple.
+		out := g.emit(c, key)
+		g.pendKey = k
+		for i := range g.accs {
+			g.accs[i].reset()
+		}
+		g.accumulate(c, t)
+		g.pending = true
+		return out, true
+	}
+}
+
+// Close implements Node.
+func (g *GroupAgg) Close(c *Ctx) { g.Input.Close(c) }
+
+// Aggregate computes scalar aggregates over its whole input, emitting a
+// single tuple (Q6's revenue sum).
+type Aggregate struct {
+	Input Node
+	Aggs  []AggSpec
+
+	out    *layout.Schema
+	slot   simm.Addr
+	scr    *scratch
+	accs   []accum
+	done   bool
+	opened bool
+}
+
+// NewAggregate builds the node.
+func NewAggregate(input Node, aggs []AggSpec) *Aggregate {
+	if len(aggs) == 0 {
+		panic("executor: aggregate without functions")
+	}
+	return &Aggregate{
+		Input: input, Aggs: aggs,
+		out:  aggOutSchema(input.Schema(), nil, aggs),
+		accs: make([]accum, len(aggs)),
+	}
+}
+
+// Kind implements Node.
+func (a *Aggregate) Kind() OpKind { return OpAggregate }
+
+// Schema implements Node.
+func (a *Aggregate) Schema() *layout.Schema { return a.out }
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Input} }
+
+// Open implements Node.
+func (a *Aggregate) Open(c *Ctx) {
+	if !a.opened {
+		a.slot = c.Alloc(a.out.Size())
+		a.scr = newScratch(c)
+		a.opened = true
+	}
+	a.Input.Open(c)
+	a.done = false
+}
+
+// Next implements Node.
+func (a *Aggregate) Next(c *Ctx) (Tuple, bool) {
+	if a.done {
+		return Tuple{}, false
+	}
+	for i := range a.accs {
+		a.accs[i].reset()
+	}
+	for {
+		t, ok := a.Input.Next(c)
+		if !ok {
+			break
+		}
+		a.scr.touch(c, 1)
+		for i, sp := range a.Aggs {
+			var v int64
+			if sp.Arg != nil {
+				v = sp.Arg.Eval(c, t).Int
+			}
+			c.P.Busy(1)
+			a.accs[i].add(v)
+		}
+	}
+	for i := range a.Aggs {
+		d := layout.IntDatum(a.accs[i].result(a.Aggs[i].Fn))
+		layout.WriteAttr(c.P, a.out, a.slot, i, d)
+	}
+	a.done = true
+	return Tuple{Addr: a.slot, Schema: a.out}, true
+}
+
+// Close implements Node.
+func (a *Aggregate) Close(c *Ctx) { a.Input.Close(c) }

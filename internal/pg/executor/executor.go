@@ -1,0 +1,245 @@
+// Package executor implements the pipelined, tuple-at-a-time query
+// operators of the paper's Section 2.1: sequential-scan and index-scan
+// selects, nested-loop / merge / hash joins, sort, group, and aggregate.
+// Plans are left-deep trees executed by a depth-first recursive descent;
+// results flow tuple by tuple between nodes. Select nodes read shared
+// data and copy selected tuples into private storage; every other node
+// works on that private data — exactly the structure the paper's
+// locality analysis assumes.
+package executor
+
+import (
+	"repro/internal/layout"
+	"repro/internal/pg/catalog"
+	"repro/internal/pg/heap"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+// Tuple is a reference to a tuple in simulated memory.
+type Tuple struct {
+	Addr   simm.Addr
+	Schema *layout.Schema
+}
+
+// Ctx is the per-query execution context: the simulated processor, the
+// query's private heap arena, and the catalog.
+type Ctx struct {
+	P     *sched.Proc
+	Xid   int
+	Mem   *simm.Memory
+	Arena *simm.Arena
+	Cat   *catalog.Catalog
+
+	// The per-tuple cost model of the interpreted executor. Real
+	// Postgres95 spends hundreds of instructions and dozens of private
+	// heap references per tuple on tuple slots, expression contexts,
+	// and call frames; the paper measures about five times more
+	// private than shared references, with private data dominating the
+	// primary-cache misses (conflict type) while fitting the secondary
+	// cache. Each tuple visit touches HotTouches words of the node's
+	// reused private state (high locality), OverheadTouches words
+	// scattered over the node's wider scratch block (the conflict-miss
+	// source), and charges TupleBusy non-memory cycles. The index-scan
+	// path is weighted heavier (see scratch.touch callers), as its code
+	// path is in a real executor.
+	OverheadTouches int
+	HotTouches      int
+	TupleBusy       int64
+	// IndexTupleBusy is the extra non-memory work per index-scan tuple:
+	// the B-tree access-method and heap_fetch code path is an order of
+	// magnitude longer than the tight sequential-scan loop.
+	IndexTupleBusy int64
+
+	// walk is set while a scan node evaluates predicates against a
+	// base-table tuple: column reads then step over preceding
+	// attributes (heap_getattr), see layout.ReadAttrWalk.
+	walk bool
+
+	// held tracks relation-level data locks taken by this query's scan
+	// nodes; like Postgres95, they are held to transaction end and
+	// released in ReleaseHeld (Collect/Drain call it).
+	held []*heap.Table
+}
+
+// HoldRelation takes the relation-level read lock once per query.
+func (c *Ctx) HoldRelation(t *heap.Table) {
+	for _, h := range c.held {
+		if h == t {
+			return
+		}
+	}
+	t.LockRelation(c.P, c.Xid)
+	c.held = append(c.held, t)
+}
+
+// ReleaseHeld drops the transaction's relation locks (query end).
+func (c *Ctx) ReleaseHeld() {
+	for _, t := range c.held {
+		t.UnlockRelation(c.P, c.Xid)
+	}
+	c.held = c.held[:0]
+}
+
+// DefaultCosts fills in the calibrated per-tuple cost model.
+func (c *Ctx) DefaultCosts() *Ctx {
+	c.OverheadTouches = 3
+	c.HotTouches = 40
+	c.TupleBusy = 650
+	c.IndexTupleBusy = 8000
+	return c
+}
+
+// Alloc grabs 8-byte-aligned private memory from the query arena.
+func (c *Ctx) Alloc(n int) simm.Addr {
+	return c.Arena.Alloc(uint64(n), 8)
+}
+
+// OpKind names an operator for plan reporting (Table 1).
+type OpKind uint8
+
+const (
+	OpSeqScan OpKind = iota
+	OpIndexScan
+	OpNestLoop
+	OpMergeJoin
+	OpHashJoin
+	OpSort
+	OpGroup
+	OpAggregate
+)
+
+var opNames = [...]string{
+	"SeqScan", "IndexScan", "NestLoop", "MergeJoin", "HashJoin",
+	"Sort", "Group", "Aggregate",
+}
+
+// String returns the operator name.
+func (k OpKind) String() string { return opNames[k] }
+
+// Node is a pipelined plan operator. Open may be called again after
+// Close to rescan (the nested-loop inner discipline); slot storage is
+// allocated once, on the first Open, and reused thereafter — the
+// private-data reuse the paper observes.
+type Node interface {
+	Kind() OpKind
+	Schema() *layout.Schema
+	Children() []Node
+	Open(c *Ctx)
+	Next(c *Ctx) (Tuple, bool)
+	Close(c *Ctx)
+}
+
+// scratch models a node's private executor state. The hot area stands
+// for the tuple slot and expression context a node reuses for every
+// tuple (the private-data temporal locality the paper observes); the
+// wider block stands for the call frames, catalog-cache entries, and
+// allocator metadata the code path wanders through, whose scattered
+// touches are the source of the dominant Priv conflict misses in the
+// small direct-mapped primary cache.
+type scratch struct {
+	base simm.Addr
+	hot  simm.Addr
+	size uint64
+	seq  uint32
+}
+
+const (
+	scratchBytes = 9 * 1024
+	hotBytes     = 256
+)
+
+func newScratch(c *Ctx) *scratch {
+	return &scratch{
+		base: c.Alloc(scratchBytes),
+		hot:  c.Alloc(hotBytes),
+		size: scratchBytes,
+		// Seed the per-node sequence differently per processor so the
+		// per-tuple busy jitter below desynchronizes processors that
+		// would otherwise run in deterministic lockstep and convoy on
+		// the buffer-manager lock at every page boundary.
+		seq: uint32(c.P.ID()+1) * 2654435761,
+	}
+}
+
+// touch performs the per-tuple private-state traffic and busy cycles,
+// weighted by k (1 for the sequential-scan path, heavier for the
+// index-scan path, whose real code path is longer).
+func (s *scratch) touch(c *Ctx, k int) {
+	hot := k * c.HotTouches
+	for i := 0; i < hot; i++ {
+		off := simm.Addr((i % (hotBytes / 8)) * 8)
+		if i&7 == 7 {
+			c.P.Write64(s.hot+off, uint64(i))
+		} else {
+			c.P.Read64(s.hot + off)
+		}
+	}
+	// Scattered object pairs: each iteration touches two small objects
+	// whose addresses differ by the paper's primary-cache size plus a
+	// small jitter. With short cache lines the pair lands in adjacent
+	// sets and coexists; with long lines (fewer sets) the pair collides
+	// in the direct-mapped primary cache and thrashes — which is why
+	// the paper's private misses *increase* with line size while every
+	// other structure benefits from longer lines.
+	jitters := [5]simm.Addr{16, 32, 64, 128, 256}
+	for i := 0; i < k*c.OverheadTouches; i++ {
+		s.seq = s.seq*1664525 + 1013904223
+		off := simm.Addr(uint64(s.seq>>8)%2048) &^ 7
+		j := jitters[int(s.seq>>4)%len(jitters)]
+		c.P.Read64(s.base + off)
+		if i&3 == 3 {
+			c.P.Write64(s.base+4096+off+j, uint64(s.seq))
+		} else {
+			c.P.Read64(s.base + 4096 + off + j)
+		}
+	}
+	// Small data-dependent jitter: real per-tuple instruction paths
+	// vary a little, which is what keeps processors out of phase.
+	c.P.Busy(int64(k)*c.TupleBusy + int64(s.seq&31))
+}
+
+// materialize copies src's attributes into the slot at dst laid out by
+// dstSchema starting at attribute dstOff, reading and writing through
+// the simulated processor.
+func materialize(c *Ctx, dst simm.Addr, dstSchema *layout.Schema, dstOff int, src Tuple) {
+	for i := 0; i < src.Schema.NumAttrs(); i++ {
+		d := layout.ReadAttr(c.P, src.Schema, src.Addr, i)
+		layout.WriteAttr(c.P, dstSchema, dst, dstOff+i, d)
+	}
+}
+
+// Collect drains a plan, reading every output attribute (the client
+// fetch), and returns the rows. It is the standard way to run a query.
+func Collect(c *Ctx, root Node) [][]layout.Datum {
+	root.Open(c)
+	defer c.ReleaseHeld()
+	defer root.Close(c)
+	var rows [][]layout.Datum
+	for {
+		t, ok := root.Next(c)
+		if !ok {
+			return rows
+		}
+		row := make([]layout.Datum, t.Schema.NumAttrs())
+		for i := range row {
+			row[i] = layout.ReadAttr(c.P, t.Schema, t.Addr, i)
+		}
+		rows = append(rows, row)
+	}
+}
+
+// Drain runs a plan and discards rows, returning only the row count.
+func Drain(c *Ctx, root Node) int {
+	root.Open(c)
+	defer c.ReleaseHeld()
+	defer root.Close(c)
+	n := 0
+	for {
+		_, ok := root.Next(c)
+		if !ok {
+			return n
+		}
+		n++
+	}
+}

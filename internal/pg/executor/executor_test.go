@@ -1,0 +1,552 @@
+package executor
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/pg/bufmgr"
+	"repro/internal/pg/catalog"
+	"repro/internal/pg/lockmgr"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+// empRow mirrors the test relation host-side for reference results.
+type empRow struct {
+	id     int64
+	dept   int64
+	salary int64
+	name   string
+}
+
+type rig struct {
+	eng  *sched.Engine
+	cat  *catalog.Catalog
+	lm   *lockmgr.Manager
+	bm   *bufmgr.Manager
+	emp  *catalog.Relation
+	dept *catalog.Relation
+	rows []empRow
+}
+
+func newRig(t *testing.T, nEmp int) *rig {
+	t.Helper()
+	cfg := machine.Baseline()
+	cfg.Nodes = 1
+	mem := simm.New(1)
+	bm := bufmgr.New(mem, 256)
+	lm := lockmgr.New(mem, 4096)
+	cat := catalog.New(mem, bm, lm, 1)
+
+	empSchema := layout.NewSchema(
+		layout.Attr{Name: "id", Kind: layout.Int64},
+		layout.Attr{Name: "dept", Kind: layout.Int32},
+		layout.Attr{Name: "salary", Kind: layout.Money},
+		layout.Attr{Name: "name", Kind: layout.Char, Len: 8},
+	)
+	emp := cat.CreateRelation("emp", empSchema)
+	r := &rig{cat: cat, lm: lm, bm: bm, emp: emp}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < nEmp; i++ {
+		row := empRow{
+			id:     int64(i),
+			dept:   int64(rng.Intn(10)),
+			salary: int64(rng.Intn(10000) * 100),
+			name:   fmt.Sprintf("e%06d", i),
+		}
+		r.rows = append(r.rows, row)
+		emp.Heap.InsertRaw([]layout.Datum{
+			layout.IntDatum(row.id), layout.IntDatum(row.dept),
+			layout.IntDatum(row.salary), layout.StrDatum(row.name),
+		})
+	}
+	cat.BuildIndex(emp, "id")
+	cat.BuildIndex(emp, "dept")
+
+	deptSchema := layout.NewSchema(
+		layout.Attr{Name: "did", Kind: layout.Int64},
+		layout.Attr{Name: "budget", Kind: layout.Money},
+	)
+	dept := cat.CreateRelation("dept", deptSchema)
+	for d := 0; d < 10; d++ {
+		dept.Heap.InsertRaw([]layout.Datum{
+			layout.IntDatum(int64(d)), layout.IntDatum(int64(1000 * (d + 1))),
+		})
+	}
+	cat.BuildIndex(dept, "did")
+	r.dept = dept
+
+	m, err := machine.New(cfg, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.eng = sched.New(sched.DefaultConfig(), mem, m)
+	return r
+}
+
+// run executes fn on simulated processor 0 with a fresh query context.
+func (r *rig) run(t *testing.T, fn func(c *Ctx)) {
+	t.Helper()
+	mem := r.eng.Mem()
+	priv := mem.AllocRegion("privheap-test", 16<<20, simm.CatPriv, 0)
+	r.eng.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		c := &Ctx{
+			P: p, Xid: 0, Mem: mem, Arena: simm.NewArena(priv),
+			Cat: r.cat, OverheadTouches: 2, HotTouches: 8, TupleBusy: 50,
+		}
+		fn(c)
+	}})
+}
+
+func (r *rig) attr(name string) int { return r.emp.Heap.Schema.Index(name) }
+
+func TestSeqScanSelect(t *testing.T) {
+	r := newRig(t, 1000)
+	want := 0
+	var wantSum int64
+	for _, row := range r.rows {
+		if row.dept == 3 && row.salary > 500000 {
+			want++
+			wantSum += row.salary
+		}
+	}
+	r.run(t, func(c *Ctx) {
+		scan := NewSeqScan(r.emp,
+			[]Pred{
+				{Left: Col{r.attr("dept")}, Op: EQ, Right: ConstInt(3)},
+				{Left: Col{r.attr("salary")}, Op: GT, Right: ConstInt(500000)},
+			},
+			[]int{r.attr("id"), r.attr("salary")})
+		rows := Collect(c, scan)
+		if len(rows) != want {
+			t.Errorf("rows = %d, want %d", len(rows), want)
+		}
+		var sum int64
+		for _, row := range rows {
+			sum += row[1].Int
+		}
+		if sum != wantSum {
+			t.Errorf("sum = %d, want %d", sum, wantSum)
+		}
+	})
+}
+
+func TestIndexScanRange(t *testing.T) {
+	r := newRig(t, 1000)
+	want := 0
+	for _, row := range r.rows {
+		if row.id >= 100 && row.id <= 250 && row.dept != 5 {
+			want++
+		}
+	}
+	r.run(t, func(c *Ctx) {
+		scan := NewIndexScan(r.emp, r.emp.IndexOn("id"), 100, 250,
+			[]Pred{{Left: Col{r.attr("dept")}, Op: NE, Right: ConstInt(5)}},
+			[]int{r.attr("id"), r.attr("dept")})
+		rows := Collect(c, scan)
+		if len(rows) != want {
+			t.Errorf("rows = %d, want %d", len(rows), want)
+		}
+		// Index scans deliver in key order.
+		for i := 1; i < len(rows); i++ {
+			if rows[i-1][0].Int > rows[i][0].Int {
+				t.Fatalf("output not key ordered at %d", i)
+			}
+		}
+	})
+}
+
+func TestIndexScanEqualityDuplicates(t *testing.T) {
+	r := newRig(t, 1000)
+	want := 0
+	for _, row := range r.rows {
+		if row.dept == 7 {
+			want++
+		}
+	}
+	r.run(t, func(c *Ctx) {
+		scan := NewIndexScan(r.emp, r.emp.IndexOn("dept"), 7, 7, nil, []int{r.attr("id")})
+		if got := Drain(c, scan); got != want {
+			t.Errorf("duplicates = %d, want %d", got, want)
+		}
+	})
+}
+
+func refJoinCount(rows []empRow, deptLo, deptHi int64) int {
+	n := 0
+	for _, row := range rows {
+		if row.dept >= deptLo && row.dept <= deptHi {
+			n++
+		}
+	}
+	return n
+}
+
+func TestNestLoopKeyed(t *testing.T) {
+	r := newRig(t, 600)
+	r.run(t, func(c *Ctx) {
+		outer := NewSeqScan(r.dept, []Pred{
+			{Left: Col{1}, Op: GE, Right: ConstInt(3000)}, // budget >= 3000 -> did >= 2
+		}, []int{0, 1})
+		inner := NewIndexScan(r.emp, r.emp.IndexOn("dept"),
+			FullRangeLo, FullRangeHi, nil, []int{r.attr("id"), r.attr("dept"), r.attr("salary")})
+		join := NewNestLoop(outer, inner, Col{0}, nil)
+		rows := Collect(c, join)
+		if want := refJoinCount(r.rows, 2, 9); len(rows) != want {
+			t.Errorf("join rows = %d, want %d", len(rows), want)
+		}
+		// Join tuples must agree on the key.
+		did := join.Schema().Index("did")
+		dept := join.Schema().Index("dept")
+		for _, row := range rows {
+			if row[did].Int != row[dept].Int {
+				t.Fatalf("mismatched join keys: %d vs %d", row[did].Int, row[dept].Int)
+			}
+		}
+	})
+}
+
+func TestNestLoopUnkeyedRescan(t *testing.T) {
+	r := newRig(t, 100)
+	r.run(t, func(c *Ctx) {
+		outer := NewSeqScan(r.dept, nil, []int{0})
+		inner := NewSeqScan(r.dept, nil, []int{0})
+		join := NewNestLoop(outer, inner, nil,
+			[]Pred{{Left: Col{0}, Op: LT, Right: Col{1}}})
+		if got := Drain(c, join); got != 45 { // pairs did<did_r out of 10x10
+			t.Errorf("cross-join filtered rows = %d, want 45", got)
+		}
+	})
+}
+
+func sortedScans(r *rig) (left, right Node) {
+	left = NewSort(
+		NewSeqScan(r.emp, nil, []int{1, 0, 2}), // dept, id, salary
+		[]SortKey{{Col: 0}})
+	right = NewSort(
+		NewSeqScan(r.dept, nil, []int{0, 1}),
+		[]SortKey{{Col: 0}})
+	return
+}
+
+func TestMergeJoinMatchesReference(t *testing.T) {
+	r := newRig(t, 400)
+	r.run(t, func(c *Ctx) {
+		left, right := sortedScans(r)
+		join := NewMergeJoin(left, right, 0, 0, nil)
+		rows := Collect(c, join)
+		if want := len(r.rows); len(rows) != want { // every emp matches its dept
+			t.Errorf("merge rows = %d, want %d", len(rows), want)
+		}
+		dep := join.Schema().Index("dept")
+		did := join.Schema().Index("did")
+		for _, row := range rows {
+			if row[dep].Int != row[did].Int {
+				t.Fatalf("merge key mismatch: %d vs %d", row[dep].Int, row[did].Int)
+			}
+		}
+	})
+}
+
+func TestHashJoinMatchesReference(t *testing.T) {
+	r := newRig(t, 400)
+	r.run(t, func(c *Ctx) {
+		probe := NewSeqScan(r.emp, nil, []int{1, 2}) // dept, salary
+		build := NewSeqScan(r.dept, nil, []int{0, 1})
+		join := NewHashJoin(probe, build, 0, 0, nil)
+		rows := Collect(c, join)
+		if want := len(r.rows); len(rows) != want {
+			t.Errorf("hash rows = %d, want %d", len(rows), want)
+		}
+		dep := join.Schema().Index("dept")
+		did := join.Schema().Index("did")
+		for _, row := range rows {
+			if row[dep].Int != row[did].Int {
+				t.Fatalf("hash key mismatch")
+			}
+		}
+	})
+}
+
+func TestHashJoinDuplicateBuildKeys(t *testing.T) {
+	// Build over emp.dept (many duplicates), probe with dept: every
+	// (dept, emp-with-that-dept) pair must appear.
+	r := newRig(t, 150)
+	perDept := map[int64]int{}
+	for _, row := range r.rows {
+		perDept[row.dept]++
+	}
+	want := 0
+	for _, n := range perDept {
+		want += n
+	}
+	r.run(t, func(c *Ctx) {
+		probe := NewSeqScan(r.dept, nil, []int{0})
+		build := NewSeqScan(r.emp, nil, []int{1, 0})
+		join := NewHashJoin(probe, build, 0, 0, nil)
+		if got := Drain(c, join); got != want {
+			t.Errorf("rows = %d, want %d", got, want)
+		}
+	})
+}
+
+func TestSortOrders(t *testing.T) {
+	r := newRig(t, 777)
+	r.run(t, func(c *Ctx) {
+		s := NewSort(NewSeqScan(r.emp, nil, []int{1, 2, 0}),
+			[]SortKey{{Col: 0}, {Col: 1, Desc: true}})
+		rows := Collect(c, s)
+		if len(rows) != len(r.rows) {
+			t.Fatalf("sort dropped rows: %d", len(rows))
+		}
+		for i := 1; i < len(rows); i++ {
+			a, b := rows[i-1], rows[i]
+			if a[0].Int > b[0].Int {
+				t.Fatalf("primary order violated at %d", i)
+			}
+			if a[0].Int == b[0].Int && a[1].Int < b[1].Int {
+				t.Fatalf("descending secondary order violated at %d", i)
+			}
+		}
+	})
+}
+
+func TestSortPropertyRandomAgainstReference(t *testing.T) {
+	r := newRig(t, 2000)
+	want := make([]int64, len(r.rows))
+	for i, row := range r.rows {
+		want[i] = row.salary
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	r.run(t, func(c *Ctx) {
+		s := NewSort(NewSeqScan(r.emp, nil, []int{2}), []SortKey{{Col: 0}})
+		rows := Collect(c, s)
+		if len(rows) != len(want) {
+			t.Fatalf("rows = %d", len(rows))
+		}
+		for i := range rows {
+			if rows[i][0].Int != want[i] {
+				t.Fatalf("position %d: %d != %d", i, rows[i][0].Int, want[i])
+			}
+		}
+	})
+}
+
+func TestGroupAggMatchesReference(t *testing.T) {
+	r := newRig(t, 1200)
+	type agg struct {
+		n   int64
+		sum int64
+		max int64
+	}
+	ref := map[int64]*agg{}
+	for _, row := range r.rows {
+		a := ref[row.dept]
+		if a == nil {
+			a = &agg{max: -1 << 63}
+			ref[row.dept] = a
+		}
+		a.n++
+		a.sum += row.salary
+		if row.salary > a.max {
+			a.max = row.salary
+		}
+	}
+	r.run(t, func(c *Ctx) {
+		scan := NewSeqScan(r.emp, nil, []int{1, 2}) // dept, salary
+		sorted := NewSort(scan, []SortKey{{Col: 0}})
+		g := NewGroupAgg(sorted, []int{0}, []AggSpec{
+			{Fn: AggCount, Out: layout.Attr{Name: "n", Kind: layout.Int64}},
+			{Fn: AggSum, Arg: Col{1}, Out: layout.Attr{Name: "s", Kind: layout.Money}},
+			{Fn: AggMax, Arg: Col{1}, Out: layout.Attr{Name: "m", Kind: layout.Money}},
+		})
+		rows := Collect(c, g)
+		if len(rows) != len(ref) {
+			t.Fatalf("groups = %d, want %d", len(rows), len(ref))
+		}
+		for _, row := range rows {
+			a := ref[row[0].Int]
+			if a == nil {
+				t.Fatalf("unexpected group %d", row[0].Int)
+			}
+			if row[1].Int != a.n || row[2].Int != a.sum || row[3].Int != a.max {
+				t.Errorf("group %d: got (%d,%d,%d), want (%d,%d,%d)",
+					row[0].Int, row[1].Int, row[2].Int, row[3].Int, a.n, a.sum, a.max)
+			}
+		}
+	})
+}
+
+func TestScalarAggregate(t *testing.T) {
+	r := newRig(t, 500)
+	var wantSum int64
+	wantMin, wantMax := int64(1<<63-1), int64(-1<<63)
+	for _, row := range r.rows {
+		wantSum += row.salary
+		if row.salary < wantMin {
+			wantMin = row.salary
+		}
+		if row.salary > wantMax {
+			wantMax = row.salary
+		}
+	}
+	r.run(t, func(c *Ctx) {
+		a := NewAggregate(NewSeqScan(r.emp, nil, []int{2}), []AggSpec{
+			{Fn: AggSum, Arg: Col{0}, Out: layout.Attr{Name: "s", Kind: layout.Money}},
+			{Fn: AggCount, Out: layout.Attr{Name: "n", Kind: layout.Int64}},
+			{Fn: AggMin, Arg: Col{0}, Out: layout.Attr{Name: "lo", Kind: layout.Money}},
+			{Fn: AggMax, Arg: Col{0}, Out: layout.Attr{Name: "hi", Kind: layout.Money}},
+			{Fn: AggAvg, Arg: Col{0}, Out: layout.Attr{Name: "avg", Kind: layout.Money}},
+		})
+		rows := Collect(c, a)
+		if len(rows) != 1 {
+			t.Fatalf("aggregate rows = %d", len(rows))
+		}
+		got := rows[0]
+		if got[0].Int != wantSum || got[1].Int != int64(len(r.rows)) ||
+			got[2].Int != wantMin || got[3].Int != wantMax ||
+			got[4].Int != wantSum/int64(len(r.rows)) {
+			t.Errorf("aggregate = %v", got)
+		}
+	})
+}
+
+func TestArithmeticExpression(t *testing.T) {
+	r := newRig(t, 300)
+	var want int64
+	for _, row := range r.rows {
+		want += row.salary * (10000 - row.dept) / 10000
+	}
+	r.run(t, func(c *Ctx) {
+		expr := Arith{Op: '/',
+			L: Arith{Op: '*', L: Col{1}, R: Arith{Op: '-', L: ConstInt(10000), R: Col{0}}},
+			R: ConstInt(10000)}
+		a := NewAggregate(NewSeqScan(r.emp, nil, []int{1, 2}), []AggSpec{
+			{Fn: AggSum, Arg: expr, Out: layout.Attr{Name: "rev", Kind: layout.Money}},
+		})
+		rows := Collect(c, a)
+		if rows[0][0].Int != want {
+			t.Errorf("revenue = %d, want %d", rows[0][0].Int, want)
+		}
+	})
+}
+
+func TestEmptyInputs(t *testing.T) {
+	r := newRig(t, 50)
+	r.run(t, func(c *Ctx) {
+		none := []Pred{{Left: Col{0}, Op: LT, Right: ConstInt(-1)}}
+		if got := Drain(c, NewSeqScan(r.emp, none, []int{0})); got != 0 {
+			t.Errorf("empty seqscan rows = %d", got)
+		}
+		s := NewSort(NewSeqScan(r.emp, none, []int{0}), []SortKey{{Col: 0}})
+		if got := Drain(c, s); got != 0 {
+			t.Errorf("empty sort rows = %d", got)
+		}
+		g := NewGroupAgg(NewSeqScan(r.emp, none, []int{0}), []int{0},
+			[]AggSpec{{Fn: AggCount, Out: layout.Attr{Name: "n", Kind: layout.Int64}}})
+		if got := Drain(c, g); got != 0 {
+			t.Errorf("empty group rows = %d", got)
+		}
+		a := NewAggregate(NewSeqScan(r.emp, none, []int{0}),
+			[]AggSpec{{Fn: AggCount, Out: layout.Attr{Name: "n", Kind: layout.Int64}}})
+		rows := Collect(c, a)
+		if len(rows) != 1 || rows[0][0].Int != 0 {
+			t.Errorf("empty aggregate = %v", rows)
+		}
+	})
+}
+
+func TestStringPredicates(t *testing.T) {
+	r := newRig(t, 200)
+	r.run(t, func(c *Ctx) {
+		scan := NewSeqScan(r.emp,
+			[]Pred{{Left: Col{r.attr("name")}, Op: EQ, Right: ConstStr("e000042")}},
+			[]int{r.attr("id")})
+		rows := Collect(c, scan)
+		if len(rows) != 1 || rows[0][0].Int != 42 {
+			t.Errorf("string lookup = %v", rows)
+		}
+	})
+}
+
+func TestLocksCleanAfterPlans(t *testing.T) {
+	r := newRig(t, 300)
+	r.run(t, func(c *Ctx) {
+		left, right := sortedScans(r)
+		join := NewMergeJoin(left, right, 0, 0, nil)
+		Drain(c, join)
+		inner := NewIndexScan(r.emp, r.emp.IndexOn("dept"), FullRangeLo, FullRangeHi, nil, []int{0})
+		Drain(c, NewNestLoop(NewSeqScan(r.dept, nil, []int{0}), inner, Col{0}, nil))
+	})
+	// Every buffer must be unpinned and every lock released.
+	for id := int32(0); id < int32(r.bm.NBuffers()); id++ {
+		if rc := r.bm.Refcount(id); rc != 0 {
+			t.Fatalf("buffer %d still pinned (refcount %d)", id, rc)
+		}
+	}
+	for _, rel := range []*catalog.Relation{r.emp, r.dept} {
+		tag := lockmgr.Tag{RelID: rel.Heap.RelID, Level: lockmgr.LevelRelation}
+		if readers, writer := r.lm.Holders(tag); readers != 0 || writer != -1 {
+			t.Fatalf("%s relation lock leaked: (%d,%d)", rel.Name, readers, writer)
+		}
+	}
+}
+
+func TestSemiJoinMatchesReference(t *testing.T) {
+	r := newRig(t, 400)
+	// depts that have at least one emp with salary > threshold
+	want := map[int64]bool{}
+	for _, row := range r.rows {
+		if row.salary > 700000 {
+			want[row.dept] = true
+		}
+	}
+	r.run(t, func(c *Ctx) {
+		outer := NewSeqScan(r.dept, nil, []int{0, 1})
+		inner := NewIndexScan(r.emp, r.emp.IndexOn("dept"), FullRangeLo, FullRangeHi,
+			[]Pred{{Left: Col{r.attr("salary")}, Op: GT, Right: ConstInt(700000)}},
+			[]int{r.attr("id")})
+		join := NewSemiJoin(outer, inner, Col{0})
+		rows := Collect(c, join)
+		if len(rows) != len(want) {
+			t.Fatalf("semijoin rows = %d, want %d", len(rows), len(want))
+		}
+		for _, row := range rows {
+			if !want[row[0].Int] {
+				t.Errorf("dept %d should not qualify", row[0].Int)
+			}
+		}
+		// Output schema must be the outer schema.
+		if join.Schema().NumAttrs() != 2 {
+			t.Errorf("schema attrs = %d", join.Schema().NumAttrs())
+		}
+	})
+}
+
+func TestSemiJoinEmitsEachOuterOnce(t *testing.T) {
+	r := newRig(t, 300)
+	r.run(t, func(c *Ctx) {
+		outer := NewSeqScan(r.dept, nil, []int{0})
+		inner := NewIndexScan(r.emp, r.emp.IndexOn("dept"), FullRangeLo, FullRangeHi, nil, []int{r.attr("id")})
+		join := NewSemiJoin(outer, inner, Col{0})
+		seen := map[int64]int{}
+		join.Open(c)
+		for {
+			tup, ok := join.Next(c)
+			if !ok {
+				break
+			}
+			seen[layout.ReadAttr(c.P, tup.Schema, tup.Addr, 0).Int]++
+		}
+		join.Close(c)
+		for dept, n := range seen {
+			if n != 1 {
+				t.Errorf("dept %d emitted %d times", dept, n)
+			}
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package executor
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// Expr is an expression evaluated against a tuple. Column reads are
+// traced loads; arithmetic charges busy cycles.
+type Expr interface {
+	Eval(c *Ctx, t Tuple) layout.Datum
+}
+
+// Col reads attribute Idx of the input tuple.
+type Col struct{ Idx int }
+
+// Eval implements Expr.
+func (e Col) Eval(c *Ctx, t Tuple) layout.Datum {
+	if c.walk {
+		return layout.ReadAttrWalk(c.P, t.Schema, t.Addr, e.Idx)
+	}
+	return layout.ReadAttr(c.P, t.Schema, t.Addr, e.Idx)
+}
+
+// ConstInt is an integer (or date / money) literal.
+type ConstInt int64
+
+// Eval implements Expr.
+func (e ConstInt) Eval(*Ctx, Tuple) layout.Datum { return layout.IntDatum(int64(e)) }
+
+// ConstStr is a string literal.
+type ConstStr string
+
+// Eval implements Expr.
+func (e ConstStr) Eval(*Ctx, Tuple) layout.Datum { return layout.StrDatum(string(e)) }
+
+// Arith combines two integer expressions with +, -, *, or /.
+type Arith struct {
+	Op   byte
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (e Arith) Eval(c *Ctx, t Tuple) layout.Datum {
+	l := e.L.Eval(c, t).Int
+	r := e.R.Eval(c, t).Int
+	c.P.Busy(1)
+	switch e.Op {
+	case '+':
+		return layout.IntDatum(l + r)
+	case '-':
+		return layout.IntDatum(l - r)
+	case '*':
+		return layout.IntDatum(l * r)
+	case '/':
+		if r == 0 {
+			panic("executor: division by zero")
+		}
+		return layout.IntDatum(l / r)
+	}
+	panic(fmt.Sprintf("executor: unknown arithmetic op %q", e.Op))
+}
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+var cmpNames = [...]string{"=", "<>", "<", "<=", ">", ">="}
+
+// String returns the SQL spelling.
+func (o CmpOp) String() string { return cmpNames[o] }
+
+// Pred is one conjunct of a selection predicate: either Left Op Right,
+// or an IN-list when In is non-empty (Right is then ignored).
+type Pred struct {
+	Left  Expr
+	Op    CmpOp
+	Right Expr
+	In    []layout.Datum
+}
+
+// Holds evaluates the predicate on a tuple.
+func (p Pred) Holds(c *Ctx, t Tuple) bool {
+	l := p.Left.Eval(c, t)
+	if len(p.In) > 0 {
+		for _, d := range p.In {
+			c.P.Busy(2)
+			if layout.Compare(l, d) == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	r := p.Right.Eval(c, t)
+	c.P.Busy(2)
+	cmp := layout.Compare(l, r)
+	switch p.Op {
+	case EQ:
+		return cmp == 0
+	case NE:
+		return cmp != 0
+	case LT:
+		return cmp < 0
+	case LE:
+		return cmp <= 0
+	case GT:
+		return cmp > 0
+	case GE:
+		return cmp >= 0
+	}
+	panic("executor: unknown comparison")
+}
+
+// EvalPreds evaluates a conjunction with short-circuiting, the way a
+// scan select checks its clauses.
+func EvalPreds(c *Ctx, t Tuple, preds []Pred) bool {
+	for _, p := range preds {
+		if !p.Holds(c, t) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,454 @@
+package executor
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/simm"
+)
+
+// NestLoop is the Nested Loop Join. When OuterKey is set the inner node
+// must be a Binder (an index scan): the join passes each outer tuple's
+// key down and the inner reads only the matching tuples — the paper's
+// Q3 pattern. With OuterKey nil the inner is fully rescanned per outer
+// tuple (a plain nested loop).
+type NestLoop struct {
+	Outer    Node
+	Inner    Node
+	OuterKey Expr   // evaluated on the outer tuple to bind the inner
+	Preds    []Pred // residual predicates over the join schema
+
+	out       *layout.Schema
+	slot      simm.Addr
+	scr       *scratch
+	haveOuter bool
+	outerTup  Tuple
+	innerOpen bool
+	opened    bool
+}
+
+// NewNestLoop builds the join node.
+func NewNestLoop(outer, inner Node, outerKey Expr, preds []Pred) *NestLoop {
+	if outerKey != nil {
+		if _, ok := inner.(Binder); !ok {
+			panic("executor: keyed nested loop needs a bindable inner")
+		}
+	}
+	return &NestLoop{
+		Outer: outer, Inner: inner, OuterKey: outerKey, Preds: preds,
+		out: outer.Schema().Concat(inner.Schema()),
+	}
+}
+
+// Kind implements Node.
+func (j *NestLoop) Kind() OpKind { return OpNestLoop }
+
+// Schema implements Node.
+func (j *NestLoop) Schema() *layout.Schema { return j.out }
+
+// Children implements Node.
+func (j *NestLoop) Children() []Node { return []Node{j.Outer, j.Inner} }
+
+// Open implements Node.
+func (j *NestLoop) Open(c *Ctx) {
+	if !j.opened {
+		j.slot = c.Alloc(j.out.Size())
+		j.scr = newScratch(c)
+		j.opened = true
+	}
+	j.Outer.Open(c)
+	j.haveOuter = false
+	j.innerOpen = false
+}
+
+// Next implements Node.
+func (j *NestLoop) Next(c *Ctx) (Tuple, bool) {
+	for {
+		if !j.haveOuter {
+			t, ok := j.Outer.Next(c)
+			if !ok {
+				return Tuple{}, false
+			}
+			j.outerTup = t
+			j.haveOuter = true
+			if j.OuterKey != nil {
+				k := j.OuterKey.Eval(c, t).Key()
+				j.Inner.(Binder).Bind(k, k)
+			}
+			if j.innerOpen {
+				j.Inner.Close(c)
+			}
+			j.Inner.Open(c)
+			j.innerOpen = true
+			// The outer tuple's slot will be reused by the next
+			// Outer.Next, so keep its contents in the join slot now.
+			j.scr.touch(c, 1)
+			materialize(c, j.slot, j.out, 0, j.outerTup)
+		}
+		it, ok := j.Inner.Next(c)
+		if !ok {
+			j.haveOuter = false
+			continue
+		}
+		materialize(c, j.slot, j.out, j.outerTup.Schema.NumAttrs(), it)
+		joined := Tuple{Addr: j.slot, Schema: j.out}
+		if EvalPreds(c, joined, j.Preds) {
+			return joined, true
+		}
+	}
+}
+
+// Close implements Node.
+func (j *NestLoop) Close(c *Ctx) {
+	if j.innerOpen {
+		j.Inner.Close(c)
+		j.innerOpen = false
+	}
+	j.Outer.Close(c)
+	j.haveOuter = false
+}
+
+// MergeJoin joins two inputs sorted on their join keys, buffering each
+// group of equal-keyed right tuples in private storage so duplicate
+// left keys can replay it (Q12's lineitem-order join).
+//
+// With IndexedInner set, the right child is a Binder (an index scan)
+// and is re-bound and re-opened once per distinct left key — the
+// paper's Q12 plan, where the merge join "passes attribute
+// lineitem.orderkey to the Index Scan Select node".
+type MergeJoin struct {
+	Left         Node
+	Right        Node
+	LeftKey      int
+	RightKey     int
+	Preds        []Pred
+	IndexedInner bool
+
+	// GroupCap bounds one equal-key right group (tuples). The TPC-D
+	// keys joined this way are near-unique, so the default is generous.
+	GroupCap int
+
+	out  *layout.Schema
+	slot simm.Addr
+	scr  *scratch
+
+	groupBase simm.Addr
+	groupKey  int64
+	groupN    int
+	gi        int
+
+	leftTup  Tuple
+	leftKey  int64
+	haveLeft bool
+
+	rightTup  Tuple
+	rightKey  int64
+	haveRight bool
+	rightOpen bool
+
+	opened bool
+}
+
+// NewMergeJoin builds the node; both children must deliver tuples in
+// ascending key order.
+func NewMergeJoin(left, right Node, leftKey, rightKey int, preds []Pred) *MergeJoin {
+	return &MergeJoin{
+		Left: left, Right: right, LeftKey: leftKey, RightKey: rightKey,
+		Preds: preds, GroupCap: 1024,
+		out: left.Schema().Concat(right.Schema()),
+	}
+}
+
+// Kind implements Node.
+func (j *MergeJoin) Kind() OpKind { return OpMergeJoin }
+
+// Schema implements Node.
+func (j *MergeJoin) Schema() *layout.Schema { return j.out }
+
+// Children implements Node.
+func (j *MergeJoin) Children() []Node { return []Node{j.Left, j.Right} }
+
+// Open implements Node.
+func (j *MergeJoin) Open(c *Ctx) {
+	if !j.opened {
+		j.slot = c.Alloc(j.out.Size())
+		j.scr = newScratch(c)
+		j.groupBase = c.Alloc(j.GroupCap * j.Right.Schema().Size())
+		j.opened = true
+	}
+	j.Left.Open(c)
+	j.haveLeft, j.haveRight = false, false
+	j.groupN, j.gi = 0, 0
+	j.groupKey = -1 << 63
+	j.rightOpen = false
+	if !j.IndexedInner {
+		j.Right.Open(c)
+		j.rightOpen = true
+		j.advanceRight(c)
+	}
+}
+
+func (j *MergeJoin) advanceRight(c *Ctx) {
+	t, ok := j.Right.Next(c)
+	j.haveRight = ok
+	if ok {
+		j.rightTup = t
+		j.rightKey = layout.ReadAttr(c.P, t.Schema, t.Addr, j.RightKey).Key()
+	}
+}
+
+func (j *MergeJoin) advanceLeft(c *Ctx) {
+	t, ok := j.Left.Next(c)
+	j.haveLeft = ok
+	if ok {
+		j.leftTup = t
+		j.leftKey = layout.ReadAttr(c.P, t.Schema, t.Addr, j.LeftKey).Key()
+	}
+}
+
+// loadGroupIndexed re-binds the index-scan inner to one key and buffers
+// every matching tuple.
+func (j *MergeJoin) loadGroupIndexed(c *Ctx, key int64) {
+	rb := j.Right.(Binder)
+	if j.rightOpen {
+		j.Right.Close(c)
+	}
+	rb.Bind(key, key)
+	j.Right.Open(c)
+	j.rightOpen = true
+	j.groupKey = key
+	j.groupN = 0
+	rsz := j.Right.Schema().Size()
+	for {
+		t, ok := j.Right.Next(c)
+		if !ok {
+			return
+		}
+		if j.groupN >= j.GroupCap {
+			panic(fmt.Sprintf("executor: merge-join group for key %d exceeds cap %d", key, j.GroupCap))
+		}
+		dst := j.groupBase + simm.Addr(j.groupN*rsz)
+		materialize(c, dst, j.Right.Schema(), 0, t)
+		j.groupN++
+	}
+}
+
+// loadGroup buffers all right tuples equal to key into private storage.
+func (j *MergeJoin) loadGroup(c *Ctx, key int64) {
+	j.groupKey = key
+	j.groupN = 0
+	rsz := j.Right.Schema().Size()
+	for j.haveRight && j.rightKey == key {
+		if j.groupN >= j.GroupCap {
+			panic(fmt.Sprintf("executor: merge-join group for key %d exceeds cap %d", key, j.GroupCap))
+		}
+		dst := j.groupBase + simm.Addr(j.groupN*rsz)
+		materialize(c, dst, j.Right.Schema(), 0, j.rightTup)
+		j.groupN++
+		j.advanceRight(c)
+	}
+}
+
+// Next implements Node.
+func (j *MergeJoin) Next(c *Ctx) (Tuple, bool) {
+	for {
+		// Emit pending pairs for the current left tuple.
+		for j.haveLeft && j.leftKey == j.groupKey && j.gi < j.groupN {
+			right := Tuple{
+				Addr:   j.groupBase + simm.Addr(j.gi*j.Right.Schema().Size()),
+				Schema: j.Right.Schema(),
+			}
+			j.gi++
+			materialize(c, j.slot, j.out, j.leftTup.Schema.NumAttrs(), right)
+			joined := Tuple{Addr: j.slot, Schema: j.out}
+			if EvalPreds(c, joined, j.Preds) {
+				return joined, true
+			}
+		}
+		// Advance the left side.
+		j.advanceLeft(c)
+		if !j.haveLeft {
+			return Tuple{}, false
+		}
+		j.scr.touch(c, 1)
+		if j.leftKey != j.groupKey {
+			if j.IndexedInner {
+				j.loadGroupIndexed(c, j.leftKey)
+			} else {
+				// Skip right tuples below the new left key, then
+				// buffer the equal-key group (possibly empty).
+				for j.haveRight && j.rightKey < j.leftKey {
+					j.advanceRight(c)
+				}
+				if j.haveRight && j.rightKey == j.leftKey {
+					j.loadGroup(c, j.leftKey)
+				} else {
+					j.groupKey, j.groupN = j.leftKey, 0
+				}
+			}
+			if j.groupN == 0 {
+				continue // no match for this left tuple
+			}
+		}
+		j.gi = 0
+		// The left slot is reused by Left.Next, so materialize it now.
+		materialize(c, j.slot, j.out, 0, j.leftTup)
+	}
+}
+
+// Close implements Node.
+func (j *MergeJoin) Close(c *Ctx) {
+	j.Left.Close(c)
+	j.Right.Close(c)
+}
+
+// HashJoin builds a private open-addressing hash table over the right
+// (build) input and probes it with each left (probe) tuple. The table
+// and the materialized build tuples live in the query's private arena,
+// the "large chunks of private heap space allocated for tables of
+// tuples" the paper describes.
+type HashJoin struct {
+	Left     Node // probe side
+	Right    Node // build side
+	LeftKey  int
+	RightKey int
+	Preds    []Pred
+
+	out  *layout.Schema
+	slot simm.Addr
+	scr  *scratch
+
+	tabBase simm.Addr
+	tabMask uint64
+
+	probeKey int64
+	probeIdx uint64
+	probing  bool
+	leftTup  Tuple
+
+	opened bool
+}
+
+// NewHashJoin builds the node.
+func NewHashJoin(left, right Node, leftKey, rightKey int, preds []Pred) *HashJoin {
+	return &HashJoin{
+		Left: left, Right: right, LeftKey: leftKey, RightKey: rightKey, Preds: preds,
+		out: left.Schema().Concat(right.Schema()),
+	}
+}
+
+// Kind implements Node.
+func (j *HashJoin) Kind() OpKind { return OpHashJoin }
+
+// Schema implements Node.
+func (j *HashJoin) Schema() *layout.Schema { return j.out }
+
+// Children implements Node.
+func (j *HashJoin) Children() []Node { return []Node{j.Left, j.Right} }
+
+func mixKey(k int64) uint64 {
+	x := uint64(k)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// Open implements Node: it drains the build side into private storage
+// and constructs the hash table.
+func (j *HashJoin) Open(c *Ctx) {
+	if !j.opened {
+		j.slot = c.Alloc(j.out.Size())
+		j.scr = newScratch(c)
+		j.opened = true
+	}
+	j.Left.Open(c)
+	j.Right.Open(c)
+
+	// Phase one: materialize build tuples into the arena.
+	rsz := j.Right.Schema().Size()
+	type built struct {
+		key  int64
+		addr simm.Addr
+	}
+	var rows []built
+	for {
+		t, ok := j.Right.Next(c)
+		if !ok {
+			break
+		}
+		k := layout.ReadAttr(c.P, t.Schema, t.Addr, j.RightKey).Key()
+		dst := c.Alloc(rsz)
+		materialize(c, dst, j.Right.Schema(), 0, t)
+		rows = append(rows, built{key: k, addr: dst})
+	}
+	// Phase two: size and fill the table ({key, addr} pairs; addr 0
+	// marks an empty slot).
+	capacity := uint64(16)
+	for capacity < uint64(2*len(rows)+1) {
+		capacity *= 2
+	}
+	j.tabMask = capacity - 1
+	j.tabBase = c.Alloc(int(capacity) * 16)
+	for i := uint64(0); i < capacity; i++ {
+		c.Mem.Store64(uint64Addr(j.tabBase, i)+8, 0) // untraced zero-init (allocator memset)
+	}
+	for _, r := range rows {
+		for i := mixKey(r.key) & j.tabMask; ; i = (i + 1) & j.tabMask {
+			sa := uint64Addr(j.tabBase, i)
+			if c.P.Read64(sa+8) == 0 {
+				c.P.Write64(sa, uint64(r.key))
+				c.P.Write64(sa+8, uint64(r.addr))
+				break
+			}
+		}
+	}
+	j.probing = false
+}
+
+func uint64Addr(base simm.Addr, slot uint64) simm.Addr {
+	return base + simm.Addr(slot*16)
+}
+
+// Next implements Node.
+func (j *HashJoin) Next(c *Ctx) (Tuple, bool) {
+	for {
+		if !j.probing {
+			t, ok := j.Left.Next(c)
+			if !ok {
+				return Tuple{}, false
+			}
+			j.leftTup = t
+			j.probeKey = layout.ReadAttr(c.P, t.Schema, t.Addr, j.LeftKey).Key()
+			j.probeIdx = mixKey(j.probeKey) & j.tabMask
+			j.probing = true
+			j.scr.touch(c, 1)
+			materialize(c, j.slot, j.out, 0, j.leftTup)
+		}
+		for {
+			sa := uint64Addr(j.tabBase, j.probeIdx)
+			addr := c.P.Read64(sa + 8)
+			if addr == 0 {
+				j.probing = false
+				break
+			}
+			k := int64(c.P.Read64(sa))
+			j.probeIdx = (j.probeIdx + 1) & j.tabMask
+			if k != j.probeKey {
+				continue
+			}
+			right := Tuple{Addr: simm.Addr(addr), Schema: j.Right.Schema()}
+			materialize(c, j.slot, j.out, j.leftTup.Schema.NumAttrs(), right)
+			joined := Tuple{Addr: j.slot, Schema: j.out}
+			if EvalPreds(c, joined, j.Preds) {
+				return joined, true
+			}
+		}
+	}
+}
+
+// Close implements Node.
+func (j *HashJoin) Close(c *Ctx) {
+	j.Left.Close(c)
+	j.Right.Close(c)
+}

@@ -1,0 +1,200 @@
+package executor
+
+import (
+	"math"
+
+	"repro/internal/layout"
+	"repro/internal/pg/btree"
+	"repro/internal/pg/catalog"
+	"repro/internal/pg/heap"
+	"repro/internal/simm"
+)
+
+// SeqScan is the Sequential Scan Select: it visits every tuple of a
+// relation, checks the predicate conjunction, and copies the projected
+// attributes of matching tuples into a reused private slot.
+type SeqScan struct {
+	Rel   *catalog.Relation
+	Preds []Pred // over the relation schema
+	Proj  []int  // attribute indices to keep
+
+	// PageLo/PageHi restrict the scan to a page partition (intra-query
+	// parallelism); both zero means the whole relation.
+	PageLo, PageHi uint32
+
+	out    *layout.Schema
+	slot   simm.Addr
+	scr    *scratch
+	cur    *heap.Cursor
+	opened bool
+}
+
+// NewSeqScan builds the node; proj lists the output attributes.
+func NewSeqScan(rel *catalog.Relation, preds []Pred, proj []int) *SeqScan {
+	return &SeqScan{Rel: rel, Preds: preds, Proj: proj, out: rel.Heap.Schema.Project(proj)}
+}
+
+// Kind implements Node.
+func (s *SeqScan) Kind() OpKind { return OpSeqScan }
+
+// Schema implements Node.
+func (s *SeqScan) Schema() *layout.Schema { return s.out }
+
+// Children implements Node.
+func (s *SeqScan) Children() []Node { return nil }
+
+// Open implements Node.
+func (s *SeqScan) Open(c *Ctx) {
+	if !s.opened {
+		c.Cat.OpenRelation(c.P, s.Rel.Name)
+		s.slot = c.Alloc(s.out.Size())
+		s.scr = newScratch(c)
+		s.opened = true
+	}
+	lo, hi := s.PageLo, s.PageHi
+	if lo == 0 && hi == 0 {
+		hi = s.Rel.Heap.NPages
+	}
+	s.cur = s.Rel.Heap.OpenCursorRange(c.P, c.Xid, lo, hi)
+}
+
+// Next implements Node.
+func (s *SeqScan) Next(c *Ctx) (Tuple, bool) {
+	for {
+		addr, _, ok := s.cur.Next()
+		if !ok {
+			return Tuple{}, false
+		}
+		s.scr.touch(c, 1)
+		shared := Tuple{Addr: addr, Schema: s.Rel.Heap.Schema}
+		c.walk = true
+		pass := EvalPreds(c, shared, s.Preds)
+		c.walk = false
+		if !pass {
+			continue
+		}
+		// Matching tuple: re-read the projected attributes and copy
+		// them to private storage (the paper notes exactly this
+		// immediate re-read on selection).
+		for i, j := range s.Proj {
+			d := layout.ReadAttr(c.P, s.Rel.Heap.Schema, addr, j)
+			layout.WriteAttr(c.P, s.out, s.slot, i, d)
+		}
+		return Tuple{Addr: s.slot, Schema: s.out}, true
+	}
+}
+
+// Close implements Node.
+func (s *SeqScan) Close(c *Ctx) {
+	if s.cur != nil {
+		s.cur.Close()
+		s.cur = nil
+	}
+}
+
+// Binder is a node whose scan range can be re-bound per outer tuple by
+// a nested-loop join.
+type Binder interface {
+	Node
+	Bind(lo, hi int64)
+}
+
+// FullRange covers the whole key space of an index scan.
+const (
+	FullRangeLo = math.MinInt64
+	FullRangeHi = math.MaxInt64
+)
+
+// IndexScan is the Index Scan Select: a B-tree range scan drives fetches
+// of the matching heap tuples, each checked against residual predicates
+// and copied into the private slot.
+type IndexScan struct {
+	Rel   *catalog.Relation
+	Index *catalog.Index
+	Lo    int64 // static key bounds (FullRange* when driven by Bind)
+	Hi    int64
+	Preds []Pred
+	Proj  []int
+
+	boundLo, boundHi int64
+	out              *layout.Schema
+	slot             simm.Addr
+	scr              *scratch
+	cur              *btree.Cursor
+	opened           bool
+}
+
+// NewIndexScan builds the node with static bounds [lo, hi] on the
+// indexed attribute's key encoding.
+func NewIndexScan(rel *catalog.Relation, idx *catalog.Index, lo, hi int64, preds []Pred, proj []int) *IndexScan {
+	if idx == nil {
+		panic("executor: index scan without an index")
+	}
+	return &IndexScan{
+		Rel: rel, Index: idx, Lo: lo, Hi: hi, Preds: preds, Proj: proj,
+		boundLo: lo, boundHi: hi,
+		out: rel.Heap.Schema.Project(proj),
+	}
+}
+
+// Bind implements Binder: restrict the next Open to [lo, hi].
+func (s *IndexScan) Bind(lo, hi int64) { s.boundLo, s.boundHi = lo, hi }
+
+// Kind implements Node.
+func (s *IndexScan) Kind() OpKind { return OpIndexScan }
+
+// Schema implements Node.
+func (s *IndexScan) Schema() *layout.Schema { return s.out }
+
+// Children implements Node.
+func (s *IndexScan) Children() []Node { return nil }
+
+// Open implements Node.
+func (s *IndexScan) Open(c *Ctx) {
+	if !s.opened {
+		c.Cat.OpenRelation(c.P, s.Rel.Name)
+		s.slot = c.Alloc(s.out.Size())
+		s.scr = newScratch(c)
+		s.opened = true
+	}
+	c.HoldRelation(s.Rel.Heap)
+	s.cur = s.Index.Tree.OpenRange(c.P, c.Xid, s.boundLo, s.boundHi)
+}
+
+// Next implements Node.
+func (s *IndexScan) Next(c *Ctx) (Tuple, bool) {
+	for {
+		_, v, ok := s.cur.Next()
+		if !ok {
+			return Tuple{}, false
+		}
+		s.scr.touch(c, 2)
+		c.P.Busy(c.IndexTupleBusy)
+		matched := false
+		s.Rel.Heap.Fetch(c.P, c.Xid, layout.UnpackRID(v), func(addr simm.Addr) {
+			shared := Tuple{Addr: addr, Schema: s.Rel.Heap.Schema}
+			c.walk = true
+			pass := EvalPreds(c, shared, s.Preds)
+			c.walk = false
+			if !pass {
+				return
+			}
+			for i, j := range s.Proj {
+				d := layout.ReadAttr(c.P, s.Rel.Heap.Schema, addr, j)
+				layout.WriteAttr(c.P, s.out, s.slot, i, d)
+			}
+			matched = true
+		})
+		if matched {
+			return Tuple{Addr: s.slot, Schema: s.out}, true
+		}
+	}
+}
+
+// Close implements Node.
+func (s *IndexScan) Close(c *Ctx) {
+	if s.cur != nil {
+		s.cur.Close()
+		s.cur = nil
+	}
+}

@@ -1,0 +1,89 @@
+package executor
+
+import (
+	"repro/internal/layout"
+	"repro/internal/simm"
+)
+
+// SemiJoin implements EXISTS-style nested queries (listed as future
+// work by the paper): for each outer tuple it probes the inner — a
+// keyed index scan, like a nested-loop inner — and emits the outer
+// tuple exactly once if any inner tuple matches. The memory access
+// pattern is a nested loop that stops at the first match.
+type SemiJoin struct {
+	Outer    Node
+	Inner    Node
+	OuterKey Expr // evaluated on the outer tuple to bind the inner
+
+	slot      simm.Addr
+	scr       *scratch
+	innerOpen bool
+	opened    bool
+}
+
+// NewSemiJoin builds the node; inner must be bindable when outerKey is
+// set.
+func NewSemiJoin(outer, inner Node, outerKey Expr) *SemiJoin {
+	if outerKey != nil {
+		if _, ok := inner.(Binder); !ok {
+			panic("executor: keyed semijoin needs a bindable inner")
+		}
+	}
+	return &SemiJoin{Outer: outer, Inner: inner, OuterKey: outerKey}
+}
+
+// Kind implements Node. A semijoin is a nested loop for the paper's
+// operator taxonomy.
+func (j *SemiJoin) Kind() OpKind { return OpNestLoop }
+
+// Schema implements Node: the output is the outer tuple unchanged.
+func (j *SemiJoin) Schema() *layout.Schema { return j.Outer.Schema() }
+
+// Children implements Node.
+func (j *SemiJoin) Children() []Node { return []Node{j.Outer, j.Inner} }
+
+// Open implements Node.
+func (j *SemiJoin) Open(c *Ctx) {
+	if !j.opened {
+		j.slot = c.Alloc(j.Outer.Schema().Size())
+		j.scr = newScratch(c)
+		j.opened = true
+	}
+	j.Outer.Open(c)
+	j.innerOpen = false
+}
+
+// Next implements Node.
+func (j *SemiJoin) Next(c *Ctx) (Tuple, bool) {
+	for {
+		t, ok := j.Outer.Next(c)
+		if !ok {
+			return Tuple{}, false
+		}
+		j.scr.touch(c, 1)
+		if j.OuterKey != nil {
+			k := j.OuterKey.Eval(c, t).Key()
+			j.Inner.(Binder).Bind(k, k)
+		}
+		if j.innerOpen {
+			j.Inner.Close(c)
+		}
+		j.Inner.Open(c)
+		j.innerOpen = true
+		// The outer slot is reused by the next Outer.Next, so preserve
+		// the tuple before probing.
+		materialize(c, j.slot, j.Outer.Schema(), 0, t)
+		if _, match := j.Inner.Next(c); match {
+			return Tuple{Addr: j.slot, Schema: j.Outer.Schema()}, true
+		}
+	}
+}
+
+// Close implements Node.
+func (j *SemiJoin) Close(c *Ctx) {
+	if j.innerOpen {
+		j.Inner.Close(c)
+		j.innerOpen = false
+	}
+	j.Outer.Close(c)
+}

@@ -1,0 +1,186 @@
+package executor
+
+import (
+	"repro/internal/layout"
+	"repro/internal/simm"
+)
+
+// SortKey orders by one column.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// Sort materializes its input into a private temporary table (the paper:
+// "in the sort nodes, we need temporary tables to store the whole input
+// data"), then quicksorts an array of tuple pointers, comparing keys
+// with traced reads.
+type Sort struct {
+	Input Node
+	Keys  []SortKey
+
+	slot    simm.Addr // unused output slot kept for symmetry
+	scr     *scratch
+	arr     simm.Addr // pointer array (8-byte tuple addresses)
+	arrCap  int
+	count   int
+	pos     int
+	opened  bool
+	scanned bool
+}
+
+// NewSort builds the node.
+func NewSort(input Node, keys []SortKey) *Sort {
+	if len(keys) == 0 {
+		panic("executor: sort without keys")
+	}
+	return &Sort{Input: input, Keys: keys}
+}
+
+// Kind implements Node.
+func (s *Sort) Kind() OpKind { return OpSort }
+
+// Schema implements Node.
+func (s *Sort) Schema() *layout.Schema { return s.Input.Schema() }
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.Input} }
+
+// Open implements Node: it drains and sorts the input eagerly.
+func (s *Sort) Open(c *Ctx) {
+	if !s.opened {
+		s.scr = newScratch(c)
+		s.opened = true
+	}
+	s.Input.Open(c)
+	s.materializeInput(c)
+	s.quicksort(c, 0, s.count-1)
+	s.pos = 0
+}
+
+// materializeInput copies every input tuple into the arena and appends
+// its address to a growable traced pointer array.
+func (s *Sort) materializeInput(c *Ctx) {
+	s.count = 0
+	s.arrCap = 256
+	s.arr = c.Alloc(s.arrCap * 8)
+	size := s.Input.Schema().Size()
+	for {
+		t, ok := s.Input.Next(c)
+		if !ok {
+			return
+		}
+		s.scr.touch(c, 1)
+		dst := c.Alloc(size)
+		materialize(c, dst, s.Input.Schema(), 0, t)
+		if s.count == s.arrCap {
+			// Grow the pointer array, copying the old one (traced, the
+			// way a realloc behaves).
+			newCap := s.arrCap * 2
+			newArr := c.Alloc(newCap * 8)
+			for i := 0; i < s.count; i++ {
+				v := c.P.Read64(s.arr + simm.Addr(i*8))
+				c.P.Write64(newArr+simm.Addr(i*8), v)
+			}
+			s.arr, s.arrCap = newArr, newCap
+		}
+		c.P.Write64(s.arr+simm.Addr(s.count*8), uint64(dst))
+		s.count++
+	}
+}
+
+func (s *Sort) addrAt(c *Ctx, i int) simm.Addr {
+	return simm.Addr(c.P.Read64(s.arr + simm.Addr(i*8)))
+}
+
+// less compares the tuples at positions i and j with traced key reads.
+func (s *Sort) lessAddr(c *Ctx, a, b simm.Addr) bool {
+	sc := s.Input.Schema()
+	for _, k := range s.Keys {
+		da := layout.ReadAttr(c.P, sc, a, k.Col)
+		db := layout.ReadAttr(c.P, sc, b, k.Col)
+		c.P.Busy(2)
+		cmp := layout.Compare(da, db)
+		if cmp == 0 {
+			continue
+		}
+		if k.Desc {
+			return cmp > 0
+		}
+		return cmp < 0
+	}
+	return false
+}
+
+func (s *Sort) swap(c *Ctx, i, j int) {
+	ai := c.P.Read64(s.arr + simm.Addr(i*8))
+	aj := c.P.Read64(s.arr + simm.Addr(j*8))
+	c.P.Write64(s.arr+simm.Addr(i*8), aj)
+	c.P.Write64(s.arr+simm.Addr(j*8), ai)
+}
+
+// quicksort is a median-of-three quicksort over the pointer array with
+// an insertion-sort base case, recursing on the smaller side.
+func (s *Sort) quicksort(c *Ctx, lo, hi int) {
+	for lo < hi {
+		if hi-lo < 12 {
+			s.insertion(c, lo, hi)
+			return
+		}
+		mid := lo + (hi-lo)/2
+		// Median-of-three pivot selection.
+		if s.lessAddr(c, s.addrAt(c, mid), s.addrAt(c, lo)) {
+			s.swap(c, mid, lo)
+		}
+		if s.lessAddr(c, s.addrAt(c, hi), s.addrAt(c, lo)) {
+			s.swap(c, hi, lo)
+		}
+		if s.lessAddr(c, s.addrAt(c, hi), s.addrAt(c, mid)) {
+			s.swap(c, hi, mid)
+		}
+		pivot := s.addrAt(c, mid)
+		i, j := lo, hi
+		for i <= j {
+			for s.lessAddr(c, s.addrAt(c, i), pivot) {
+				i++
+			}
+			for s.lessAddr(c, pivot, s.addrAt(c, j)) {
+				j--
+			}
+			if i <= j {
+				s.swap(c, i, j)
+				i++
+				j--
+			}
+		}
+		// Recurse on the smaller half, iterate on the larger.
+		if j-lo < hi-i {
+			s.quicksort(c, lo, j)
+			lo = i
+		} else {
+			s.quicksort(c, i, hi)
+			hi = j
+		}
+	}
+}
+
+func (s *Sort) insertion(c *Ctx, lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		for j := i; j > lo && s.lessAddr(c, s.addrAt(c, j), s.addrAt(c, j-1)); j-- {
+			s.swap(c, j, j-1)
+		}
+	}
+}
+
+// Next implements Node.
+func (s *Sort) Next(c *Ctx) (Tuple, bool) {
+	if s.pos >= s.count {
+		return Tuple{}, false
+	}
+	addr := s.addrAt(c, s.pos)
+	s.pos++
+	return Tuple{Addr: addr, Schema: s.Input.Schema()}, true
+}
+
+// Close implements Node.
+func (s *Sort) Close(c *Ctx) { s.Input.Close(c) }

@@ -1,0 +1,85 @@
+package heap
+
+import (
+	"repro/internal/layout"
+	"repro/internal/pg/lockmgr"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+// Cursor is a pull-based sequential scan: the executor's SeqScanSelect
+// node draws tuples from it one at a time. The relation read lock is
+// held for the cursor's lifetime and the current page stays pinned
+// between calls, exactly like a heap scan descriptor.
+type Cursor struct {
+	t   *Table
+	p   *sched.Proc
+	xid int
+
+	pg    uint32
+	end   uint32
+	slot  int
+	n     int
+	bufID int32
+	page  simm.Addr
+	open  bool
+}
+
+// OpenCursor starts a sequential scan over the whole relation.
+func (t *Table) OpenCursor(p *sched.Proc, xid int) *Cursor {
+	return t.OpenCursorRange(p, xid, 0, t.NPages)
+}
+
+// OpenCursorRange starts a sequential scan over pages [lo, hi) — the
+// page-partitioned parallel scan of intra-query parallelism (listed as
+// future work by the paper and implemented here as an extension).
+func (t *Table) OpenCursorRange(p *sched.Proc, xid int, lo, hi uint32) *Cursor {
+	if hi > t.NPages {
+		hi = t.NPages
+	}
+	t.lm.Acquire(p, xid, t.relationTag(), lockmgr.Read)
+	return &Cursor{t: t, p: p, xid: xid, open: true, bufID: -1, pg: lo, end: hi}
+}
+
+// Next returns the next tuple's address and RID, or ok=false at the end.
+func (c *Cursor) Next() (addr simm.Addr, rid layout.RID, ok bool) {
+	if !c.open {
+		return 0, layout.RID{}, false
+	}
+	for {
+		if c.bufID >= 0 && c.slot < c.n {
+			s := c.slot
+			c.slot++
+			if c.t.deletedTraced(c.p, c.page, s) {
+				continue
+			}
+			a := c.page + simm.Addr(c.t.header+s*c.t.Schema.Size())
+			return a, layout.RID{Page: c.pg, Slot: uint16(s)}, true
+		}
+		if c.bufID >= 0 {
+			c.t.bm.ReleaseBuffer(c.p, c.bufID)
+			c.bufID = -1
+			c.pg++
+		}
+		if c.pg >= c.end {
+			return 0, layout.RID{}, false
+		}
+		c.bufID, c.page = c.t.bm.ReadBuffer(c.p, c.t.RelID, c.pg)
+		c.n = int(c.p.Read32(c.page))
+		c.slot = 0
+	}
+}
+
+// Close releases the current pin and the relation lock. Safe to call
+// more than once.
+func (c *Cursor) Close() {
+	if !c.open {
+		return
+	}
+	if c.bufID >= 0 {
+		c.t.bm.ReleaseBuffer(c.p, c.bufID)
+		c.bufID = -1
+	}
+	c.t.lm.Release(c.p, c.xid, c.t.relationTag(), lockmgr.Read)
+	c.open = false
+}

@@ -1,0 +1,317 @@
+// Package heap implements heap relations: tables of fixed-width tuples
+// stored in 8-KB buffer-cache pages. Sequential scans take one
+// relation-level read lock and then pin/unpin each page; fetches by RID
+// (the index-scan path) additionally take a page-level lock through the
+// lock manager, which is what differentiates the metadata traffic of
+// Sequential and Index queries in the paper.
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/pg/bufmgr"
+	"repro/internal/pg/lockmgr"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+// Page layout: a fixed header (tuple count), a deleted-tuple bitmap
+// (one bit per slot; deletes are tombstones, as in Postgres95 where
+// vacuuming is a separate offline concern), then the fixed-width tuple
+// slots.
+const pageFixedHeader = 8 // ntuples(4) + pad(4)
+
+// Table is one heap relation.
+type Table struct {
+	RelID  uint32
+	Name   string
+	Schema *layout.Schema
+
+	mem *simm.Memory
+	bm  *bufmgr.Manager
+	lm  *lockmgr.Manager
+
+	NPages   uint32
+	NTuples  int
+	NDeleted int
+	perPage  int
+	header   int // fixed header + deleted bitmap, 8-byte aligned
+}
+
+// New creates an empty heap relation.
+func New(mem *simm.Memory, bm *bufmgr.Manager, lm *lockmgr.Manager, relID uint32, name string, schema *layout.Schema) *Table {
+	// The bitmap size depends on the slot count and vice versa; iterate
+	// to a fixed point (monotonically decreasing, so it terminates).
+	pp := (layout.PageSize - pageFixedHeader) / schema.Size()
+	var hdr int
+	for {
+		bitmap := (pp + 63) / 64 * 8
+		hdr = pageFixedHeader + bitmap
+		npp := (layout.PageSize - hdr) / schema.Size()
+		if npp == pp {
+			break
+		}
+		pp = npp
+	}
+	if pp < 1 {
+		panic(fmt.Sprintf("heap: tuple of %d bytes does not fit a page", schema.Size()))
+	}
+	return &Table{
+		RelID: relID, Name: name, Schema: schema,
+		mem: mem, bm: bm, lm: lm, perPage: pp, header: hdr,
+	}
+}
+
+// TuplesPerPage returns how many tuples fit one page.
+func (t *Table) TuplesPerPage() int { return t.perPage }
+
+func (t *Table) pageAddrRaw(pageNo uint32) simm.Addr {
+	bufID, ok := t.bm.LookupRaw(t.RelID, pageNo)
+	if !ok {
+		panic(fmt.Sprintf("heap: %s page %d not resident", t.Name, pageNo))
+	}
+	return t.bm.BlockAddr(bufID)
+}
+
+// InsertRaw appends a tuple during untraced database load and returns
+// its RID.
+func (t *Table) InsertRaw(vals []layout.Datum) layout.RID {
+	if len(vals) != t.Schema.NumAttrs() {
+		panic(fmt.Sprintf("heap: %s: %d values for %d attributes", t.Name, len(vals), t.Schema.NumAttrs()))
+	}
+	var page simm.Addr
+	var slot uint32
+	if t.NPages > 0 {
+		page = t.pageAddrRaw(t.NPages - 1)
+		slot = t.mem.Load32(page)
+	}
+	if t.NPages == 0 || slot >= uint32(t.perPage) {
+		_, page = t.bm.AllocPageRaw(t.RelID, t.NPages, simm.CatData)
+		t.NPages++
+		slot = 0
+	}
+	addr := page + simm.Addr(t.header+int(slot)*t.Schema.Size())
+	for i, v := range vals {
+		layout.WriteAttrRaw(t.mem, t.Schema, addr, i, v)
+	}
+	t.mem.Store32(page, slot+1)
+	t.NTuples++
+	return layout.RID{Page: t.NPages - 1, Slot: uint16(slot)}
+}
+
+// relationTag is the relation-level lock tag.
+func (t *Table) relationTag() lockmgr.Tag {
+	return lockmgr.Tag{RelID: t.RelID, Level: lockmgr.LevelRelation}
+}
+
+// Scan performs a traced sequential scan: relation read lock, then for
+// each page a buffer pin, a header read, and a callback per tuple
+// address. The callback returns false to stop early.
+func (t *Table) Scan(p *sched.Proc, xid int, fn func(addr simm.Addr, rid layout.RID) bool) {
+	t.lm.Acquire(p, xid, t.relationTag(), lockmgr.Read)
+	defer t.lm.Release(p, xid, t.relationTag(), lockmgr.Read)
+	for pg := uint32(0); pg < t.NPages; pg++ {
+		bufID, page := t.bm.ReadBuffer(p, t.RelID, pg)
+		n := p.Read32(page)
+		stop := false
+		for s := 0; s < int(n) && !stop; s++ {
+			if t.deletedTraced(p, page, s) {
+				continue
+			}
+			addr := page + simm.Addr(t.header+s*t.Schema.Size())
+			stop = !fn(addr, layout.RID{Page: pg, Slot: uint16(s)})
+		}
+		t.bm.ReleaseBuffer(p, bufID)
+		if stop {
+			return
+		}
+	}
+}
+
+// Fetch pins the page holding rid and, if the tuple is live, hands its
+// address to fn and reports true. Dead tuples (tombstoned by deletes;
+// their index entries dangle until a vacuum) report false. Heap fetches
+// rely on the relation-level data lock plus the buffer pin; page-level
+// data locking happens on the index pages the scan dwells on (see
+// btree.Cursor), matching Postgres95's discipline.
+func (t *Table) Fetch(p *sched.Proc, xid int, rid layout.RID, fn func(addr simm.Addr)) bool {
+	bufID, page := t.bm.ReadBuffer(p, t.RelID, rid.Page)
+	live := !t.deletedTraced(p, page, int(rid.Slot))
+	if live {
+		fn(page + simm.Addr(t.header+int(rid.Slot)*t.Schema.Size()))
+	}
+	t.bm.ReleaseBuffer(p, bufID)
+	return live
+}
+
+// bitmapWord returns the address of the deleted-bitmap word covering
+// the slot.
+func bitmapWord(page simm.Addr, slot int) simm.Addr {
+	return page + pageFixedHeader + simm.Addr(slot/64*8)
+}
+
+// deletedTraced checks the tombstone bit with a traced read (the
+// per-tuple visibility check of a real scan).
+func (t *Table) deletedTraced(p *sched.Proc, page simm.Addr, slot int) bool {
+	w := p.Read64(bitmapWord(page, slot))
+	return w&(1<<uint(slot%64)) != 0
+}
+
+// Insert appends a tuple during traced execution. The caller must hold
+// the relation-level write lock (Postgres95 implements only
+// relation-level data locking, which is exactly why the paper calls
+// update queries "much more demanding on the locking algorithm").
+func (t *Table) Insert(p *sched.Proc, xid int, vals []layout.Datum) layout.RID {
+	if len(vals) != t.Schema.NumAttrs() {
+		panic(fmt.Sprintf("heap: %s: %d values for %d attributes", t.Name, len(vals), t.Schema.NumAttrs()))
+	}
+	var bufID int32
+	var page simm.Addr
+	var slot uint32
+	if t.NPages > 0 {
+		bufID, page = t.bm.ReadBuffer(p, t.RelID, t.NPages-1)
+		slot = p.Read32(page)
+	} else {
+		bufID = -1
+	}
+	if t.NPages == 0 || slot >= uint32(t.perPage) {
+		if bufID >= 0 {
+			t.bm.ReleaseBuffer(p, bufID)
+		}
+		bufID, page = t.bm.NewPage(p, t.RelID, t.NPages, simm.CatData)
+		t.NPages++
+		slot = 0
+	}
+	addr := page + simm.Addr(t.header+int(slot)*t.Schema.Size())
+	for i, v := range vals {
+		layout.WriteAttr(p, t.Schema, addr, i, v)
+	}
+	p.Write32(page, slot+1)
+	t.bm.ReleaseBuffer(p, bufID)
+	t.NTuples++
+	return layout.RID{Page: t.NPages - 1, Slot: uint16(slot)}
+}
+
+// Delete tombstones a tuple during traced execution and reports whether
+// it was live. The caller must hold the relation-level write lock.
+// Index entries pointing at the tuple are left dangling, as Postgres
+// leaves them for vacuum; index scans skip dead tuples at fetch time.
+func (t *Table) Delete(p *sched.Proc, xid int, rid layout.RID) bool {
+	bufID, page := t.bm.ReadBuffer(p, t.RelID, rid.Page)
+	defer t.bm.ReleaseBuffer(p, bufID)
+	wa := bitmapWord(page, int(rid.Slot))
+	w := p.Read64(wa)
+	bit := uint64(1) << uint(int(rid.Slot)%64)
+	if w&bit != 0 {
+		return false
+	}
+	p.Write64(wa, w|bit)
+	t.NDeleted++
+	return true
+}
+
+// VacuumRaw compacts the relation offline (untraced maintenance, the
+// way Postgres treats vacuum as separate from query execution):
+// surviving tuples slide down to fill tombstoned slots, bitmaps clear,
+// and trailing pages empty. Tuple RIDs change, so the caller must
+// rebuild the relation's indices (catalog.Reindex). Returns the number
+// of tombstones reclaimed.
+func (t *Table) VacuumRaw() int {
+	if t.NDeleted == 0 {
+		return 0
+	}
+	// Collect live tuple bytes.
+	size := t.Schema.Size()
+	live := make([][]byte, 0, t.Live())
+	t.ScanRaw(func(addr simm.Addr, _ layout.RID) bool {
+		buf := make([]byte, size)
+		t.mem.LoadBytes(addr, buf, size)
+		live = append(live, buf)
+		return true
+	})
+	// Rewrite pages compactly and clear bitmaps.
+	reclaimed := t.NDeleted
+	idx := 0
+	for pg := uint32(0); pg < t.NPages; pg++ {
+		page := t.pageAddrRaw(pg)
+		n := 0
+		for s := 0; s < t.perPage && idx < len(live); s++ {
+			t.mem.StoreBytes(page+simm.Addr(t.header+s*size), live[idx])
+			idx++
+			n++
+		}
+		t.mem.Store32(page, uint32(n))
+		for w := 0; w < (t.perPage+63)/64; w++ {
+			t.mem.Store64(page+pageFixedHeader+simm.Addr(w*8), 0)
+		}
+	}
+	// Trailing pages are empty; scans stop at the new page count.
+	used := uint32((len(live) + t.perPage - 1) / t.perPage)
+	if used == 0 && t.NPages > 0 {
+		used = 1
+	}
+	t.NPages = used
+	t.NTuples = len(live)
+	t.NDeleted = 0
+	return reclaimed
+}
+
+// Live returns the number of live (non-tombstoned) tuples.
+func (t *Table) Live() int { return t.NTuples - t.NDeleted }
+
+// LockRelation takes the relation-level read data lock (index scans
+// hold it while open; sequential scans take it inside Scan/OpenCursor).
+func (t *Table) LockRelation(p *sched.Proc, xid int) {
+	t.lm.Acquire(p, xid, t.relationTag(), lockmgr.Read)
+}
+
+// LockRelationWrite takes the relation-level write data lock. With only
+// relation-level granularity implemented (as in Postgres95), writers
+// serialize against every reader and writer of the relation.
+func (t *Table) LockRelationWrite(p *sched.Proc, xid int) {
+	t.lm.Acquire(p, xid, t.relationTag(), lockmgr.Write)
+}
+
+// UnlockRelationWrite releases the relation-level write data lock.
+func (t *Table) UnlockRelationWrite(p *sched.Proc, xid int) {
+	t.lm.Release(p, xid, t.relationTag(), lockmgr.Write)
+}
+
+// UnlockRelation releases the relation-level read data lock.
+func (t *Table) UnlockRelation(p *sched.Proc, xid int) {
+	t.lm.Release(p, xid, t.relationTag(), lockmgr.Read)
+}
+
+// TupleAddrRaw returns a tuple's address without tracing (index builds
+// and tests).
+func (t *Table) TupleAddrRaw(rid layout.RID) simm.Addr {
+	return t.pageAddrRaw(rid.Page) + simm.Addr(t.header+int(rid.Slot)*t.Schema.Size())
+}
+
+// DeletedRaw reports a tuple's tombstone bit without tracing (tests).
+func (t *Table) DeletedRaw(rid layout.RID) bool {
+	page := t.pageAddrRaw(rid.Page)
+	w := t.mem.Load64(bitmapWord(page, int(rid.Slot)))
+	return w&(1<<uint(int(rid.Slot)%64)) != 0
+}
+
+// ScanRaw iterates every tuple without tracing (index builds, tests).
+func (t *Table) ScanRaw(fn func(addr simm.Addr, rid layout.RID) bool) {
+	for pg := uint32(0); pg < t.NPages; pg++ {
+		page := t.pageAddrRaw(pg)
+		n := t.mem.Load32(page)
+		for s := 0; s < int(n); s++ {
+			if w := t.mem.Load64(bitmapWord(page, s)); w&(1<<uint(s%64)) != 0 {
+				continue
+			}
+			addr := page + simm.Addr(t.header+s*t.Schema.Size())
+			if !fn(addr, layout.RID{Page: pg, Slot: uint16(s)}) {
+				return
+			}
+		}
+	}
+}
+
+// Bytes returns the relation's data footprint in bytes.
+func (t *Table) Bytes() uint64 { return uint64(t.NPages) * layout.PageSize }

@@ -1,0 +1,145 @@
+package heap
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+func TestTracedInsertAndScan(t *testing.T) {
+	e, bm, lm := rig(t, 1, 64)
+	tab := New(e.Mem(), bm, lm, 1, "t", smallSchema())
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		tab.LockRelationWrite(p, 0)
+		for i := 0; i < 500; i++ {
+			tab.Insert(p, 0, []layout.Datum{
+				layout.IntDatum(int64(i)), layout.IntDatum(int64(i * 2)), layout.StrDatum("w"),
+			})
+		}
+		tab.UnlockRelationWrite(p, 0)
+		var sum int64
+		tab.Scan(p, 0, func(addr simm.Addr, _ layout.RID) bool {
+			sum += layout.ReadAttr(p, tab.Schema, addr, 0).Int
+			return true
+		})
+		if want := int64(499 * 500 / 2); sum != want {
+			t.Errorf("sum = %d, want %d", sum, want)
+		}
+	}})
+	if tab.NTuples != 500 || tab.Live() != 500 {
+		t.Errorf("counts: %d/%d", tab.NTuples, tab.Live())
+	}
+	// Pages were created through the traced NewPage path.
+	if tab.NPages < 2 {
+		t.Errorf("npages = %d, want multiple", tab.NPages)
+	}
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	e, bm, lm := rig(t, 1, 64)
+	tab := New(e.Mem(), bm, lm, 1, "t", smallSchema())
+	var rids []layout.RID
+	for i := 0; i < 300; i++ {
+		rids = append(rids, tab.InsertRaw([]layout.Datum{
+			layout.IntDatum(int64(i)), layout.IntDatum(0), layout.StrDatum(""),
+		}))
+	}
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		tab.LockRelationWrite(p, 0)
+		for i := 0; i < 300; i += 3 {
+			if !tab.Delete(p, 0, rids[i]) {
+				t.Fatalf("delete of live tuple %d failed", i)
+			}
+		}
+		if tab.Delete(p, 0, rids[0]) {
+			t.Error("double delete succeeded")
+		}
+		tab.UnlockRelationWrite(p, 0)
+		// Scan skips the tombstones.
+		seen := 0
+		tab.Scan(p, 0, func(addr simm.Addr, _ layout.RID) bool {
+			id := layout.ReadAttr(p, tab.Schema, addr, 0).Int
+			if id%3 == 0 {
+				t.Fatalf("deleted tuple %d visible in scan", id)
+			}
+			seen++
+			return true
+		})
+		if seen != 200 {
+			t.Errorf("scan saw %d tuples, want 200", seen)
+		}
+		// Fetch reports dead tuples.
+		if live := tab.Fetch(p, 0, rids[0], func(simm.Addr) {}); live {
+			t.Error("Fetch reported a dead tuple live")
+		}
+		if live := tab.Fetch(p, 0, rids[1], func(simm.Addr) {}); !live {
+			t.Error("Fetch reported a live tuple dead")
+		}
+	}})
+	if tab.Live() != 200 || tab.NDeleted != 100 {
+		t.Errorf("live=%d deleted=%d", tab.Live(), tab.NDeleted)
+	}
+	if !tab.DeletedRaw(rids[0]) || tab.DeletedRaw(rids[1]) {
+		t.Error("DeletedRaw disagrees")
+	}
+}
+
+func TestDeletedSkippedByRawScan(t *testing.T) {
+	e, bm, lm := rig(t, 1, 64)
+	tab := New(e.Mem(), bm, lm, 1, "t", smallSchema())
+	var rids []layout.RID
+	for i := 0; i < 50; i++ {
+		rids = append(rids, tab.InsertRaw([]layout.Datum{
+			layout.IntDatum(int64(i)), layout.IntDatum(0), layout.StrDatum(""),
+		}))
+	}
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		tab.LockRelationWrite(p, 0)
+		tab.Delete(p, 0, rids[7])
+		tab.UnlockRelationWrite(p, 0)
+	}})
+	count := 0
+	tab.ScanRaw(func(addr simm.Addr, rid layout.RID) bool {
+		if rid == rids[7] {
+			t.Error("raw scan returned deleted tuple")
+		}
+		count++
+		return true
+	})
+	if count != 49 {
+		t.Errorf("raw scan saw %d", count)
+	}
+}
+
+func TestWritersExcludeEachOther(t *testing.T) {
+	e, bm, lm := rig(t, 4, 128)
+	tab := New(e.Mem(), bm, lm, 1, "t", smallSchema())
+	bodies := make([]func(*sched.Proc), 4)
+	for k := range bodies {
+		k := k
+		bodies[k] = func(p *sched.Proc) {
+			for i := 0; i < 50; i++ {
+				tab.LockRelationWrite(p, k)
+				tab.Insert(p, k, []layout.Datum{
+					layout.IntDatum(int64(k*1000 + i)), layout.IntDatum(0), layout.StrDatum(""),
+				})
+				tab.UnlockRelationWrite(p, k)
+			}
+		}
+	}
+	e.Run(bodies)
+	if tab.NTuples != 200 {
+		t.Fatalf("tuples = %d, want 200 (insert lost under concurrency)", tab.NTuples)
+	}
+	// All 200 distinct ids present.
+	seen := map[int64]bool{}
+	tab.ScanRaw(func(addr simm.Addr, _ layout.RID) bool {
+		seen[layout.ReadAttrRaw(e.Mem(), tab.Schema, addr, 0).Int] = true
+		return true
+	})
+	if len(seen) != 200 {
+		t.Errorf("distinct ids = %d", len(seen))
+	}
+}

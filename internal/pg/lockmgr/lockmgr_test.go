@@ -1,0 +1,170 @@
+package lockmgr
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+func rig(t *testing.T, nodes int) (*sched.Engine, *Manager, simm.Addr) {
+	t.Helper()
+	cfg := machine.Baseline()
+	cfg.Nodes = nodes
+	mem := simm.New(nodes)
+	lm := New(mem, 1024)
+	data := mem.AllocRegion("data", simm.PageSize, simm.CatData, simm.AnyNode)
+	m, err := machine.New(cfg, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched.New(sched.DefaultConfig(), mem, m), lm, data.Base
+}
+
+func TestTagKeyUniqueness(t *testing.T) {
+	seen := map[uint64]Tag{}
+	for _, tag := range []Tag{
+		{RelID: 1, Level: LevelRelation, Page: 0},
+		{RelID: 1, Level: LevelPage, Page: 0},
+		{RelID: 1, Level: LevelPage, Page: 1},
+		{RelID: 2, Level: LevelRelation, Page: 0},
+		{RelID: 2, Level: LevelPage, Page: 7},
+		{RelID: 1, Level: LevelTuple, Page: 7},
+	} {
+		k := tag.key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("tags %+v and %+v collide on %#x", prev, tag, k)
+		}
+		seen[k] = tag
+	}
+}
+
+func TestTagOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on relid 0")
+		}
+	}()
+	Tag{RelID: 0}.key()
+}
+
+func TestAcquireReleaseRead(t *testing.T) {
+	e, lm, _ := rig(t, 1)
+	tag := Tag{RelID: 1, Level: LevelRelation}
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		lm.Acquire(p, 0, tag, Read)
+		if r, w := lm.Holders(tag); r != 1 || w != -1 {
+			t.Errorf("holders = (%d,%d)", r, w)
+		}
+		lm.Acquire(p, 0, tag, Read) // re-entrant
+		if r, _ := lm.Holders(tag); r != 2 {
+			t.Errorf("re-entrant readers = %d", r)
+		}
+		lm.Release(p, 0, tag, Read)
+		lm.Release(p, 0, tag, Read)
+		if r, w := lm.Holders(tag); r != 0 || w != -1 {
+			t.Errorf("after release: (%d,%d)", r, w)
+		}
+	}})
+}
+
+func TestSharedReadersNoConflict(t *testing.T) {
+	e, lm, _ := rig(t, 4)
+	tag := Tag{RelID: 3, Level: LevelRelation}
+	bodies := make([]func(*sched.Proc), 4)
+	for i := range bodies {
+		i := i
+		bodies[i] = func(p *sched.Proc) {
+			for k := 0; k < 50; k++ {
+				lm.Acquire(p, i, tag, Read)
+				p.Busy(20)
+				lm.Release(p, i, tag, Read)
+			}
+		}
+	}
+	e.Run(bodies)
+	if r, w := lm.Holders(tag); r != 0 || w != -1 {
+		t.Errorf("leftover holders: (%d,%d)", r, w)
+	}
+}
+
+func TestWriterExcludesReaders(t *testing.T) {
+	e, lm, data := rig(t, 2)
+	tag := Tag{RelID: 5, Level: LevelPage, Page: 9}
+	// Each body writes its id into the shared word while holding the
+	// lock exclusively, then checks it is unchanged before releasing.
+	body := func(id int) func(*sched.Proc) {
+		return func(p *sched.Proc) {
+			for k := 0; k < 30; k++ {
+				lm.Acquire(p, id, tag, Write)
+				p.Write64(data, uint64(id)+1)
+				p.Busy(50)
+				if got := p.Read64(data); got != uint64(id)+1 {
+					t.Errorf("exclusion violated: proc %d saw %d", id, got)
+				}
+				lm.Release(p, id, tag, Write)
+			}
+		}
+	}
+	e.Run([]func(*sched.Proc){body(0), body(1)})
+}
+
+func TestReadThenWriteUpgradeByOwner(t *testing.T) {
+	e, lm, _ := rig(t, 1)
+	tag := Tag{RelID: 7, Level: LevelRelation}
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		lm.Acquire(p, 0, tag, Read)
+		// The sole reader may take the write lock without deadlocking.
+		lm.Acquire(p, 0, tag, Write)
+		if _, w := lm.Holders(tag); w != 0 {
+			t.Errorf("writer = %d, want 0", w)
+		}
+		lm.Release(p, 0, tag, Write)
+		lm.Release(p, 0, tag, Read)
+	}})
+}
+
+func TestReleaseUnheldPanics(t *testing.T) {
+	e, lm, _ := rig(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on releasing unheld lock")
+		}
+	}()
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		lm.Release(p, 0, Tag{RelID: 9, Level: LevelRelation}, Read)
+	}})
+}
+
+func TestLockTrafficCategories(t *testing.T) {
+	e, lm, _ := rig(t, 2)
+	tag := Tag{RelID: 2, Level: LevelPage, Page: 1}
+	bodies := []func(*sched.Proc){
+		func(p *sched.Proc) {
+			for k := 0; k < 40; k++ {
+				lm.Acquire(p, 0, tag, Read)
+				lm.Release(p, 0, tag, Read)
+			}
+		},
+		func(p *sched.Proc) {
+			for k := 0; k < 40; k++ {
+				lm.Acquire(p, 1, tag, Read)
+				lm.Release(p, 1, tag, Read)
+			}
+		},
+	}
+	e.Run(bodies)
+	st := e.Machine().Stats()
+	for _, cat := range []simm.Category{simm.CatLockHash, simm.CatXidHash, simm.CatLockSLock} {
+		if st.ReadsByCat[cat] == 0 {
+			t.Errorf("no traced reads on %v", cat)
+		}
+	}
+	// Two processors hammering the same lock word: LockSLock coherence
+	// misses, the paper's Q3 signature.
+	cohe := st.L2Misses[simm.CatLockSLock][2]
+	if cohe == 0 {
+		t.Errorf("no LockSLock coherence misses: %v", st.L2Misses[simm.CatLockSLock])
+	}
+}

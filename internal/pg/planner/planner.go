@@ -1,0 +1,361 @@
+// Package planner turns declarative query specifications into the
+// left-deep executor plan trees the paper's Postgres95 produced
+// (Section 2.1.2). Access paths follow Postgres95's heuristics: a
+// sargable range predicate on an indexed attribute becomes an Index
+// Scan Select, otherwise a Sequential Scan Select; an equi-join whose
+// inner relation is indexed on the join attribute becomes a Nested Loop
+// with an index-scan inner; remaining joins hash. Where Postgres95's
+// cost-based optimizer deviated from these heuristics (the merge join
+// of Q12, the hash joins of Q7/Q9/Q16), the spec carries the algorithm
+// explicitly — the plans are inputs taken from the paper's Table 1.
+package planner
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/pg/catalog"
+	"repro/internal/pg/executor"
+)
+
+// JoinAlgo selects the join implementation.
+type JoinAlgo uint8
+
+// Join algorithms; AlgoAuto applies the heuristic.
+const (
+	AlgoAuto JoinAlgo = iota
+	AlgoNL
+	AlgoMerge
+	AlgoHash
+)
+
+// ESpec is a buildable expression over named attributes.
+type ESpec interface {
+	build(s *layout.Schema) executor.Expr
+}
+
+// EAttr references an attribute by name.
+type EAttr string
+
+func (e EAttr) build(s *layout.Schema) executor.Expr {
+	return executor.Col{Idx: s.Index(string(e))}
+}
+
+// EConst is an integer literal.
+type EConst int64
+
+func (e EConst) build(*layout.Schema) executor.Expr { return executor.ConstInt(int64(e)) }
+
+// EBin is arithmetic over two sub-expressions.
+type EBin struct {
+	Op   byte
+	L, R ESpec
+}
+
+func (e EBin) build(s *layout.Schema) executor.Expr {
+	return executor.Arith{Op: e.Op, L: e.L.build(s), R: e.R.build(s)}
+}
+
+// PredSpec is one conjunct: Attr Op Value, Attr Op Attr2, or Attr IN In.
+type PredSpec struct {
+	Attr  string
+	Op    executor.CmpOp
+	Value layout.Datum
+	Attr2 string
+	In    []layout.Datum
+}
+
+func (p PredSpec) build(s *layout.Schema) executor.Pred {
+	out := executor.Pred{Left: executor.Col{Idx: s.Index(p.Attr)}, Op: p.Op}
+	switch {
+	case len(p.In) > 0:
+		out.In = p.In
+	case p.Attr2 != "":
+		out.Right = executor.Col{Idx: s.Index(p.Attr2)}
+	case p.Value.IsStr:
+		out.Right = executor.ConstStr(p.Value.Str)
+	default:
+		out.Right = executor.ConstInt(p.Value.Int)
+	}
+	return out
+}
+
+func buildPreds(s *layout.Schema, specs []PredSpec) []executor.Pred {
+	var out []executor.Pred
+	for _, p := range specs {
+		out = append(out, p.build(s))
+	}
+	return out
+}
+
+// TableTerm is one relation access: an optional sargable range filter
+// (FilterAttr between FilterLo and FilterHi, inclusive), residual
+// predicates, and the projected attributes.
+type TableTerm struct {
+	Rel        string
+	FilterAttr string
+	FilterLo   layout.Datum
+	FilterHi   layout.Datum
+	Residual   []PredSpec
+	Proj       []string
+}
+
+// JoinStep joins the pipeline so far with a new relation on
+// LeftAttr = Right.RightAttr. With Semi set, the step is an EXISTS
+// probe: the pipeline tuple passes through once if any match exists.
+type JoinStep struct {
+	Right     TableTerm
+	LeftAttr  string
+	RightAttr string
+	Algo      JoinAlgo
+	Semi      bool
+	Extra     []PredSpec // residuals over the join result
+}
+
+// AggDef is one aggregate output column.
+type AggDef struct {
+	Fn      executor.AggFn
+	Expr    ESpec // nil for COUNT
+	Out     string
+	OutKind layout.Kind
+}
+
+// QuerySpec is the declarative form of one query.
+type QuerySpec struct {
+	Name    string
+	Driver  TableTerm
+	Joins   []JoinStep
+	GroupBy []string
+	Aggs    []AggDef
+	OrderBy []string
+}
+
+// Plan is a built plan tree plus the operator inventory used to
+// regenerate Table 1.
+type Plan struct {
+	Query string
+	Root  executor.Node
+
+	SS, IS, NL, Merge, Hash, Sort, Group, Aggr bool
+}
+
+// Build compiles a spec against the catalog.
+func Build(cat *catalog.Catalog, q QuerySpec) *Plan {
+	p := &Plan{Query: q.Name}
+	node := p.scan(cat, q.Driver, "")
+	for _, j := range q.Joins {
+		node = p.join(cat, node, j)
+	}
+	if len(q.GroupBy) > 0 {
+		keys := sortKeys(node.Schema(), q.GroupBy)
+		node = executor.NewSort(node, keys)
+		p.Sort = true
+		node = executor.NewGroupAgg(node, attrIdx(node.Schema(), q.GroupBy), buildAggs(node.Schema(), q.Aggs))
+		p.Group = true
+		if len(q.Aggs) > 0 {
+			p.Aggr = true
+		}
+	} else if len(q.Aggs) > 0 {
+		node = executor.NewAggregate(node, buildAggs(node.Schema(), q.Aggs))
+		p.Aggr = true
+	}
+	if len(q.OrderBy) > 0 {
+		node = executor.NewSort(node, sortKeys(node.Schema(), q.OrderBy))
+		p.Sort = true
+	}
+	p.Root = node
+	return p
+}
+
+func attrIdx(s *layout.Schema, names []string) []int {
+	out := make([]int, len(names))
+	for i, n := range names {
+		out[i] = s.Index(n)
+	}
+	return out
+}
+
+func sortKeys(s *layout.Schema, names []string) []executor.SortKey {
+	out := make([]executor.SortKey, len(names))
+	for i, n := range names {
+		desc := false
+		if len(n) > 0 && n[0] == '-' {
+			desc = true
+			n = n[1:]
+		}
+		out[i] = executor.SortKey{Col: s.Index(n), Desc: desc}
+	}
+	return out
+}
+
+func buildAggs(s *layout.Schema, defs []AggDef) []executor.AggSpec {
+	var out []executor.AggSpec
+	for _, d := range defs {
+		sp := executor.AggSpec{Fn: d.Fn, Out: layout.Attr{Name: d.Out, Kind: d.OutKind}}
+		if d.Expr != nil {
+			sp.Arg = d.Expr.build(s)
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// scan builds the access path for a table term. When innerAttr is
+// non-empty the scan is the inner of a keyed nested loop: it must use
+// the index on innerAttr with full-range bounds (bound at run time),
+// and the term's own filter becomes a residual.
+func (p *Plan) scan(cat *catalog.Catalog, t TableTerm, innerAttr string) executor.Node {
+	rel := cat.Relation(t.Rel)
+	residuals := t.Residual
+
+	if innerAttr != "" {
+		idx := rel.IndexOn(innerAttr)
+		if idx == nil {
+			panic(fmt.Sprintf("planner: %s: nested-loop inner needs an index on %s", t.Rel, innerAttr))
+		}
+		if t.FilterAttr != "" {
+			residuals = append(filterAsPreds(t), t.Residual...)
+		}
+		p.IS = true
+		return executor.NewIndexScan(rel, idx, executor.FullRangeLo, executor.FullRangeHi,
+			buildPreds(rel.Heap.Schema, residuals), attrIdx(rel.Heap.Schema, t.Proj))
+	}
+
+	if t.FilterAttr != "" {
+		if idx := rel.IndexOn(t.FilterAttr); idx != nil {
+			// Character keys are compared through an 8-byte prefix
+			// encoding, so re-check the exact predicate as a residual.
+			if rel.Heap.Schema.Attr(rel.Heap.Schema.Index(t.FilterAttr)).Kind == layout.Char {
+				residuals = append(filterAsPreds(t), t.Residual...)
+			}
+			p.IS = true
+			return executor.NewIndexScan(rel, idx, t.FilterLo.Key(), t.FilterHi.Key(),
+				buildPreds(rel.Heap.Schema, residuals), attrIdx(rel.Heap.Schema, t.Proj))
+		}
+		residuals = append(filterAsPreds(t), t.Residual...)
+	}
+	p.SS = true
+	return executor.NewSeqScan(rel, buildPreds(rel.Heap.Schema, residuals),
+		attrIdx(rel.Heap.Schema, t.Proj))
+}
+
+// filterAsPreds lowers the sargable range into ordinary predicates.
+func filterAsPreds(t TableTerm) []PredSpec {
+	var out []PredSpec
+	lo, hi := t.FilterLo, t.FilterHi
+	if lo == hi {
+		return []PredSpec{{Attr: t.FilterAttr, Op: executor.EQ, Value: lo}}
+	}
+	out = append(out, PredSpec{Attr: t.FilterAttr, Op: executor.GE, Value: lo})
+	out = append(out, PredSpec{Attr: t.FilterAttr, Op: executor.LE, Value: hi})
+	return out
+}
+
+// ensureProj returns the term with attr appended to its projection if
+// missing: merge and hash joins read the join key out of the right
+// tuples, so it must be carried.
+func ensureProj(t TableTerm, attr string) TableTerm {
+	for _, a := range t.Proj {
+		if a == attr {
+			return t
+		}
+	}
+	t.Proj = append(append([]string{}, t.Proj...), attr)
+	return t
+}
+
+func (p *Plan) join(cat *catalog.Catalog, left executor.Node, j JoinStep) executor.Node {
+	rel := cat.Relation(j.Right.Rel)
+	algo := j.Algo
+	if algo == AlgoAuto {
+		if rel.IndexOn(j.RightAttr) != nil {
+			algo = AlgoNL
+		} else {
+			algo = AlgoHash
+		}
+	}
+	if algo == AlgoMerge || algo == AlgoHash {
+		j.Right = ensureProj(j.Right, j.RightAttr)
+	}
+	switch algo {
+	case AlgoNL:
+		inner := p.scan(cat, j.Right, j.RightAttr)
+		p.NL = true
+		if j.Semi {
+			return executor.NewSemiJoin(left, inner,
+				executor.Col{Idx: left.Schema().Index(j.LeftAttr)})
+		}
+		node := executor.NewNestLoop(left, inner,
+			executor.Col{Idx: left.Schema().Index(j.LeftAttr)}, nil)
+		return withExtra(p, node, j.Extra)
+	case AlgoMerge:
+		// Sort the pipeline on the join attribute; the inner side is an
+		// index scan, which delivers in key order.
+		sorted := executor.NewSort(left, []executor.SortKey{{Col: left.Schema().Index(j.LeftAttr)}})
+		p.Sort = true
+		idx := rel.IndexOn(j.RightAttr)
+		var right executor.Node
+		indexed := idx != nil
+		if indexed {
+			// The paper's Q12 shape: the merge join passes each left
+			// key to a parameterized Index Scan Select on the inner.
+			right = p.scan(cat, j.Right, j.RightAttr)
+		} else {
+			inner := p.scan(cat, j.Right, "")
+			right = executor.NewSort(inner,
+				[]executor.SortKey{{Col: inner.Schema().Index(j.RightAttr)}})
+			p.Sort = true
+		}
+		p.Merge = true
+		node := executor.NewMergeJoin(sorted, right,
+			sorted.Schema().Index(j.LeftAttr), right.Schema().Index(j.RightAttr), nil)
+		node.IndexedInner = indexed
+		return withExtra(p, node, j.Extra)
+	case AlgoHash:
+		right := p.scan(cat, j.Right, "")
+		p.Hash = true
+		node := executor.NewHashJoin(left, right,
+			left.Schema().Index(j.LeftAttr), right.Schema().Index(j.RightAttr), nil)
+		return withExtra(p, node, j.Extra)
+	}
+	panic("planner: unknown join algorithm")
+}
+
+// withExtra attaches residual join predicates to the join node.
+func withExtra(p *Plan, node executor.Node, extra []PredSpec) executor.Node {
+	if len(extra) == 0 {
+		return node
+	}
+	preds := buildPreds(node.Schema(), extra)
+	switch n := node.(type) {
+	case *executor.NestLoop:
+		n.Preds = preds
+	case *executor.MergeJoin:
+		n.Preds = preds
+	case *executor.HashJoin:
+		n.Preds = preds
+	}
+	return node
+}
+
+// OpsRow returns the Table 1 row for this plan: checkmarks for
+// SS, IS, NL, M, H, Sort, Group, Aggr.
+func (p *Plan) OpsRow() [8]bool {
+	return [8]bool{p.SS, p.IS, p.NL, p.Merge, p.Hash, p.Sort, p.Group, p.Aggr}
+}
+
+// OpsString formats the row like the paper's table.
+func (p *Plan) OpsString() string {
+	names := [8]string{"SS", "IS", "NL", "M", "H", "Sort", "Group", "Aggr"}
+	row := p.OpsRow()
+	out := ""
+	for i, on := range row {
+		if on {
+			if out != "" {
+				out += " "
+			}
+			out += names[i]
+		}
+	}
+	return out
+}

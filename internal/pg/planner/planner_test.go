@@ -1,0 +1,233 @@
+package planner
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/pg/bufmgr"
+	"repro/internal/pg/catalog"
+	"repro/internal/pg/executor"
+	"repro/internal/pg/lockmgr"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+// rig builds a catalog with two relations: "fact" (indexed on k and on
+// grp) and "dim" (indexed on dk).
+func rig(t *testing.T) (*sched.Engine, *catalog.Catalog) {
+	t.Helper()
+	cfg := machine.Baseline()
+	cfg.Nodes = 1
+	mem := simm.New(1)
+	bm := bufmgr.New(mem, 256)
+	lm := lockmgr.New(mem, 2048)
+	cat := catalog.New(mem, bm, lm, 1)
+	fact := cat.CreateRelation("fact", layout.NewSchema(
+		layout.Attr{Name: "k", Kind: layout.Int64},
+		layout.Attr{Name: "grp", Kind: layout.Int32},
+		layout.Attr{Name: "v", Kind: layout.Money},
+		layout.Attr{Name: "tag", Kind: layout.Char, Len: 8},
+	))
+	for i := 0; i < 500; i++ {
+		fact.Heap.InsertRaw([]layout.Datum{
+			layout.IntDatum(int64(i)), layout.IntDatum(int64(i % 7)),
+			layout.IntDatum(int64(i * 10)), layout.StrDatum("t"),
+		})
+	}
+	cat.BuildIndex(fact, "k")
+	cat.BuildIndex(fact, "grp")
+	dim := cat.CreateRelation("dim", layout.NewSchema(
+		layout.Attr{Name: "dk", Kind: layout.Int64},
+		layout.Attr{Name: "w", Kind: layout.Int32},
+	))
+	for i := 0; i < 7; i++ {
+		dim.Heap.InsertRaw([]layout.Datum{layout.IntDatum(int64(i)), layout.IntDatum(int64(100 * i))})
+	}
+	cat.BuildIndex(dim, "dk")
+	m, err := machine.New(cfg, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched.New(sched.DefaultConfig(), mem, m), cat
+}
+
+func TestScanChoosesIndexForSargableFilter(t *testing.T) {
+	_, cat := rig(t)
+	p := Build(cat, QuerySpec{
+		Name: "t",
+		Driver: TableTerm{Rel: "fact", FilterAttr: "k",
+			FilterLo: layout.IntDatum(10), FilterHi: layout.IntDatum(20),
+			Proj: []string{"k", "v"}},
+	})
+	if !p.IS || p.SS {
+		t.Errorf("ops = %s, want IS only", p.OpsString())
+	}
+	if p.Root.Kind() != executor.OpIndexScan {
+		t.Errorf("root = %v", p.Root.Kind())
+	}
+}
+
+func TestScanFallsBackToSeqScan(t *testing.T) {
+	_, cat := rig(t)
+	p := Build(cat, QuerySpec{
+		Name: "t",
+		Driver: TableTerm{Rel: "fact", FilterAttr: "v",
+			FilterLo: layout.IntDatum(0), FilterHi: layout.IntDatum(100),
+			Proj: []string{"k"}},
+	})
+	if !p.SS || p.IS {
+		t.Errorf("ops = %s, want SS only (no index on v)", p.OpsString())
+	}
+}
+
+func TestAutoJoinPicksNLWithIndexedInner(t *testing.T) {
+	_, cat := rig(t)
+	p := Build(cat, QuerySpec{
+		Name:   "t",
+		Driver: TableTerm{Rel: "dim", Proj: []string{"dk", "w"}},
+		Joins: []JoinStep{{
+			Right:    TableTerm{Rel: "fact", Proj: []string{"grp", "v"}},
+			LeftAttr: "dk", RightAttr: "grp",
+		}},
+	})
+	if !p.NL || p.Hash || p.Merge {
+		t.Errorf("ops = %s, want NL", p.OpsString())
+	}
+}
+
+func TestAutoJoinPicksHashWithoutIndex(t *testing.T) {
+	_, cat := rig(t)
+	p := Build(cat, QuerySpec{
+		Name:   "t",
+		Driver: TableTerm{Rel: "dim", Proj: []string{"w"}},
+		Joins: []JoinStep{{
+			Right:    TableTerm{Rel: "fact", Proj: []string{"k"}},
+			LeftAttr: "w", RightAttr: "v", // no index on v
+		}},
+	})
+	if !p.Hash || p.NL {
+		t.Errorf("ops = %s, want Hash", p.OpsString())
+	}
+}
+
+func TestHashJoinProjectsJoinAttr(t *testing.T) {
+	// The right side's projection omits the join attr; ensureProj must
+	// add it so the build phase can read keys.
+	_, cat := rig(t)
+	p := Build(cat, QuerySpec{
+		Name:   "t",
+		Driver: TableTerm{Rel: "dim", Proj: []string{"dk"}},
+		Joins: []JoinStep{{
+			Right:    TableTerm{Rel: "fact", Proj: []string{"v"}},
+			LeftAttr: "dk", RightAttr: "grp", Algo: AlgoHash,
+		}},
+	})
+	// Must not panic at build time and the schema carries grp.
+	if p.Root.Schema().Index("grp") < 0 {
+		t.Error("grp not in join schema")
+	}
+}
+
+func TestGroupByAddsSortGroupAggr(t *testing.T) {
+	_, cat := rig(t)
+	p := Build(cat, QuerySpec{
+		Name:    "t",
+		Driver:  TableTerm{Rel: "fact", Proj: []string{"grp", "v"}},
+		GroupBy: []string{"grp"},
+		Aggs:    []AggDef{{Fn: executor.AggSum, Expr: EAttr("v"), Out: "s", OutKind: layout.Money}},
+	})
+	if !p.Sort || !p.Group || !p.Aggr {
+		t.Errorf("ops = %s", p.OpsString())
+	}
+}
+
+func TestGroupWithoutAggsIsNotAggr(t *testing.T) {
+	_, cat := rig(t)
+	p := Build(cat, QuerySpec{
+		Name:    "t",
+		Driver:  TableTerm{Rel: "fact", Proj: []string{"grp"}},
+		GroupBy: []string{"grp"},
+	})
+	if p.Aggr || !p.Group {
+		t.Errorf("ops = %s, want Group without Aggr (Q15's shape)", p.OpsString())
+	}
+}
+
+func TestOrderByDescPrefix(t *testing.T) {
+	eng, cat := rig(t)
+	p := Build(cat, QuerySpec{
+		Name:    "t",
+		Driver:  TableTerm{Rel: "fact", Proj: []string{"k", "v"}},
+		OrderBy: []string{"-v"},
+	})
+	if !p.Sort {
+		t.Fatalf("ops = %s", p.OpsString())
+	}
+	priv := eng.Mem().AllocRegion("pp", 8<<20, simm.CatPriv, 0)
+	eng.Run([]func(*sched.Proc){func(pr *sched.Proc) {
+		c := (&executor.Ctx{P: pr, Xid: 0, Mem: eng.Mem(), Arena: simm.NewArena(priv), Cat: cat}).DefaultCosts()
+		rows := executor.Collect(c, p.Root)
+		for i := 1; i < len(rows); i++ {
+			if rows[i-1][1].Int < rows[i][1].Int {
+				t.Fatalf("descending order violated at %d", i)
+			}
+		}
+	}})
+}
+
+func TestCharEqualityKeepsResidualRecheck(t *testing.T) {
+	// A char-keyed index scan compares 8-byte prefixes; the planner
+	// must re-check the exact predicate.
+	_, cat := rig(t)
+	cat.BuildIndex(cat.Relation("fact"), "tag")
+	p := Build(cat, QuerySpec{
+		Name: "t",
+		Driver: TableTerm{Rel: "fact", FilterAttr: "tag",
+			FilterLo: layout.StrDatum("t"), FilterHi: layout.StrDatum("t"),
+			Proj: []string{"k"}},
+	})
+	scan, ok := p.Root.(*executor.IndexScan)
+	if !ok {
+		t.Fatalf("root = %T", p.Root)
+	}
+	if len(scan.Preds) == 0 {
+		t.Error("char index scan lost its residual recheck")
+	}
+}
+
+func TestSemiJoinCountsAsNL(t *testing.T) {
+	_, cat := rig(t)
+	p := Build(cat, QuerySpec{
+		Name:   "t",
+		Driver: TableTerm{Rel: "dim", Proj: []string{"dk", "w"}},
+		Joins: []JoinStep{{
+			Right:    TableTerm{Rel: "fact", Proj: []string{"grp"}},
+			LeftAttr: "dk", RightAttr: "grp", Semi: true,
+		}},
+	})
+	if !p.NL {
+		t.Errorf("ops = %s, want NL for semijoin", p.OpsString())
+	}
+	// Output schema is the outer schema unchanged.
+	if p.Root.Schema().NumAttrs() != 2 {
+		t.Errorf("semijoin schema = %d attrs", p.Root.Schema().NumAttrs())
+	}
+}
+
+func TestNestedLoopWithoutIndexPanics(t *testing.T) {
+	_, cat := rig(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic: NL inner without index")
+		}
+	}()
+	Build(cat, QuerySpec{
+		Name:   "t",
+		Driver: TableTerm{Rel: "dim", Proj: []string{"w"}},
+		Joins: []JoinStep{{
+			Right:    TableTerm{Rel: "fact", Proj: []string{"k"}},
+			LeftAttr: "w", RightAttr: "v", Algo: AlgoNL,
+		}},
+	})
+}

@@ -1,0 +1,199 @@
+// Package shmtab implements the fixed-capacity open-addressing hash
+// tables that Postgres95 keeps in shared memory: the buffer lookup hash
+// and the lock manager's Lock and Xid hashes are all instances. Every
+// probe during query execution is a traced load, so hash-table traffic
+// lands on the right data-structure category in the miss statistics.
+package shmtab
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+const (
+	entrySize = 16 // key (8 bytes) + value (8 bytes)
+
+	emptyKey     = uint64(0)
+	tombstoneKey = ^uint64(0)
+)
+
+// Table is an open-addressing hash table with uint64 keys and values,
+// living in a region of simulated shared memory. Key 0 and key ^0 are
+// reserved as the empty and tombstone markers.
+type Table struct {
+	mem    *simm.Memory
+	region *simm.Region
+	mask   uint64
+}
+
+// New allocates a table with at least minCap slots (rounded up to a
+// power of two) in a region of the given category.
+func New(mem *simm.Memory, name string, minCap int, cat simm.Category) *Table {
+	capacity := uint64(16)
+	for capacity < uint64(minCap) {
+		capacity *= 2
+	}
+	r := mem.AllocRegion(name, capacity*entrySize, cat, simm.AnyNode)
+	return &Table{mem: mem, region: r, mask: capacity - 1}
+}
+
+// Cap returns the slot count.
+func (t *Table) Cap() uint64 { return t.mask + 1 }
+
+func (t *Table) slotAddr(i uint64) simm.Addr {
+	return t.region.Base + simm.Addr(i*entrySize)
+}
+
+func hash64(k uint64) uint64 {
+	// splitmix64 finalizer.
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+func checkKey(key uint64) {
+	if key == emptyKey || key == tombstoneKey {
+		panic(fmt.Sprintf("shmtab: reserved key %#x", key))
+	}
+}
+
+// InsertRaw inserts without tracing (load-time population).
+func (t *Table) InsertRaw(key, val uint64) {
+	checkKey(key)
+	free := simm.Addr(0)
+	for i, n := hash64(key)&t.mask, uint64(0); n <= t.mask; i, n = (i+1)&t.mask, n+1 {
+		a := t.slotAddr(i)
+		switch k := t.mem.Load64(a); k {
+		case key:
+			t.mem.Store64(a+8, val)
+			return
+		case tombstoneKey:
+			// Remember the first reusable slot, but keep probing: the
+			// key may exist later in the chain and reusing the slot
+			// now would create a duplicate.
+			if free == 0 {
+				free = a
+			}
+		case emptyKey:
+			if free == 0 {
+				free = a
+			}
+			t.mem.Store64(free, key)
+			t.mem.Store64(free+8, val)
+			return
+		}
+	}
+	if free != 0 {
+		t.mem.Store64(free, key)
+		t.mem.Store64(free+8, val)
+		return
+	}
+	panic("shmtab: table " + t.region.Name + " full")
+}
+
+// LookupRaw probes without tracing.
+func (t *Table) LookupRaw(key uint64) (uint64, bool) {
+	checkKey(key)
+	for i, n := hash64(key)&t.mask, uint64(0); n <= t.mask; i, n = (i+1)&t.mask, n+1 {
+		a := t.slotAddr(i)
+		switch k := t.mem.Load64(a); k {
+		case key:
+			return t.mem.Load64(a + 8), true
+		case emptyKey:
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// Insert adds or overwrites a key through the simulated processor.
+func (t *Table) Insert(p *sched.Proc, key, val uint64) {
+	checkKey(key)
+	free := simm.Addr(0)
+	for i, n := hash64(key)&t.mask, uint64(0); n <= t.mask; i, n = (i+1)&t.mask, n+1 {
+		a := t.slotAddr(i)
+		switch k := p.Read64(a); k {
+		case key:
+			p.Write64(a+8, val)
+			return
+		case tombstoneKey:
+			if free == 0 {
+				free = a
+			}
+		case emptyKey:
+			if free == 0 {
+				free = a
+			}
+			p.Write64(free, key)
+			p.Write64(free+8, val)
+			return
+		}
+	}
+	if free != 0 {
+		p.Write64(free, key)
+		p.Write64(free+8, val)
+		return
+	}
+	panic("shmtab: table " + t.region.Name + " full")
+}
+
+// Lookup probes for a key through the simulated processor.
+func (t *Table) Lookup(p *sched.Proc, key uint64) (uint64, bool) {
+	checkKey(key)
+	for i, n := hash64(key)&t.mask, uint64(0); n <= t.mask; i, n = (i+1)&t.mask, n+1 {
+		a := t.slotAddr(i)
+		switch k := p.Read64(a); k {
+		case key:
+			return p.Read64(a + 8), true
+		case emptyKey:
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// Update stores a new value for an existing key; it reports whether the
+// key was found.
+func (t *Table) Update(p *sched.Proc, key, val uint64) bool {
+	checkKey(key)
+	for i, n := hash64(key)&t.mask, uint64(0); n <= t.mask; i, n = (i+1)&t.mask, n+1 {
+		a := t.slotAddr(i)
+		switch k := p.Read64(a); k {
+		case key:
+			p.Write64(a+8, val)
+			return true
+		case emptyKey:
+			return false
+		}
+	}
+	return false
+}
+
+// Delete removes a key, leaving a tombstone. When the next probe slot is
+// empty the tombstone (and it alone) can safely become empty instead,
+// which keeps churn-heavy tables (the lock hashes see an insert/delete
+// pair per page lock) from silting up with tombstones.
+func (t *Table) Delete(p *sched.Proc, key uint64) bool {
+	checkKey(key)
+	for i, n := hash64(key)&t.mask, uint64(0); n <= t.mask; i, n = (i+1)&t.mask, n+1 {
+		a := t.slotAddr(i)
+		switch k := p.Read64(a); k {
+		case key:
+			next := t.slotAddr((i + 1) & t.mask)
+			if p.Read64(next) == emptyKey {
+				p.Write64(a, emptyKey)
+			} else {
+				p.Write64(a, tombstoneKey)
+			}
+			return true
+		case emptyKey:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,139 @@
+package shmtab
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+func rig(t *testing.T, minCap int) (*sched.Engine, *Table) {
+	t.Helper()
+	cfg := machine.Baseline()
+	cfg.Nodes = 1
+	mem := simm.New(1)
+	tab := New(mem, "tab", minCap, simm.CatLockHash)
+	m, err := machine.New(cfg, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched.New(sched.DefaultConfig(), mem, m), tab
+}
+
+func TestCapRounding(t *testing.T) {
+	_, tab := rig(t, 100)
+	if tab.Cap() != 128 {
+		t.Errorf("cap = %d, want 128", tab.Cap())
+	}
+}
+
+func TestRawInsertLookup(t *testing.T) {
+	_, tab := rig(t, 64)
+	for k := uint64(1); k <= 40; k++ {
+		tab.InsertRaw(k, k*100)
+	}
+	for k := uint64(1); k <= 40; k++ {
+		v, ok := tab.LookupRaw(k)
+		if !ok || v != k*100 {
+			t.Fatalf("key %d: got (%d,%v)", k, v, ok)
+		}
+	}
+	if _, ok := tab.LookupRaw(999); ok {
+		t.Error("found nonexistent key")
+	}
+}
+
+func TestReservedKeysPanic(t *testing.T) {
+	_, tab := rig(t, 16)
+	for _, k := range []uint64{0, ^uint64(0)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("key %#x should panic", k)
+				}
+			}()
+			tab.InsertRaw(k, 1)
+		}()
+	}
+}
+
+func TestTracedOpsMatchReference(t *testing.T) {
+	e, tab := rig(t, 256)
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(7))
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		for i := 0; i < 2000; i++ {
+			k := uint64(rng.Intn(150) + 1)
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := uint64(rng.Int63())
+				tab.Insert(p, k, v)
+				ref[k] = v
+			case 2:
+				got, ok := tab.Lookup(p, k)
+				want, wok := ref[k]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("iter %d: Lookup(%d) = (%d,%v), want (%d,%v)", i, k, got, ok, want, wok)
+				}
+			case 3:
+				gone := tab.Delete(p, k)
+				_, had := ref[k]
+				if gone != had {
+					t.Fatalf("iter %d: Delete(%d) = %v, want %v", i, k, gone, had)
+				}
+				delete(ref, k)
+			}
+		}
+		// Final full verification.
+		for k, want := range ref {
+			got, ok := tab.Lookup(p, k)
+			if !ok || got != want {
+				t.Fatalf("final: key %d = (%d,%v), want %d", k, got, ok, want)
+			}
+		}
+	}})
+}
+
+func TestChurnDoesNotFillTable(t *testing.T) {
+	// An insert/delete pair per iteration (the page-lock pattern) must
+	// not exhaust the table through tombstone buildup.
+	e, tab := rig(t, 64)
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		for i := 0; i < 10000; i++ {
+			k := uint64(i%7 + 1)
+			tab.Insert(p, k, uint64(i))
+			if !tab.Delete(p, k) {
+				t.Fatalf("iter %d: delete failed", i)
+			}
+		}
+	}})
+}
+
+func TestUpdate(t *testing.T) {
+	e, tab := rig(t, 16)
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		tab.Insert(p, 5, 50)
+		if !tab.Update(p, 5, 55) {
+			t.Error("update of existing key failed")
+		}
+		if v, _ := tab.Lookup(p, 5); v != 55 {
+			t.Errorf("after update: %d", v)
+		}
+		if tab.Update(p, 6, 60) {
+			t.Error("update of missing key succeeded")
+		}
+	}})
+}
+
+func TestProbeTrafficIsTraced(t *testing.T) {
+	e, tab := rig(t, 64)
+	e.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		tab.Insert(p, 42, 1)
+		tab.Lookup(p, 42)
+	}})
+	if got := e.Machine().Stats().ReadsByCat[simm.CatLockHash]; got == 0 {
+		t.Error("hash probes generated no traced reads")
+	}
+}

@@ -1,0 +1,72 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/simm"
+)
+
+func benchEngine(b *testing.B, nodes int) (*Engine, simm.Addr, simm.Addr) {
+	b.Helper()
+	cfg := machine.Baseline()
+	cfg.Nodes = nodes
+	mem := simm.New(nodes)
+	data := mem.AllocRegion("data", 16<<20, simm.CatData, simm.AnyNode)
+	lock := mem.AllocRegion("lock", simm.PageSize, simm.CatLockSLock, 0)
+	m, err := machine.New(cfg, mem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return New(DefaultConfig(), mem, m), data.Base, lock.Base
+}
+
+func BenchmarkTracedRead(b *testing.B) {
+	e, data, _ := benchEngine(b, 1)
+	e.Run([]func(*Proc){func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Read64(data + simm.Addr((i*8)%(8<<20)))
+		}
+	}})
+}
+
+func BenchmarkTracedReadFourProcs(b *testing.B) {
+	e, data, _ := benchEngine(b, 4)
+	bodies := make([]func(*Proc), 4)
+	for k := range bodies {
+		k := k
+		bodies[k] = func(p *Proc) {
+			for i := 0; i < b.N/4; i++ {
+				p.Read64(data + simm.Addr(((i+k*1000)*8)%(8<<20)))
+			}
+		}
+	}
+	e.Run(bodies)
+}
+
+func BenchmarkSpinLockUncontended(b *testing.B) {
+	e, _, lock := benchEngine(b, 1)
+	l := SpinLock{Addr: lock}
+	e.Run([]func(*Proc){func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Acquire(l)
+			p.Release(l)
+		}
+	}})
+}
+
+func BenchmarkSpinLockContended(b *testing.B) {
+	e, _, lock := benchEngine(b, 4)
+	l := SpinLock{Addr: lock}
+	bodies := make([]func(*Proc), 4)
+	for k := range bodies {
+		bodies[k] = func(p *Proc) {
+			for i := 0; i < b.N/4; i++ {
+				p.Acquire(l)
+				p.Busy(10)
+				p.Release(l)
+			}
+		}
+	}
+	e.Run(bodies)
+}

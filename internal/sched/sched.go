@@ -1,0 +1,403 @@
+// Package sched is the execution-driven simulation engine — the role
+// Mint plays in the paper. Each simulated processor runs real Go code
+// (the database engine) as a coroutine; a global scheduler always
+// resumes the processor with the smallest local clock, so every memory
+// reference reaches the memory-system model in global timestamp order
+// and the interleaving, lock contention, and coherence activity are
+// deterministic and emergent.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/simm"
+	"repro/internal/stats"
+)
+
+// Config tunes the cost model of the processor front end.
+type Config struct {
+	// BusyPerAccess is the busy cycles charged per traced memory
+	// reference. It stands in for the non-memory instructions between
+	// references and for the private stack/static references that the
+	// paper's scaled-down methodology assumes always hit (Section 4.2,
+	// correction two).
+	BusyPerAccess int64
+	// SpinBackoff is the busy-wait cost of one spin iteration on a
+	// held metalock.
+	SpinBackoff int64
+}
+
+// DefaultConfig returns the calibrated front-end cost model.
+func DefaultConfig() Config {
+	return Config{BusyPerAccess: 3, SpinBackoff: 50}
+}
+
+// Engine coordinates the simulated processors.
+type Engine struct {
+	cfg   Config
+	mem   *simm.Memory
+	mach  *machine.Machine
+	procs []*Proc
+	yield chan *Proc
+
+	// Tracer, when set, observes every traced reference in issue order
+	// (the address-trace methodology of the paper's Section 4). It runs
+	// inside the simulation and must not touch simulated state.
+	Tracer func(proc int, a simm.Addr, size int, write bool)
+}
+
+// New creates an engine with one processor per machine node.
+func New(cfg Config, mem *simm.Memory, mach *machine.Machine) *Engine {
+	if cfg.BusyPerAccess < 1 {
+		panic("sched: BusyPerAccess must be at least 1")
+	}
+	e := &Engine{
+		cfg:   cfg,
+		mem:   mem,
+		mach:  mach,
+		yield: make(chan *Proc),
+	}
+	for i := 0; i < mach.Config().Nodes; i++ {
+		e.procs = append(e.procs, &Proc{
+			id:     i,
+			eng:    e,
+			resume: make(chan struct{}),
+		})
+	}
+	return e
+}
+
+// Procs returns the simulated processors.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// Mem returns the simulated address space.
+func (e *Engine) Mem() *simm.Memory { return e.mem }
+
+// Machine returns the memory-system model.
+func (e *Engine) Machine() *machine.Machine { return e.mach }
+
+// Run executes one body per processor to completion, interleaving them
+// in simulated-time order. Bodies may be nil for idle processors.
+// Clocks and per-processor breakdowns accumulate across calls, so a
+// sequence of Runs models back-to-back queries (the warm-cache setups).
+func (e *Engine) Run(bodies []func(*Proc)) {
+	if len(bodies) != len(e.procs) {
+		panic(fmt.Sprintf("sched: %d bodies for %d processors", len(bodies), len(e.procs)))
+	}
+	active := 0
+	for i, body := range bodies {
+		if body == nil {
+			continue
+		}
+		active++
+		p := e.procs[i]
+		p.done = false
+		p.started = true
+		p.panicVal = nil
+		go func(p *Proc, body func(*Proc)) {
+			defer func() {
+				p.panicVal = recover()
+				p.done = true
+				e.yield <- p
+			}()
+			<-p.resume
+			body(p)
+		}(p, body)
+	}
+	for active > 0 {
+		p, horizon := e.next()
+		if p == nil {
+			panic("sched: no runnable processor")
+		}
+		p.horizon = horizon
+		p.resume <- struct{}{}
+		q := <-e.yield
+		if q.done {
+			active--
+			if q.panicVal != nil {
+				// Re-raise a simulated processor's panic in the
+				// caller. Sibling processors stay parked; a panic is
+				// a fatal configuration or engine bug.
+				panic(q.panicVal)
+			}
+		}
+	}
+}
+
+// next picks the runnable processor with the smallest clock and returns
+// it along with the second-smallest clock: the processor may run ahead
+// until its clock passes that horizon without violating global order.
+func (e *Engine) next() (*Proc, int64) {
+	var best *Proc
+	second := int64(1<<63 - 1)
+	for _, p := range e.procs {
+		if !p.started || p.done {
+			continue
+		}
+		switch {
+		case best == nil:
+			best = p
+		case p.clock < best.clock || (p.clock == best.clock && p.id < best.id):
+			second = best.clock
+			best = p
+		case p.clock < second:
+			second = p.clock
+		}
+	}
+	return best, second
+}
+
+// AlignClocks advances every processor's clock to the current maximum
+// (idle waiting at a barrier). Multi-round stream experiments align
+// rounds this way so one round's stragglers do not overlap the next
+// round's measurement in simulated time.
+func (e *Engine) AlignClocks() {
+	var max int64
+	for _, p := range e.procs {
+		if p.clock > max {
+			max = p.clock
+		}
+	}
+	for _, p := range e.procs {
+		p.clock = max
+	}
+}
+
+// ResetBreakdowns clears per-processor time breakdowns and clocks
+// (used when an experiment measures only the second of two runs).
+func (e *Engine) ResetBreakdowns() {
+	for _, p := range e.procs {
+		p.clock = 0
+		p.bd = stats.CycleBreakdown{}
+	}
+}
+
+// TotalBreakdown sums the per-processor breakdowns.
+func (e *Engine) TotalBreakdown() stats.CycleBreakdown {
+	var t stats.CycleBreakdown
+	for _, p := range e.procs {
+		t.AddAll(&p.bd)
+	}
+	return t
+}
+
+// Proc is one simulated processor. All the database engine's memory
+// traffic flows through its Read/Write methods, which both move the
+// bytes and charge simulated time.
+type Proc struct {
+	id       int
+	eng      *Engine
+	clock    int64
+	horizon  int64
+	bd       stats.CycleBreakdown
+	resume   chan struct{}
+	started  bool
+	done     bool
+	inSync   bool
+	panicVal interface{}
+}
+
+// ID returns the processor (node) number.
+func (p *Proc) ID() int { return p.id }
+
+// Clock returns the processor's local simulated time.
+func (p *Proc) Clock() int64 { return p.clock }
+
+// Breakdown returns the processor's accumulated time breakdown.
+func (p *Proc) Breakdown() stats.CycleBreakdown { return p.bd }
+
+// maybeYield hands control back to the scheduler once this processor
+// has run past the next processor's clock.
+func (p *Proc) maybeYield() {
+	if p.clock > p.horizon && !p.done {
+		p.eng.yield <- p
+		<-p.resume
+	}
+}
+
+// charge applies an access result to the processor's clock, attributing
+// the stall to MSync while inside a spinlock acquire/release and to the
+// touched data structure otherwise.
+func (p *Proc) charge(res machine.AccessResult) {
+	p.clock += res.Stall
+	if p.inSync {
+		p.bd.MSync += uint64(res.Stall)
+	} else {
+		p.bd.Mem[res.Cat] += uint64(res.Stall)
+	}
+}
+
+func (p *Proc) preAccess() {
+	p.bd.Busy += uint64(p.eng.cfg.BusyPerAccess)
+	p.clock += p.eng.cfg.BusyPerAccess
+}
+
+func (p *Proc) read(a simm.Addr, size int) {
+	if t := p.eng.Tracer; t != nil {
+		t(p.id, a, size, false)
+	}
+	p.preAccess()
+	p.charge(p.eng.mach.Read(p.id, a, size, p.clock))
+	p.maybeYield()
+}
+
+func (p *Proc) write(a simm.Addr, size int) {
+	if t := p.eng.Tracer; t != nil {
+		t(p.id, a, size, true)
+	}
+	p.preAccess()
+	p.charge(p.eng.mach.Write(p.id, a, size, p.clock))
+	p.maybeYield()
+}
+
+// Busy charges n cycles of pure computation.
+func (p *Proc) Busy(n int64) {
+	p.bd.Busy += uint64(n)
+	p.clock += n
+	p.maybeYield()
+}
+
+// Read8 performs a traced 1-byte load.
+func (p *Proc) Read8(a simm.Addr) uint8 {
+	v := p.eng.mem.Load8(a)
+	p.read(a, 1)
+	return v
+}
+
+// Read16 performs a traced 2-byte load.
+func (p *Proc) Read16(a simm.Addr) uint16 {
+	v := p.eng.mem.Load16(a)
+	p.read(a, 2)
+	return v
+}
+
+// Read32 performs a traced 4-byte load.
+func (p *Proc) Read32(a simm.Addr) uint32 {
+	v := p.eng.mem.Load32(a)
+	p.read(a, 4)
+	return v
+}
+
+// Read64 performs a traced 8-byte load.
+func (p *Proc) Read64(a simm.Addr) uint64 {
+	v := p.eng.mem.Load64(a)
+	p.read(a, 8)
+	return v
+}
+
+// Write8 performs a traced 1-byte store.
+func (p *Proc) Write8(a simm.Addr, v uint8) {
+	p.eng.mem.Store8(a, v)
+	p.write(a, 1)
+}
+
+// Write16 performs a traced 2-byte store.
+func (p *Proc) Write16(a simm.Addr, v uint16) {
+	p.eng.mem.Store16(a, v)
+	p.write(a, 2)
+}
+
+// Write32 performs a traced 4-byte store.
+func (p *Proc) Write32(a simm.Addr, v uint32) {
+	p.eng.mem.Store32(a, v)
+	p.write(a, 4)
+}
+
+// Write64 performs a traced 8-byte store.
+func (p *Proc) Write64(a simm.Addr, v uint64) {
+	p.eng.mem.Store64(a, v)
+	p.write(a, 8)
+}
+
+// ReadBytes performs a traced load of n bytes into dst, issuing one
+// processor load per 8-byte word the way compiled string/record code
+// does.
+func (p *Proc) ReadBytes(a simm.Addr, dst []byte, n int) []byte {
+	out := p.eng.mem.LoadBytes(a, dst, n)
+	for off := 0; off < n; off += 8 {
+		w := 8
+		if n-off < w {
+			w = n - off
+		}
+		p.read(a+simm.Addr(off), w)
+	}
+	return out
+}
+
+// WriteBytes performs a traced store of src, one word at a time.
+func (p *Proc) WriteBytes(a simm.Addr, src []byte) {
+	p.eng.mem.StoreBytes(a, src)
+	for off := 0; off < len(src); off += 8 {
+		w := 8
+		if len(src)-off < w {
+			w = len(src) - off
+		}
+		p.write(a+simm.Addr(off), w)
+	}
+}
+
+// Copy performs a traced memory-to-memory copy of n bytes (load and
+// store per word), the pattern of copying a selected tuple from a
+// shared buffer into private storage.
+func (p *Proc) Copy(dst, src simm.Addr, n int) {
+	var buf [8]byte
+	for off := 0; off < n; off += 8 {
+		w := 8
+		if n-off < w {
+			w = n - off
+		}
+		p.eng.mem.LoadBytes(src+simm.Addr(off), buf[:], w)
+		p.read(src+simm.Addr(off), w)
+		p.eng.mem.StoreBytes(dst+simm.Addr(off), buf[:w])
+		p.write(dst+simm.Addr(off), w)
+	}
+}
+
+// SpinLock is a test-and-test-and-set metalock living in simulated
+// shared memory (Postgres95's LockMgrLock and BufMgrLock are these).
+type SpinLock struct {
+	Addr simm.Addr
+}
+
+// Acquire spins until the lock is taken. All cycles spent from the
+// first probe to acquisition are MSync, the paper's metalock
+// synchronization bucket.
+func (p *Proc) Acquire(l SpinLock) {
+	p.inSync = true
+	mem := p.eng.mem
+	for {
+		// Test: an ordinary load, so a spinning processor waits in
+		// its own cache and misses only when the holder's release
+		// invalidates the line.
+		p.preAccess()
+		p.charge(p.eng.mach.Read(p.id, l.Addr, 4, p.clock))
+		v := mem.Load32(l.Addr)
+		if v == 0 {
+			// Test-and-set: atomic RMW, bypasses the write buffer.
+			p.charge(p.eng.mach.Sync(p.id, l.Addr, p.clock))
+			if mem.Load32(l.Addr) == 0 {
+				mem.Store32(l.Addr, 1)
+				break
+			}
+		}
+		// Per-processor jitter keeps deterministic spinners from
+		// locking into a starvation-inducing periodic pattern.
+		backoff := p.eng.cfg.SpinBackoff + int64(13*p.id)
+		p.clock += backoff
+		p.bd.MSync += uint64(backoff)
+		p.maybeYield()
+	}
+	p.inSync = false
+	p.maybeYield()
+}
+
+// Release stores zero with a synchronizing write, invalidating the
+// spinners' cached copies.
+func (p *Proc) Release(l SpinLock) {
+	p.inSync = true
+	p.charge(p.eng.mach.Sync(p.id, l.Addr, p.clock))
+	p.eng.mem.Store32(l.Addr, 0)
+	p.inSync = false
+	p.maybeYield()
+}

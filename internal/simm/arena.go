@@ -1,0 +1,51 @@
+package simm
+
+import "fmt"
+
+// Arena is a bump allocator inside a single region. Per-process private
+// heaps, the lock manager's entry pools, and temporary sort tables all
+// allocate from arenas.
+type Arena struct {
+	region *Region
+	off    uint64
+	high   uint64 // high-water mark across Resets
+}
+
+// NewArena creates an arena spanning the whole region.
+func NewArena(r *Region) *Arena {
+	return &Arena{region: r}
+}
+
+// Region returns the backing region.
+func (a *Arena) Region() *Region { return a.region }
+
+// Alloc returns the address of n fresh bytes aligned to align (a power
+// of two). It panics if the region is exhausted: the simulated machine
+// sizes its heaps for the workload, so exhaustion is a configuration bug.
+func (a *Arena) Alloc(n, align uint64) Addr {
+	if align == 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("simm: bad alignment %d", align))
+	}
+	off := (a.off + align - 1) &^ (align - 1)
+	if off+n > a.region.Size {
+		panic(fmt.Sprintf("simm: arena %q exhausted (%d of %d bytes, want %d more)",
+			a.region.Name, a.off, a.region.Size, n))
+	}
+	a.off = off + n
+	if a.off > a.high {
+		a.high = a.off
+	}
+	return a.region.Base + Addr(off)
+}
+
+// Reset recycles the arena. Postgres95-style executors reuse per-query
+// private storage; the paper notes that "the same private storage is
+// reused for all the selected tuples", which is why private data shows
+// temporal locality. Reset is what produces that reuse here.
+func (a *Arena) Reset() { a.off = 0 }
+
+// Used returns the bytes currently allocated.
+func (a *Arena) Used() uint64 { return a.off }
+
+// HighWater returns the maximum bytes ever allocated, across Resets.
+func (a *Arena) HighWater() uint64 { return a.high }

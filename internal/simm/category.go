@@ -1,0 +1,101 @@
+// Package simm provides the simulated 64-bit address space that the
+// database engine runs in. Every data structure the paper traces —
+// database tuples, B-tree indices, buffer descriptors, lock hash tables,
+// spinlocks, and per-process private heaps — is allocated as a region of
+// this space, and every load or store the engine performs is an explicit
+// call that a memory-system simulator can observe.
+package simm
+
+// Category identifies which of the paper's data-structure classes an
+// address belongs to. Figure 7 of the paper breaks read misses down by
+// exactly these classes.
+type Category uint8
+
+const (
+	// CatPriv is per-process private heap data (tuple copies, sort
+	// tables, hash-join tables, expression scratch).
+	CatPriv Category = iota
+	// CatData is database data: buffer blocks holding heap-relation pages.
+	CatData
+	// CatIndex is database indices: buffer blocks holding B-tree pages.
+	CatIndex
+	// CatBufDesc is the buffer descriptors of the buffer cache module.
+	CatBufDesc
+	// CatBufLook is the buffer lookup hash table.
+	CatBufLook
+	// CatLockHash is the lock manager's Lock hash table.
+	CatLockHash
+	// CatXidHash is the lock manager's Xid hash table.
+	CatXidHash
+	// CatLockSLock is the LockMgrLock spinlock guarding the lock manager.
+	CatLockSLock
+	// CatBufSLock is the BufMgrLock spinlock guarding the buffer cache.
+	CatBufSLock
+	// CatInval is the shared invalidation cache that keeps the private
+	// catalog caches consistent.
+	CatInval
+	// CatCatalog is the shared system catalog and any remaining shared
+	// metadata.
+	CatCatalog
+
+	// NumCategories is the number of distinct categories.
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{
+	"Priv", "Data", "Index", "BufDesc", "BufLook",
+	"LockHash", "XidHash", "LockSLock", "BufSLock", "Inval", "Catalog",
+}
+
+// String returns the short name used in the paper's figures.
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return "?"
+}
+
+// Shared reports whether the category lives in the shared address space.
+// Everything except private heaps is shared.
+func (c Category) Shared() bool { return c != CatPriv }
+
+// Metadata reports whether the category is database control metadata in
+// the sense of Figure 6(b): neither private data, nor database data, nor
+// indices.
+func (c Category) Metadata() bool {
+	switch c {
+	case CatPriv, CatData, CatIndex:
+		return false
+	}
+	return true
+}
+
+// Group is the coarse four-way breakdown of Figure 6(b) and Figures 8-11.
+type Group uint8
+
+const (
+	GroupPriv Group = iota
+	GroupData
+	GroupIndex
+	GroupMetadata
+	NumGroups
+)
+
+var groupNames = [NumGroups]string{"Priv", "Data", "Index", "Metadata"}
+
+// String returns the group name used in the paper's figures.
+func (g Group) String() string { return groupNames[g] }
+
+// GroupOf maps a category to its coarse group.
+func (c Category) GroupOf() Group {
+	switch c {
+	case CatPriv:
+		return GroupPriv
+	case CatData:
+		return GroupData
+	case CatIndex:
+		return GroupIndex
+	default:
+		return GroupMetadata
+	}
+}

@@ -1,0 +1,221 @@
+package simm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Addr is an address in the simulated 64-bit address space. Address 0 is
+// never allocated and serves as a nil sentinel.
+type Addr uint64
+
+// PageShift/PageSize define the page granularity used for NUMA home
+// assignment and for category tagging overrides (buffer blocks holding
+// heap pages vs. index pages get different categories page by page).
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+)
+
+// AnyNode marks a region whose pages are interleaved round-robin across
+// the nodes of the machine rather than homed on a single node.
+const AnyNode = -1
+
+// Region is a named, category-tagged range of the simulated address space.
+type Region struct {
+	Name string
+	Base Addr
+	Size uint64
+	Cat  Category
+	// Node is the home node for every page of the region, or AnyNode
+	// for page-interleaved placement.
+	Node int
+
+	buf []byte
+}
+
+// End returns the first address past the region.
+func (r *Region) End() Addr { return r.Base + Addr(r.Size) }
+
+// Bytes exposes the raw backing store of the region. It is intended for
+// untraced bulk initialization (database load) only; traced execution
+// must go through the Load/Store methods of Memory.
+func (r *Region) Bytes() []byte { return r.buf }
+
+// Memory is the simulated address space: an ordered set of regions plus
+// page-level category overrides. It is not safe for concurrent use; the
+// execution engine serializes all simulated processors.
+type Memory struct {
+	nodes   int
+	next    Addr
+	regions []*Region
+	lastHit *Region
+	pageCat map[Addr]Category
+}
+
+// New creates an empty address space for a machine with the given number
+// of nodes.
+func New(nodes int) *Memory {
+	if nodes <= 0 {
+		panic(fmt.Sprintf("simm: invalid node count %d", nodes))
+	}
+	return &Memory{
+		nodes:   nodes,
+		next:    PageSize, // keep address 0 (and the first page) unmapped
+		pageCat: make(map[Addr]Category),
+	}
+}
+
+// Nodes returns the number of nodes the space was created for.
+func (m *Memory) Nodes() int { return m.nodes }
+
+// AllocRegion carves a new page-aligned region out of the address space.
+// node may be a specific home node or AnyNode for page interleaving.
+func (m *Memory) AllocRegion(name string, size uint64, cat Category, node int) *Region {
+	if size == 0 {
+		panic("simm: zero-sized region " + name)
+	}
+	if node != AnyNode && (node < 0 || node >= m.nodes) {
+		panic(fmt.Sprintf("simm: region %s: invalid node %d", name, node))
+	}
+	aligned := (size + PageSize - 1) &^ uint64(PageSize-1)
+	r := &Region{
+		Name: name,
+		Base: m.next,
+		Size: aligned,
+		Cat:  cat,
+		Node: node,
+		buf:  make([]byte, aligned),
+	}
+	m.next += Addr(aligned)
+	m.regions = append(m.regions, r)
+	return r
+}
+
+// FindRegion returns the region containing a, or nil.
+func (m *Memory) FindRegion(a Addr) *Region {
+	if r := m.lastHit; r != nil && a >= r.Base && a < r.End() {
+		return r
+	}
+	i := sort.Search(len(m.regions), func(i int) bool {
+		return m.regions[i].End() > a
+	})
+	if i < len(m.regions) && a >= m.regions[i].Base {
+		m.lastHit = m.regions[i]
+		return m.regions[i]
+	}
+	return nil
+}
+
+func (m *Memory) regionFor(a Addr, n uint64) *Region {
+	r := m.FindRegion(a)
+	if r == nil || a+Addr(n) > r.End() {
+		panic(fmt.Sprintf("simm: access to unmapped address %#x (+%d)", uint64(a), n))
+	}
+	return r
+}
+
+// CategoryOf returns the data-structure category of the page holding a,
+// honoring page-level overrides set by SetPageCategory.
+func (m *Memory) CategoryOf(a Addr) Category {
+	if c, ok := m.pageCat[a>>PageShift]; ok {
+		return c
+	}
+	return m.regionFor(a, 1).Cat
+}
+
+// SetPageCategory overrides the category of every page overlapping
+// [a, a+n). The buffer cache uses this to tag each 8-KB buffer block as
+// Data or Index depending on what page it holds.
+func (m *Memory) SetPageCategory(a Addr, n uint64, cat Category) {
+	for p := a >> PageShift; p <= (a+Addr(n)-1)>>PageShift; p++ {
+		m.pageCat[p] = cat
+	}
+}
+
+// HomeOf returns the NUMA home node of the page holding a.
+func (m *Memory) HomeOf(a Addr) int {
+	r := m.regionFor(a, 1)
+	if r.Node != AnyNode {
+		return r.Node
+	}
+	return int((a >> PageShift) % Addr(m.nodes))
+}
+
+// Footprint returns the total allocated bytes per category (page-level
+// overrides are not reflected; it reports region-declared sizes).
+func (m *Memory) Footprint() [NumCategories]uint64 {
+	var f [NumCategories]uint64
+	for _, r := range m.regions {
+		f[r.Cat] += r.Size
+	}
+	return f
+}
+
+// Load and store primitives. These are the *raw* accessors: they move
+// bytes without generating simulation events. The execution engine
+// (internal/sched) wraps them with event generation; load-time database
+// population uses them directly (the paper collects statistics only for
+// the execution stage, with untouched caches).
+
+// Load8 reads one byte.
+func (m *Memory) Load8(a Addr) uint8 {
+	r := m.regionFor(a, 1)
+	return r.buf[a-r.Base]
+}
+
+// Store8 writes one byte.
+func (m *Memory) Store8(a Addr, v uint8) {
+	r := m.regionFor(a, 1)
+	r.buf[a-r.Base] = v
+}
+
+// Load16 reads a little-endian 16-bit word.
+func (m *Memory) Load16(a Addr) uint16 {
+	r := m.regionFor(a, 2)
+	return binary.LittleEndian.Uint16(r.buf[a-r.Base:])
+}
+
+// Store16 writes a little-endian 16-bit word.
+func (m *Memory) Store16(a Addr, v uint16) {
+	r := m.regionFor(a, 2)
+	binary.LittleEndian.PutUint16(r.buf[a-r.Base:], v)
+}
+
+// Load32 reads a little-endian 32-bit word.
+func (m *Memory) Load32(a Addr) uint32 {
+	r := m.regionFor(a, 4)
+	return binary.LittleEndian.Uint32(r.buf[a-r.Base:])
+}
+
+// Store32 writes a little-endian 32-bit word.
+func (m *Memory) Store32(a Addr, v uint32) {
+	r := m.regionFor(a, 4)
+	binary.LittleEndian.PutUint32(r.buf[a-r.Base:], v)
+}
+
+// Load64 reads a little-endian 64-bit word.
+func (m *Memory) Load64(a Addr) uint64 {
+	r := m.regionFor(a, 8)
+	return binary.LittleEndian.Uint64(r.buf[a-r.Base:])
+}
+
+// Store64 writes a little-endian 64-bit word.
+func (m *Memory) Store64(a Addr, v uint64) {
+	r := m.regionFor(a, 8)
+	binary.LittleEndian.PutUint64(r.buf[a-r.Base:], v)
+}
+
+// LoadBytes copies n bytes starting at a into dst (which must be at
+// least n long) and returns dst[:n].
+func (m *Memory) LoadBytes(a Addr, dst []byte, n int) []byte {
+	r := m.regionFor(a, uint64(n))
+	return dst[:copy(dst[:n], r.buf[a-r.Base:])]
+}
+
+// StoreBytes copies src into the space starting at a.
+func (m *Memory) StoreBytes(a Addr, src []byte) {
+	r := m.regionFor(a, uint64(len(src)))
+	copy(r.buf[a-r.Base:], src)
+}

@@ -1,0 +1,271 @@
+package simm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocRegionAlignment(t *testing.T) {
+	m := New(4)
+	r1 := m.AllocRegion("a", 100, CatData, 0)
+	if r1.Base%PageSize != 0 {
+		t.Errorf("region base %#x not page aligned", uint64(r1.Base))
+	}
+	if r1.Size != PageSize {
+		t.Errorf("size = %d, want rounded up to %d", r1.Size, PageSize)
+	}
+	r2 := m.AllocRegion("b", PageSize+1, CatPriv, 1)
+	if r2.Base != r1.End() {
+		t.Errorf("regions not contiguous: %#x vs %#x", uint64(r2.Base), uint64(r1.End()))
+	}
+	if r2.Size != 2*PageSize {
+		t.Errorf("size = %d, want %d", r2.Size, 2*PageSize)
+	}
+}
+
+func TestFindRegion(t *testing.T) {
+	m := New(2)
+	var regs []*Region
+	for i := 0; i < 10; i++ {
+		regs = append(regs, m.AllocRegion("r", PageSize*uint64(i+1), CatData, AnyNode))
+	}
+	for i, r := range regs {
+		if got := m.FindRegion(r.Base); got != r {
+			t.Fatalf("region %d: FindRegion(base) wrong", i)
+		}
+		if got := m.FindRegion(r.End() - 1); got != r {
+			t.Fatalf("region %d: FindRegion(end-1) wrong", i)
+		}
+	}
+	if m.FindRegion(0) != nil {
+		t.Error("address 0 should be unmapped")
+	}
+	last := regs[len(regs)-1]
+	if m.FindRegion(last.End()) != nil {
+		t.Error("address past last region should be unmapped")
+	}
+}
+
+func TestUnmappedAccessPanics(t *testing.T) {
+	m := New(1)
+	m.AllocRegion("a", PageSize, CatData, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on unmapped access")
+		}
+	}()
+	m.Load8(0)
+}
+
+func TestCrossRegionAccessPanics(t *testing.T) {
+	m := New(1)
+	r := m.AllocRegion("a", PageSize, CatData, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on access spanning past region end")
+		}
+	}()
+	m.Load64(r.End() - 4)
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New(1)
+	r := m.AllocRegion("a", PageSize, CatData, 0)
+	a := r.Base + 16
+	m.Store8(a, 0xAB)
+	if got := m.Load8(a); got != 0xAB {
+		t.Errorf("Load8 = %#x", got)
+	}
+	m.Store16(a, 0xBEEF)
+	if got := m.Load16(a); got != 0xBEEF {
+		t.Errorf("Load16 = %#x", got)
+	}
+	m.Store32(a, 0xDEADBEEF)
+	if got := m.Load32(a); got != 0xDEADBEEF {
+		t.Errorf("Load32 = %#x", got)
+	}
+	m.Store64(a, 0x0123456789ABCDEF)
+	if got := m.Load64(a); got != 0x0123456789ABCDEF {
+		t.Errorf("Load64 = %#x", got)
+	}
+}
+
+func TestLoadStore64PropertyBased(t *testing.T) {
+	m := New(1)
+	r := m.AllocRegion("a", 1<<16, CatData, 0)
+	f := func(off uint16, v uint64) bool {
+		a := r.Base + Addr(off%(1<<16-8)) // keep the 8-byte word in bounds
+		m.Store64(a, v)
+		return m.Load64(a) == v
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesRoundTripProperty(t *testing.T) {
+	m := New(1)
+	r := m.AllocRegion("a", 1<<16, CatPriv, 0)
+	f := func(off uint8, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 1<<12 {
+			data = data[:1<<12]
+		}
+		a := r.Base + Addr(off)
+		m.StoreBytes(a, data)
+		buf := make([]byte, len(data))
+		got := m.LoadBytes(a, buf, len(data))
+		if len(got) != len(data) {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCategoryOverride(t *testing.T) {
+	m := New(4)
+	r := m.AllocRegion("bufblocks", 8*PageSize, CatData, AnyNode)
+	if got := m.CategoryOf(r.Base); got != CatData {
+		t.Fatalf("default category = %v", got)
+	}
+	// Tag an 8-KB "buffer block" (two pages) as Index.
+	m.SetPageCategory(r.Base+2*PageSize, 2*PageSize, CatIndex)
+	if got := m.CategoryOf(r.Base + 2*PageSize); got != CatIndex {
+		t.Errorf("override page 2 = %v, want Index", got)
+	}
+	if got := m.CategoryOf(r.Base + 3*PageSize + 100); got != CatIndex {
+		t.Errorf("override page 3 = %v, want Index", got)
+	}
+	if got := m.CategoryOf(r.Base + 4*PageSize); got != CatData {
+		t.Errorf("page 4 = %v, want Data (no override)", got)
+	}
+	if got := m.CategoryOf(r.Base + PageSize); got != CatData {
+		t.Errorf("page 1 = %v, want Data", got)
+	}
+}
+
+func TestHomeOf(t *testing.T) {
+	m := New(4)
+	fixed := m.AllocRegion("priv0", 4*PageSize, CatPriv, 2)
+	for off := Addr(0); off < Addr(fixed.Size); off += PageSize {
+		if got := m.HomeOf(fixed.Base + off); got != 2 {
+			t.Fatalf("fixed-home page at +%#x: home=%d, want 2", uint64(off), got)
+		}
+	}
+	inter := m.AllocRegion("shared", 8*PageSize, CatData, AnyNode)
+	seen := map[int]int{}
+	for off := Addr(0); off < Addr(inter.Size); off += PageSize {
+		seen[m.HomeOf(inter.Base+off)]++
+	}
+	for n := 0; n < 4; n++ {
+		if seen[n] != 2 {
+			t.Errorf("interleaved homes uneven: node %d got %d pages, want 2", n, seen[n])
+		}
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	m := New(1)
+	m.AllocRegion("a", PageSize, CatData, 0)
+	m.AllocRegion("b", 2*PageSize, CatData, 0)
+	m.AllocRegion("c", PageSize, CatIndex, 0)
+	f := m.Footprint()
+	if f[CatData] != 3*PageSize || f[CatIndex] != PageSize {
+		t.Errorf("footprint = %v", f)
+	}
+}
+
+func TestCategoryProperties(t *testing.T) {
+	if CatPriv.Shared() {
+		t.Error("Priv must not be shared")
+	}
+	for c := CatData; c < NumCategories; c++ {
+		if !c.Shared() {
+			t.Errorf("%v must be shared", c)
+		}
+	}
+	for _, c := range []Category{CatPriv, CatData, CatIndex} {
+		if c.Metadata() {
+			t.Errorf("%v must not be metadata", c)
+		}
+	}
+	for c := CatBufDesc; c < NumCategories; c++ {
+		if !c.Metadata() {
+			t.Errorf("%v must be metadata", c)
+		}
+	}
+	wantGroups := map[Category]Group{
+		CatPriv: GroupPriv, CatData: GroupData, CatIndex: GroupIndex,
+		CatBufDesc: GroupMetadata, CatLockSLock: GroupMetadata,
+	}
+	for c, g := range wantGroups {
+		if c.GroupOf() != g {
+			t.Errorf("GroupOf(%v) = %v, want %v", c, c.GroupOf(), g)
+		}
+	}
+}
+
+func TestArena(t *testing.T) {
+	m := New(1)
+	r := m.AllocRegion("heap", 4*PageSize, CatPriv, 0)
+	a := NewArena(r)
+	p1 := a.Alloc(10, 8)
+	if p1 != r.Base {
+		t.Errorf("first alloc at %#x, want region base %#x", uint64(p1), uint64(r.Base))
+	}
+	p2 := a.Alloc(1, 8)
+	if p2 != r.Base+16 {
+		t.Errorf("second alloc at +%d, want +16 (aligned)", p2-r.Base)
+	}
+	a.Alloc(100, 64)
+	used := a.Used()
+	a.Reset()
+	if a.Used() != 0 {
+		t.Error("Reset did not clear usage")
+	}
+	if a.HighWater() != used {
+		t.Errorf("high water %d, want %d", a.HighWater(), used)
+	}
+	p3 := a.Alloc(8, 8)
+	if p3 != r.Base {
+		t.Error("post-reset alloc should reuse the same storage")
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	m := New(1)
+	a := NewArena(m.AllocRegion("heap", PageSize, CatPriv, 0))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on arena exhaustion")
+		}
+	}()
+	a.Alloc(PageSize+1, 8)
+}
+
+func TestArenaAlignmentProperty(t *testing.T) {
+	m := New(1)
+	a := NewArena(m.AllocRegion("heap", 1<<20, CatPriv, 0))
+	rng := rand.New(rand.NewSource(1))
+	aligns := []uint64{1, 2, 4, 8, 16, 64}
+	for i := 0; i < 2000; i++ {
+		al := aligns[rng.Intn(len(aligns))]
+		n := uint64(rng.Intn(100) + 1)
+		p := a.Alloc(n, al)
+		if uint64(p)%al != 0 {
+			t.Fatalf("alloc %d: addr %#x not %d-aligned", i, uint64(p), al)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package stats defines the counter and breakdown types shared by the
+// memory-system simulator, the execution engine, and the experiment
+// harnesses, matching the categories the paper reports.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/simm"
+)
+
+// MissKind classifies a cache miss the way Figure 7 does.
+type MissKind uint8
+
+const (
+	// Cold: the line was never before present in this cache.
+	Cold MissKind = iota
+	// Conf: the line was present but was replaced (conflict/capacity).
+	Conf
+	// Cohe: the line was present but was invalidated by another
+	// processor's write.
+	Cohe
+
+	NumMissKinds
+)
+
+var missKindNames = [NumMissKinds]string{"Cold", "Conf", "Cohe"}
+
+// String returns the figure label for the miss kind.
+func (k MissKind) String() string { return missKindNames[k] }
+
+// MissCounts is a table of miss counts by data-structure category and
+// miss kind — one of these per cache level reproduces one chart of
+// Figure 7.
+type MissCounts [simm.NumCategories][NumMissKinds]uint64
+
+// Add records one miss.
+func (mc *MissCounts) Add(c simm.Category, k MissKind) { mc[c][k]++ }
+
+// Total returns the total miss count.
+func (mc *MissCounts) Total() uint64 {
+	var t uint64
+	for c := range mc {
+		for k := range mc[c] {
+			t += mc[c][k]
+		}
+	}
+	return t
+}
+
+// ByCategory returns the total misses for one category.
+func (mc *MissCounts) ByCategory(c simm.Category) uint64 {
+	var t uint64
+	for k := range mc[c] {
+		t += mc[c][k]
+	}
+	return t
+}
+
+// ByKind returns the total misses of one kind.
+func (mc *MissCounts) ByKind(k MissKind) uint64 {
+	var t uint64
+	for c := range mc {
+		t += mc[c][k]
+	}
+	return t
+}
+
+// ByGroup collapses the table into the four-way grouping of Figures 8
+// and 10 (Priv / Data / Index / Metadata).
+func (mc *MissCounts) ByGroup() [simm.NumGroups]uint64 {
+	var g [simm.NumGroups]uint64
+	for c := simm.Category(0); c < simm.NumCategories; c++ {
+		g[c.GroupOf()] += mc.ByCategory(c)
+	}
+	return g
+}
+
+// AddAll accumulates another table into this one.
+func (mc *MissCounts) AddAll(o *MissCounts) {
+	for c := range mc {
+		for k := range mc[c] {
+			mc[c][k] += o[c][k]
+		}
+	}
+}
+
+// CycleBreakdown is a per-processor decomposition of execution time into
+// the paper's buckets: Busy, MSync (metalock spinning), and Mem (read
+// miss + write-buffer-overflow stall), with Mem attributed to the data
+// structure that caused each stall (Figure 6).
+type CycleBreakdown struct {
+	Busy  uint64
+	MSync uint64
+	Mem   [simm.NumCategories]uint64
+}
+
+// MemTotal returns the total memory-stall cycles.
+func (b CycleBreakdown) MemTotal() uint64 {
+	var t uint64
+	for _, v := range b.Mem {
+		t += v
+	}
+	return t
+}
+
+// Total returns Busy + MSync + Mem.
+func (b CycleBreakdown) Total() uint64 { return b.Busy + b.MSync + b.MemTotal() }
+
+// PMem returns the stall cycles on private data (Figure 9/11's PMem bar).
+func (b CycleBreakdown) PMem() uint64 { return b.Mem[simm.CatPriv] }
+
+// SMem returns the stall cycles on shared data (Figure 9/11's SMem bar).
+func (b CycleBreakdown) SMem() uint64 { return b.MemTotal() - b.PMem() }
+
+// MemByGroup returns Mem collapsed to Priv/Data/Index/Metadata
+// (Figure 6(b)).
+func (b CycleBreakdown) MemByGroup() [simm.NumGroups]uint64 {
+	var g [simm.NumGroups]uint64
+	for c := simm.Category(0); c < simm.NumCategories; c++ {
+		g[c.GroupOf()] += b.Mem[c]
+	}
+	return g
+}
+
+// AddAll accumulates another breakdown into this one.
+func (b *CycleBreakdown) AddAll(o *CycleBreakdown) {
+	b.Busy += o.Busy
+	b.MSync += o.MSync
+	for c := range b.Mem {
+		b.Mem[c] += o.Mem[c]
+	}
+}
+
+// Pct formats part/whole as a percentage string.
+func Pct(part, whole uint64) string {
+	if whole == 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
+}
+
+// Table renders an aligned text table: the experiment binaries print the
+// paper's figures as tables of numbers.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row; each cell is formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	ncol := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	writeRow := func(row []string) {
+		for i := 0; i < ncol; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Header)
+	rule := make([]string, ncol)
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simm"
+)
+
+func TestMissCountsAccumulation(t *testing.T) {
+	var a, b MissCounts
+	a.Add(simm.CatData, Cold)
+	a.Add(simm.CatData, Cold)
+	a.Add(simm.CatPriv, Conf)
+	b.Add(simm.CatData, Cohe)
+	a.AddAll(&b)
+	if a.Total() != 4 {
+		t.Errorf("total = %d", a.Total())
+	}
+	if a.ByCategory(simm.CatData) != 3 || a.ByKind(Cold) != 2 {
+		t.Errorf("breakdowns wrong: %v", a)
+	}
+}
+
+func TestCycleBreakdownBuckets(t *testing.T) {
+	var b CycleBreakdown
+	b.Busy = 100
+	b.MSync = 10
+	b.Mem[simm.CatPriv] = 5
+	b.Mem[simm.CatData] = 20
+	b.Mem[simm.CatLockSLock] = 3
+	if b.Total() != 138 || b.MemTotal() != 28 {
+		t.Errorf("totals: %d / %d", b.Total(), b.MemTotal())
+	}
+	if b.PMem() != 5 || b.SMem() != 23 {
+		t.Errorf("pmem/smem: %d / %d", b.PMem(), b.SMem())
+	}
+	g := b.MemByGroup()
+	if g[simm.GroupData] != 20 || g[simm.GroupMetadata] != 3 {
+		t.Errorf("groups: %v", g)
+	}
+	var c CycleBreakdown
+	c.AddAll(&b)
+	c.AddAll(&b)
+	if c.Total() != 2*b.Total() {
+		t.Error("AddAll wrong")
+	}
+}
+
+func TestMissKindNames(t *testing.T) {
+	if Cold.String() != "Cold" || Conf.String() != "Conf" || Cohe.String() != "Cohe" {
+		t.Error("names wrong")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(1, 4) != "25.0%" || Pct(1, 0) != "0.0%" {
+		t.Errorf("Pct wrong: %s %s", Pct(1, 4), Pct(1, 0))
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tbl := &Table{Header: []string{"Name", "Value"}}
+	tbl.AddRow("short", 1)
+	tbl.AddRow("a-much-longer-name", 123.456)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Header and rule align to the widest cell.
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("rule width %d != header width %d", len(lines[1]), len(lines[0]))
+	}
+	if !strings.Contains(out, "123.46") {
+		t.Error("float not formatted to 2 decimals")
+	}
+}

@@ -1,0 +1,74 @@
+package tpcd
+
+import "fmt"
+
+// Dates are stored as day numbers relative to 1992-01-01 (day zero),
+// TPC-D's earliest order date.
+
+var daysInMonth = [13]int{0, 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+
+func isLeap(y int) bool {
+	return y%4 == 0 && (y%100 != 0 || y%400 == 0)
+}
+
+// Day converts a calendar date in 1992-1998 to its day number.
+func Day(y, m, d int) int64 {
+	if y < 1992 || y > 1998 || m < 1 || m > 12 || d < 1 {
+		panic(fmt.Sprintf("tpcd: date out of range: %d-%d-%d", y, m, d))
+	}
+	days := int64(0)
+	for yy := 1992; yy < y; yy++ {
+		days += 365
+		if isLeap(yy) {
+			days++
+		}
+	}
+	for mm := 1; mm < m; mm++ {
+		days += int64(daysInMonth[mm])
+		if mm == 2 && isLeap(y) {
+			days++
+		}
+	}
+	return days + int64(d-1)
+}
+
+// DateString renders a day number back to ISO form (reporting only).
+func DateString(day int64) string {
+	y := 1992
+	for {
+		n := int64(365)
+		if isLeap(y) {
+			n++
+		}
+		if day < n {
+			break
+		}
+		day -= n
+		y++
+	}
+	m := 1
+	for {
+		n := int64(daysInMonth[m])
+		if m == 2 && isLeap(y) {
+			n++
+		}
+		if day < n {
+			break
+		}
+		day -= n
+		m++
+	}
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, int(day)+1)
+}
+
+// Benchmark calendar landmarks.
+var (
+	// StartDate is the earliest order date.
+	StartDate = Day(1992, 1, 1)
+	// LastOrderDate is the latest order date (TPC-D: 1998-08-02).
+	LastOrderDate = Day(1998, 8, 2)
+	// CurrentDate is the benchmark's "today" (TPC-D: 1995-06-17).
+	CurrentDate = Day(1995, 6, 17)
+	// EndDate is the last representable date.
+	EndDate = Day(1998, 12, 31)
+)

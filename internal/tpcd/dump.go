@@ -1,0 +1,66 @@
+package tpcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/layout"
+	"repro/internal/pg/catalog"
+	"repro/internal/simm"
+)
+
+// Dump writes a relation in the TPC dbgen .tbl format: one line per
+// live tuple, attributes separated (and terminated) by '|'. Money
+// renders as dollars with two decimals and dates in ISO form, matching
+// the original tool's conventions.
+func Dump(db *Database, rel *catalog.Relation, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	sch := rel.Heap.Schema
+	mem := db.Cat.Mem()
+	var err error
+	rel.Heap.ScanRaw(func(addr simm.Addr, _ layout.RID) bool {
+		for i := 0; i < sch.NumAttrs(); i++ {
+			d := layout.ReadAttrRaw(mem, sch, addr, i)
+			if werr := writeDatum(bw, sch.Attr(i), d); werr != nil {
+				err = werr
+				return false
+			}
+			if werr := bw.WriteByte('|'); werr != nil {
+				err = werr
+				return false
+			}
+		}
+		if werr := bw.WriteByte('\n'); werr != nil {
+			err = werr
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeDatum(w *bufio.Writer, a layout.Attr, d layout.Datum) error {
+	switch a.Kind {
+	case layout.Money:
+		neg := ""
+		v := d.Int
+		if v < 0 {
+			neg, v = "-", -v
+		}
+		_, err := fmt.Fprintf(w, "%s%d.%02d", neg, v/100, v%100)
+		return err
+	case layout.Date:
+		_, err := w.WriteString(DateString(d.Int))
+		return err
+	case layout.Char:
+		_, err := w.WriteString(d.Str)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%d", d.Int)
+		return err
+	}
+}

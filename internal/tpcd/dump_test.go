@@ -1,0 +1,65 @@
+package tpcd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpFormat(t *testing.T) {
+	db, _ := testDB(t, 0.001)
+	var sb strings.Builder
+	if err := Dump(db, db.Region, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("region rows = %d, want 5", len(lines))
+	}
+	for _, ln := range lines {
+		if !strings.HasSuffix(ln, "|") {
+			t.Fatalf("line not pipe-terminated: %q", ln)
+		}
+		if got := strings.Count(ln, "|"); got != db.Region.Heap.Schema.NumAttrs() {
+			t.Fatalf("field count = %d: %q", got, ln)
+		}
+	}
+	if !strings.Contains(sb.String(), "AMERICA") {
+		t.Error("region names missing")
+	}
+}
+
+func TestDumpMoneyAndDates(t *testing.T) {
+	db, _ := testDB(t, 0.001)
+	var sb strings.Builder
+	if err := Dump(db, db.Lineitem, &sb); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(sb.String(), "\n", 2)[0]
+	fields := strings.Split(first, "|")
+	sch := db.Lineitem.Heap.Schema
+	price := fields[sch.Index("l_extendedprice")]
+	if !strings.Contains(price, ".") || len(price)-strings.Index(price, ".") != 3 {
+		t.Errorf("money field %q not dollars.cents", price)
+	}
+	ship := fields[sch.Index("l_shipdate")]
+	if len(ship) != 10 || ship[4] != '-' || ship[7] != '-' {
+		t.Errorf("date field %q not ISO", ship)
+	}
+}
+
+func TestDumpRowCounts(t *testing.T) {
+	db, _ := testDB(t, 0.001)
+	for _, rel := range []struct {
+		name string
+		want int
+	}{{"orders", db.NOrders}, {"customer", db.NCustomers}} {
+		var sb strings.Builder
+		if err := Dump(db, db.Cat.Relation(rel.name), &sb); err != nil {
+			t.Fatal(err)
+		}
+		got := strings.Count(sb.String(), "\n")
+		if got != rel.want {
+			t.Errorf("%s rows = %d, want %d", rel.name, got, rel.want)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package tpcd
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/pg/catalog"
+)
+
+// Config sizes and seeds the generated database.
+type Config struct {
+	// ScaleFactor is relative to TPC-D scale factor 1 (a ~1-GB raw data
+	// set). The paper scales the standard population down 100x, i.e.
+	// ScaleFactor 0.01 for a ~20-MB database.
+	ScaleFactor float64
+	// Seed drives all value generation deterministically.
+	Seed uint64
+}
+
+// DefaultConfig is the paper's configuration.
+func DefaultConfig() Config { return Config{ScaleFactor: 0.01, Seed: 12345} }
+
+// Cardinalities at scale factor 1.
+const (
+	baseCustomers = 150000
+	baseOrders    = 1500000
+	baseParts     = 200000
+	baseSuppliers = 10000
+)
+
+// Database is the populated TPC-D instance.
+type Database struct {
+	Cfg Config
+	Cat *catalog.Catalog
+
+	Region, Nation, Supplier, Customer, Part, PartSupp, Orders, Lineitem *catalog.Relation
+
+	NCustomers, NOrders, NParts, NSuppliers int
+
+	nextKey int64 // next fresh order key for the UF1 update function
+}
+
+func scaled(base int, f float64, min int) int {
+	n := int(float64(base) * f)
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// Generate populates a database into the catalog (untraced load-time
+// work) and builds the paper's index set.
+func Generate(cat *catalog.Catalog, cfg Config) *Database {
+	if cfg.ScaleFactor <= 0 {
+		panic("tpcd: non-positive scale factor")
+	}
+	db := &Database{
+		Cfg:        cfg,
+		Cat:        cat,
+		NCustomers: scaled(baseCustomers, cfg.ScaleFactor, 30),
+		NOrders:    scaled(baseOrders, cfg.ScaleFactor, 300),
+		NParts:     scaled(baseParts, cfg.ScaleFactor, 40),
+		NSuppliers: scaled(baseSuppliers, cfg.ScaleFactor, 10),
+	}
+	db.Region = cat.CreateRelation("region", regionSchema())
+	db.Nation = cat.CreateRelation("nation", nationSchema())
+	db.Supplier = cat.CreateRelation("supplier", supplierSchema())
+	db.Customer = cat.CreateRelation("customer", customerSchema())
+	db.Part = cat.CreateRelation("part", partSchema())
+	db.PartSupp = cat.CreateRelation("partsupp", partsuppSchema())
+	db.Orders = cat.CreateRelation("orders", ordersSchema())
+	db.Lineitem = cat.CreateRelation("lineitem", lineitemSchema())
+
+	db.genRegions()
+	db.genNations()
+	db.genSuppliers()
+	db.genCustomers()
+	db.genParts()
+	db.genPartSupp()
+	db.genOrders()
+	db.genLineitems()
+	db.buildIndexes()
+	return db
+}
+
+func (db *Database) genRegions() {
+	for i, name := range Regions {
+		db.Region.Heap.InsertRaw([]layout.Datum{
+			layout.IntDatum(int64(i)),
+			layout.StrDatum(name),
+			layout.StrDatum("region comment " + name),
+		})
+	}
+}
+
+func (db *Database) genNations() {
+	for i, name := range Nations {
+		db.Nation.Heap.InsertRaw([]layout.Datum{
+			layout.IntDatum(int64(i)),
+			layout.StrDatum(name),
+			layout.IntDatum(int64(NationRegion[i])),
+			layout.StrDatum("nation comment " + name),
+		})
+	}
+}
+
+func (db *Database) genSuppliers() {
+	r := newRng(db.Cfg.Seed ^ 0x5a)
+	for i := 1; i <= db.NSuppliers; i++ {
+		db.Supplier.Heap.InsertRaw([]layout.Datum{
+			layout.IntDatum(int64(i)),
+			layout.StrDatum(fmt.Sprintf("Supplier#%09d", i)),
+			layout.StrDatum(fmt.Sprintf("addr s%d", i)),
+			layout.IntDatum(int64(r.intn(len(Nations)))),
+			layout.StrDatum(fmt.Sprintf("%02d-%07d", 10+r.intn(25), r.intn(10000000))),
+			layout.IntDatum(int64(r.rang(-99999, 999999))),
+			layout.StrDatum("supplier comment"),
+		})
+	}
+}
+
+func (db *Database) genCustomers() {
+	r := newRng(db.Cfg.Seed ^ 0xc0)
+	for i := 1; i <= db.NCustomers; i++ {
+		db.Customer.Heap.InsertRaw([]layout.Datum{
+			layout.IntDatum(int64(i)),
+			layout.StrDatum(fmt.Sprintf("Customer#%09d", i)),
+			layout.StrDatum(fmt.Sprintf("addr c%d", i)),
+			layout.IntDatum(int64(r.intn(len(Nations)))),
+			layout.StrDatum(fmt.Sprintf("%02d-%07d", 10+r.intn(25), r.intn(10000000))),
+			layout.IntDatum(int64(r.rang(-99999, 999999))),
+			layout.StrDatum(Segments[r.intn(len(Segments))]),
+			layout.StrDatum("customer comment"),
+		})
+	}
+}
+
+// partPrice is the deterministic retail price (cents) of a part, shared
+// by the part table and the lineitem extended-price computation.
+func partPrice(partkey int64) int64 {
+	return 90000 + (partkey*2573)%110000 // $900.00 .. $2,099.99
+}
+
+func (db *Database) genParts() {
+	r := newRng(db.Cfg.Seed ^ 0x9a)
+	for i := 1; i <= db.NParts; i++ {
+		db.Part.Heap.InsertRaw([]layout.Datum{
+			layout.IntDatum(int64(i)),
+			layout.StrDatum(fmt.Sprintf("part name %d", i)),
+			layout.StrDatum(Mfgrs[r.intn(len(Mfgrs))]),
+			layout.StrDatum(Brands[r.intn(len(Brands))]),
+			layout.StrDatum(Types[r.intn(len(Types))]),
+			layout.IntDatum(int64(r.rang(1, 50))),
+			layout.StrDatum(Containers[r.intn(len(Containers))]),
+			layout.IntDatum(partPrice(int64(i))),
+			layout.StrDatum("part comment"),
+		})
+	}
+}
+
+func (db *Database) genPartSupp() {
+	r := newRng(db.Cfg.Seed ^ 0xb5)
+	for pk := 1; pk <= db.NParts; pk++ {
+		for q := 0; q < 4; q++ {
+			sk := (pk+q*(db.NSuppliers/4+1))%db.NSuppliers + 1
+			db.PartSupp.Heap.InsertRaw([]layout.Datum{
+				layout.IntDatum(int64(pk)),
+				layout.IntDatum(int64(sk)),
+				layout.IntDatum(int64(r.rang(1, 9999))),
+				layout.IntDatum(int64(r.rang(100, 100000))),
+				layout.StrDatum("partsupp comment"),
+			})
+		}
+	}
+}
+
+// liRec is one generated lineitem, derived deterministically from its
+// order so the orders and lineitem passes agree.
+type liRec struct {
+	partkey, suppkey             int64
+	quantity                     int64
+	extendedprice, discount, tax int64
+	ship, commit, receipt        int64
+	returnflag, linestatus       string
+	instruct, mode               string
+}
+
+// orderSeed isolates each order's generator stream.
+func (db *Database) orderSeed(orderkey int64) uint64 {
+	return db.Cfg.Seed*0x9e3779b97f4a7c15 + uint64(orderkey)
+}
+
+func (db *Database) orderDate(orderkey int64) int64 {
+	r := newRng(db.orderSeed(orderkey))
+	span := int(LastOrderDate - StartDate)
+	return StartDate + int64(r.intn(span+1))
+}
+
+func (db *Database) orderLineitems(orderkey int64) []liRec {
+	r := newRng(db.orderSeed(orderkey) ^ 0x11)
+	odate := db.orderDate(orderkey)
+	n := r.rang(1, 7)
+	out := make([]liRec, n)
+	for i := range out {
+		pk := int64(r.rang(1, db.NParts))
+		qty := int64(r.rang(1, 50))
+		ship := odate + int64(r.rang(1, 121))
+		commit := odate + int64(r.rang(30, 90))
+		receipt := ship + int64(r.rang(1, 30))
+		li := liRec{
+			partkey:       pk,
+			suppkey:       int64((int(pk)+i*(db.NSuppliers/4+1))%db.NSuppliers + 1),
+			quantity:      qty,
+			extendedprice: qty * partPrice(pk),
+			discount:      int64(r.rang(0, 1000)), // 0-10% in basis points
+			tax:           int64(r.rang(0, 800)),
+			ship:          ship,
+			commit:        commit,
+			receipt:       receipt,
+			instruct:      Instructions[r.intn(len(Instructions))],
+			mode:          ShipModes[r.intn(len(ShipModes))],
+		}
+		if li.receipt <= CurrentDate {
+			if r.intn(2) == 0 {
+				li.returnflag = "R"
+			} else {
+				li.returnflag = "A"
+			}
+		} else {
+			li.returnflag = "N"
+		}
+		if li.ship > CurrentDate {
+			li.linestatus = "O"
+		} else {
+			li.linestatus = "F"
+		}
+		out[i] = li
+	}
+	return out
+}
+
+func (db *Database) genOrders() {
+	r := newRng(db.Cfg.Seed ^ 0x0d)
+	for ok := int64(1); ok <= int64(db.NOrders); ok++ {
+		items := db.orderLineitems(ok)
+		var total int64
+		allF, allO := true, true
+		for _, li := range items {
+			total += li.extendedprice * (10000 - li.discount) / 10000 * (10000 + li.tax) / 10000
+			if li.linestatus != "F" {
+				allF = false
+			}
+			if li.linestatus != "O" {
+				allO = false
+			}
+		}
+		status := "P"
+		if allF {
+			status = "F"
+		} else if allO {
+			status = "O"
+		}
+		db.Orders.Heap.InsertRaw([]layout.Datum{
+			layout.IntDatum(ok),
+			layout.IntDatum(int64(r.rang(1, db.NCustomers))),
+			layout.StrDatum(status),
+			layout.IntDatum(total),
+			layout.IntDatum(db.orderDate(ok)),
+			layout.StrDatum(Priorities[r.intn(len(Priorities))]),
+			layout.StrDatum(fmt.Sprintf("Clerk#%09d", r.rang(1, 1000))),
+			layout.IntDatum(0),
+			layout.StrDatum("order comment"),
+		})
+	}
+}
+
+func (db *Database) genLineitems() {
+	for ok := int64(1); ok <= int64(db.NOrders); ok++ {
+		for i, li := range db.orderLineitems(ok) {
+			db.Lineitem.Heap.InsertRaw([]layout.Datum{
+				layout.IntDatum(ok),
+				layout.IntDatum(li.partkey),
+				layout.IntDatum(li.suppkey),
+				layout.IntDatum(int64(i + 1)),
+				layout.IntDatum(li.quantity),
+				layout.IntDatum(li.extendedprice),
+				layout.IntDatum(li.discount),
+				layout.IntDatum(li.tax),
+				layout.StrDatum(li.returnflag),
+				layout.StrDatum(li.linestatus),
+				layout.IntDatum(li.ship),
+				layout.IntDatum(li.commit),
+				layout.IntDatum(li.receipt),
+				layout.StrDatum(li.instruct),
+				layout.StrDatum(li.mode),
+				layout.StrDatum("lineitem comment padding to realistic width"),
+			})
+		}
+	}
+}
+
+// buildIndexes creates the paper's index set: "any attribute of the
+// tuples in these tables can potentially be accessed via indices"; the
+// concrete set below is the one that yields the Table 1 plans.
+func (db *Database) buildIndexes() {
+	for _, ix := range []struct {
+		rel  *catalog.Relation
+		attr string
+	}{
+		{db.Customer, "c_custkey"},
+		{db.Customer, "c_mktsegment"},
+		{db.Customer, "c_nationkey"},
+		{db.Orders, "o_orderkey"},
+		{db.Orders, "o_custkey"},
+		{db.Lineitem, "l_orderkey"},
+		{db.Lineitem, "l_partkey"},
+		{db.Part, "p_partkey"},
+		{db.Part, "p_size"},
+		{db.Supplier, "s_suppkey"},
+		{db.Supplier, "s_nationkey"},
+		{db.PartSupp, "ps_partkey"},
+		{db.PartSupp, "ps_suppkey"},
+		{db.Nation, "n_nationkey"},
+		{db.Nation, "n_regionkey"},
+		{db.Region, "r_regionkey"},
+		{db.Region, "r_name"},
+	} {
+		db.Cat.BuildIndex(ix.rel, ix.attr)
+	}
+}
+
+// NLineitems returns the generated lineitem count.
+func (db *Database) NLineitems() int { return db.Lineitem.Heap.NTuples }
+
+// BuffersNeeded estimates the buffer pool size (in 8-KB blocks) for a
+// scale factor, used to size the pool before generation.
+func BuffersNeeded(f float64) int {
+	// Data plus indices at SF 0.01 fit comfortably in ~3300 blocks;
+	// scale linearly with generous headroom and a floor for the fixed
+	// tables and index roots.
+	n := int(400000*f) + 200
+	return n
+}

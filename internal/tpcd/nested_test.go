@@ -1,0 +1,90 @@
+package tpcd
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/pg/executor"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+// TestQ4EMatchesReference validates the nested (EXISTS) form of Q4
+// against a host-side evaluation of the same semantics.
+func TestQ4EMatchesReference(t *testing.T) {
+	db, eng := testDB(t, 0.001)
+	mem := eng.Mem()
+	prm := ParamsFor("Q4E", 0)
+
+	// Host-side reference: orders in the window with at least one late
+	// lineitem, counted per priority.
+	late := map[int64]bool{}
+	lsch := db.Lineitem.Heap.Schema
+	db.Lineitem.Heap.ScanRaw(func(addr simm.Addr, _ layout.RID) bool {
+		commit := layout.ReadAttrRaw(mem, lsch, addr, lsch.Index("l_commitdate")).Int
+		receipt := layout.ReadAttrRaw(mem, lsch, addr, lsch.Index("l_receiptdate")).Int
+		if commit < receipt {
+			late[layout.ReadAttrRaw(mem, lsch, addr, 0).Int] = true
+		}
+		return true
+	})
+	osch := db.Orders.Heap.Schema
+	want := map[string]int64{}
+	db.Orders.Heap.ScanRaw(func(addr simm.Addr, _ layout.RID) bool {
+		od := layout.ReadAttrRaw(mem, osch, addr, osch.Index("o_orderdate")).Int
+		ok := layout.ReadAttrRaw(mem, osch, addr, 0).Int
+		if od >= prm.Date && od <= prm.Date+89 && late[ok] {
+			prio := layout.ReadAttrRaw(mem, osch, addr, osch.Index("o_orderpriority")).Str
+			want[prio]++
+		}
+		return true
+	})
+
+	priv := mem.AllocRegion("priv-q4e", 32<<20, simm.CatPriv, 0)
+	got := map[string]int64{}
+	eng.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		c := &executor.Ctx{P: p, Xid: 0, Mem: mem, Arena: simm.NewArena(priv), Cat: db.Cat}
+		plan := BuildQuery(db, "Q4E", 0)
+		// The semijoin registers as a nested loop with an index inner.
+		if !plan.NL || !plan.IS || !plan.SS {
+			t.Errorf("Q4E ops = %s, want SS+IS+NL", plan.OpsString())
+		}
+		for _, row := range executor.Collect(c.DefaultCosts(), plan.Root) {
+			got[row[0].Str] = row[1].Int
+		}
+	}, nil, nil, nil})
+
+	if len(got) != len(want) {
+		t.Fatalf("priorities: got %d groups, want %d (%v vs %v)", len(got), len(want), got, want)
+	}
+	for prio, n := range want {
+		if got[prio] != n {
+			t.Errorf("%s: count %d, want %d", prio, got[prio], n)
+		}
+	}
+}
+
+// TestQ4ESubsetOfQ4 checks the EXISTS filter only removes orders.
+func TestQ4ESubsetOfQ4(t *testing.T) {
+	db, eng := testDB(t, 0.001)
+	mem := eng.Mem()
+	priv := mem.AllocRegion("priv-q4s", 32<<20, simm.CatPriv, 0)
+	total := func(q string) int64 {
+		var sum int64
+		eng.Run([]func(*sched.Proc){func(p *sched.Proc) {
+			c := &executor.Ctx{P: p, Xid: 0, Mem: mem, Arena: simm.NewArena(priv), Cat: db.Cat}
+			plan := BuildQuery(db, q, 0)
+			for _, row := range executor.Collect(c.DefaultCosts(), plan.Root) {
+				sum += row[len(row)-1].Int
+			}
+		}, nil, nil, nil})
+		return sum
+	}
+	q4, q4e := total("Q4"), total("Q4E")
+	if q4e > q4 {
+		t.Errorf("Q4E counted %d orders, more than Q4's %d", q4e, q4)
+	}
+	if q4e == 0 {
+		t.Error("Q4E found no late orders at all")
+	}
+}

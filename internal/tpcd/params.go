@@ -1,0 +1,104 @@
+package tpcd
+
+import "repro/internal/layout"
+
+// Params are the substitution parameters of one query instance. The
+// paper runs one query of the same type on each node, "each of them
+// with different parameters, chosen according to the TPC-D
+// specifications" — the variant argument of ParamsFor plays that role.
+type Params struct {
+	Segment    string
+	Date       int64
+	Date2      int64
+	Discount   int64
+	Quantity   int64
+	Mode1      string
+	Mode2      string
+	Size       int64
+	Sizes      []layout.Datum
+	NationKey  int64
+	RegionKey  int64
+	RegionName string
+	Brand      string
+	Container  string
+	Mfgr       string
+	Priority   string
+}
+
+// ParamsFor generates the parameters of one instance of the named query
+// deterministically from the variant number.
+func ParamsFor(query string, variant uint64) Params {
+	r := newRng(0xfeed ^ variant*0x9e3779b97f4a7c15 ^ hashName(query))
+	var p Params
+	switch query {
+	case "Q1":
+		p.Date = CurrentDate - int64(r.rang(60, 120))
+	case "Q2":
+		p.Size = int64(r.rang(1, 50))
+	case "Q3":
+		p.Segment = r.pick(Segments)
+		p.Date = Day(1995, 3, 1) + int64(r.intn(31))
+		p.Date2 = p.Date
+	case "Q4", "Q4E":
+		p.Date = Day(1993+r.intn(5), 1+3*r.intn(4), 1)
+	case "Q5":
+		p.RegionKey = int64(r.intn(len(Regions)))
+		p.Date = Day(1993+r.intn(5), 1, 1)
+	case "Q6":
+		p.Date = Day(1993+r.intn(5), 1, 1)
+		p.Discount = int64(r.rang(2, 9)) * 100
+		p.Quantity = int64(r.rang(24, 25))
+	case "Q7", "Q8":
+		p.RegionName = r.pick(Regions)
+		p.Date = Day(1995, 1, 1)
+		p.Date2 = Day(1996, 12, 31)
+	case "Q9":
+		p.Mfgr = r.pick(Mfgrs)
+	case "Q10":
+		p.Date = Day(1993+r.intn(2), 1+r.intn(12), 1)
+	case "Q11":
+		p.NationKey = int64(r.intn(len(Nations)))
+	case "Q12":
+		m1 := r.intn(len(ShipModes))
+		m2 := (m1 + 1 + r.intn(len(ShipModes)-1)) % len(ShipModes)
+		p.Mode1, p.Mode2 = ShipModes[m1], ShipModes[m2]
+		p.Date = Day(1993+r.intn(5), 1, 1)
+	case "Q13":
+		p.Priority = r.pick(Priorities)
+	case "Q14":
+		p.Date = Day(1993+r.intn(5), 1+r.intn(12), 1)
+	case "Q15":
+		p.Date = Day(1993+r.intn(5), 1+3*r.intn(4), 1)
+	case "Q16":
+		p.Brand = r.pick(Brands)
+		seen := map[int]bool{}
+		for len(p.Sizes) < 8 {
+			s := r.rang(1, 50)
+			if !seen[s] {
+				seen[s] = true
+				p.Sizes = append(p.Sizes, layout.IntDatum(int64(s)))
+			}
+		}
+	case "Q17":
+		p.Brand = r.pick(Brands)
+		p.Container = r.pick(Containers)
+		p.Quantity = int64(r.rang(5, 15))
+	default:
+		panic("tpcd: unknown query " + query)
+	}
+	return p
+}
+
+func hashName(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// QueryNames lists the 17 read-only TPC-D queries.
+var QueryNames = []string{
+	"Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9",
+	"Q10", "Q11", "Q12", "Q13", "Q14", "Q15", "Q16", "Q17",
+}

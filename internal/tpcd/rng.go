@@ -1,0 +1,38 @@
+// Package tpcd is the workload substrate: a deterministic TPC-D
+// population generator (the role of the TPC's dbgen program), the
+// benchmark's table schemas, per-query parameter generation, and the
+// declarative specifications of the 17 read-only queries whose plans
+// reproduce the paper's Table 1.
+package tpcd
+
+// rng is a splitmix64 generator: deterministic across platforms and Go
+// releases, which math/rand does not guarantee.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("tpcd: intn on non-positive bound")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// rang returns a value in [lo, hi] inclusive.
+func (r *rng) rang(lo, hi int) int {
+	return lo + r.intn(hi-lo+1)
+}
+
+// pick returns one of the choices.
+func (r *rng) pick(choices []string) string {
+	return choices[r.intn(len(choices))]
+}

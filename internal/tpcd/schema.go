@@ -1,0 +1,145 @@
+package tpcd
+
+import "repro/internal/layout"
+
+// Value domains of the generated attributes.
+var (
+	// Segments are the customer market segments (Q3's parameter).
+	Segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	// ShipModes are the lineitem shipping modes (Q12's parameters).
+	ShipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	// Priorities are the order priorities.
+	Priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"}
+	// Instructions are the shipping instructions.
+	Instructions = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	// Containers are the part containers.
+	Containers = []string{"SM CASE", "SM BOX", "LG CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PKG"}
+	// Brands are the part brands.
+	Brands = []string{"Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"}
+	// Types are the part types.
+	Types = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	// Mfgrs are the part manufacturers.
+	Mfgrs = []string{"Manufacturer#1", "Manufacturer#2", "Manufacturer#3", "Manufacturer#4", "Manufacturer#5"}
+	// Nations and their region assignment (25 nations over 5 regions).
+	Nations = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+		"ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA",
+		"IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+		"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+		"SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+	}
+	// NationRegion maps each nation to its region.
+	NationRegion = []int{
+		0, 1, 1, 1, 4, 0, 3, 3, 2, 2,
+		4, 4, 2, 4, 0, 0, 0, 1, 2, 3,
+		4, 2, 3, 3, 1,
+	}
+	// Regions are the region names.
+	Regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+)
+
+// Table schemas. Attribute names carry the TPC-D prefixes so join
+// results have unique names. The lineitem comment is sized so that at
+// the paper's 1/100 scale the lineitem relation is about 12 MB —
+// roughly 70% of the database, as the paper reports.
+
+func customerSchema() *layout.Schema {
+	return layout.NewSchema(
+		layout.Attr{Name: "c_custkey", Kind: layout.Int64},
+		layout.Attr{Name: "c_name", Kind: layout.Char, Len: 18},
+		layout.Attr{Name: "c_address", Kind: layout.Char, Len: 24},
+		layout.Attr{Name: "c_nationkey", Kind: layout.Int64},
+		layout.Attr{Name: "c_phone", Kind: layout.Char, Len: 15},
+		layout.Attr{Name: "c_acctbal", Kind: layout.Money},
+		layout.Attr{Name: "c_mktsegment", Kind: layout.Char, Len: 10},
+		layout.Attr{Name: "c_comment", Kind: layout.Char, Len: 40},
+	)
+}
+
+func ordersSchema() *layout.Schema {
+	return layout.NewSchema(
+		layout.Attr{Name: "o_orderkey", Kind: layout.Int64},
+		layout.Attr{Name: "o_custkey", Kind: layout.Int64},
+		layout.Attr{Name: "o_orderstatus", Kind: layout.Char, Len: 1},
+		layout.Attr{Name: "o_totalprice", Kind: layout.Money},
+		layout.Attr{Name: "o_orderdate", Kind: layout.Date},
+		layout.Attr{Name: "o_orderpriority", Kind: layout.Char, Len: 15},
+		layout.Attr{Name: "o_clerk", Kind: layout.Char, Len: 15},
+		layout.Attr{Name: "o_shippriority", Kind: layout.Int32},
+		layout.Attr{Name: "o_comment", Kind: layout.Char, Len: 49},
+	)
+}
+
+func lineitemSchema() *layout.Schema {
+	return layout.NewSchema(
+		layout.Attr{Name: "l_orderkey", Kind: layout.Int64},
+		layout.Attr{Name: "l_partkey", Kind: layout.Int64},
+		layout.Attr{Name: "l_suppkey", Kind: layout.Int64},
+		layout.Attr{Name: "l_linenumber", Kind: layout.Int32},
+		layout.Attr{Name: "l_quantity", Kind: layout.Int32},
+		layout.Attr{Name: "l_extendedprice", Kind: layout.Money},
+		layout.Attr{Name: "l_discount", Kind: layout.Int32}, // basis points
+		layout.Attr{Name: "l_tax", Kind: layout.Int32},      // basis points
+		layout.Attr{Name: "l_returnflag", Kind: layout.Char, Len: 1},
+		layout.Attr{Name: "l_linestatus", Kind: layout.Char, Len: 1},
+		layout.Attr{Name: "l_shipdate", Kind: layout.Date},
+		layout.Attr{Name: "l_commitdate", Kind: layout.Date},
+		layout.Attr{Name: "l_receiptdate", Kind: layout.Date},
+		layout.Attr{Name: "l_shipinstruct", Kind: layout.Char, Len: 25},
+		layout.Attr{Name: "l_shipmode", Kind: layout.Char, Len: 10},
+		layout.Attr{Name: "l_comment", Kind: layout.Char, Len: 100},
+	)
+}
+
+func partSchema() *layout.Schema {
+	return layout.NewSchema(
+		layout.Attr{Name: "p_partkey", Kind: layout.Int64},
+		layout.Attr{Name: "p_name", Kind: layout.Char, Len: 35},
+		layout.Attr{Name: "p_mfgr", Kind: layout.Char, Len: 25},
+		layout.Attr{Name: "p_brand", Kind: layout.Char, Len: 10},
+		layout.Attr{Name: "p_type", Kind: layout.Char, Len: 25},
+		layout.Attr{Name: "p_size", Kind: layout.Int32},
+		layout.Attr{Name: "p_container", Kind: layout.Char, Len: 10},
+		layout.Attr{Name: "p_retailprice", Kind: layout.Money},
+		layout.Attr{Name: "p_comment", Kind: layout.Char, Len: 14},
+	)
+}
+
+func supplierSchema() *layout.Schema {
+	return layout.NewSchema(
+		layout.Attr{Name: "s_suppkey", Kind: layout.Int64},
+		layout.Attr{Name: "s_name", Kind: layout.Char, Len: 25},
+		layout.Attr{Name: "s_address", Kind: layout.Char, Len: 25},
+		layout.Attr{Name: "s_nationkey", Kind: layout.Int64},
+		layout.Attr{Name: "s_phone", Kind: layout.Char, Len: 15},
+		layout.Attr{Name: "s_acctbal", Kind: layout.Money},
+		layout.Attr{Name: "s_comment", Kind: layout.Char, Len: 40},
+	)
+}
+
+func partsuppSchema() *layout.Schema {
+	return layout.NewSchema(
+		layout.Attr{Name: "ps_partkey", Kind: layout.Int64},
+		layout.Attr{Name: "ps_suppkey", Kind: layout.Int64},
+		layout.Attr{Name: "ps_availqty", Kind: layout.Int32},
+		layout.Attr{Name: "ps_supplycost", Kind: layout.Money},
+		layout.Attr{Name: "ps_comment", Kind: layout.Char, Len: 50},
+	)
+}
+
+func nationSchema() *layout.Schema {
+	return layout.NewSchema(
+		layout.Attr{Name: "n_nationkey", Kind: layout.Int64},
+		layout.Attr{Name: "n_name", Kind: layout.Char, Len: 25},
+		layout.Attr{Name: "n_regionkey", Kind: layout.Int64},
+		layout.Attr{Name: "n_comment", Kind: layout.Char, Len: 60},
+	)
+}
+
+func regionSchema() *layout.Schema {
+	return layout.NewSchema(
+		layout.Attr{Name: "r_regionkey", Kind: layout.Int64},
+		layout.Attr{Name: "r_name", Kind: layout.Char, Len: 25},
+		layout.Attr{Name: "r_comment", Kind: layout.Char, Len: 60},
+	)
+}

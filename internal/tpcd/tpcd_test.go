@@ -1,0 +1,367 @@
+package tpcd
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/pg/bufmgr"
+	"repro/internal/pg/catalog"
+	"repro/internal/pg/executor"
+	"repro/internal/pg/lockmgr"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+const testScale = 0.002 // ~3000 orders, ~12000 lineitems
+
+func testDB(t *testing.T, f float64) (*Database, *sched.Engine) {
+	t.Helper()
+	cfg := machine.Baseline()
+	mem := simm.New(cfg.Nodes)
+	bm := bufmgr.New(mem, BuffersNeeded(f))
+	lm := lockmgr.New(mem, 8192)
+	cat := catalog.New(mem, bm, lm, cfg.Nodes)
+	db := Generate(cat, Config{ScaleFactor: f, Seed: 7})
+	m, err := machine.New(cfg, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Flush()
+	return db, sched.New(sched.DefaultConfig(), mem, m)
+}
+
+func TestDates(t *testing.T) {
+	if Day(1992, 1, 1) != 0 {
+		t.Error("epoch not zero")
+	}
+	if Day(1992, 3, 1) != 60 { // 1992 is a leap year
+		t.Errorf("1992-03-01 = %d, want 60", Day(1992, 3, 1))
+	}
+	if Day(1993, 1, 1) != 366 {
+		t.Errorf("1993-01-01 = %d, want 366", Day(1993, 1, 1))
+	}
+	if got := DateString(Day(1995, 6, 17)); got != "1995-06-17" {
+		t.Errorf("round trip = %q", got)
+	}
+	for _, d := range []int64{0, 59, 60, 365, 366, 1000, 2000, CurrentDate, LastOrderDate} {
+		s := DateString(d)
+		var y, m, dd int
+		if _, err := sscanDate(s, &y, &m, &dd); err != nil {
+			t.Fatalf("bad date string %q", s)
+		}
+		if Day(y, m, dd) != d {
+			t.Errorf("date %d -> %q -> %d", d, s, Day(y, m, dd))
+		}
+	}
+}
+
+func sscanDate(s string, y, m, d *int) (int, error) {
+	n := 0
+	for _, part := range []struct {
+		dst  *int
+		from int
+		to   int
+	}{{y, 0, 4}, {m, 5, 7}, {d, 8, 10}} {
+		v := 0
+		for _, c := range s[part.from:part.to] {
+			v = v*10 + int(c-'0')
+		}
+		*part.dst = v
+		n++
+	}
+	return n, nil
+}
+
+func TestCardinalities(t *testing.T) {
+	db, _ := testDB(t, testScale)
+	if db.Region.Heap.NTuples != 5 || db.Nation.Heap.NTuples != 25 {
+		t.Errorf("region/nation = %d/%d", db.Region.Heap.NTuples, db.Nation.Heap.NTuples)
+	}
+	if db.NOrders != 3000 || db.Orders.Heap.NTuples != 3000 {
+		t.Errorf("orders = %d (cfg %d)", db.Orders.Heap.NTuples, db.NOrders)
+	}
+	// Lineitems average 4 per order.
+	nl := db.NLineitems()
+	if nl < 3*db.NOrders || nl > 5*db.NOrders {
+		t.Errorf("lineitems = %d for %d orders", nl, db.NOrders)
+	}
+	if db.PartSupp.Heap.NTuples != 4*db.NParts {
+		t.Errorf("partsupp = %d", db.PartSupp.Heap.NTuples)
+	}
+}
+
+func TestLineitemShare(t *testing.T) {
+	db, _ := testDB(t, testScale)
+	data, _ := db.Cat.Footprint()
+	li := db.Lineitem.Heap.Bytes()
+	share := float64(li) / float64(data)
+	// The paper reports lineitem at about 70% of the database data.
+	if share < 0.55 || share > 0.85 {
+		t.Errorf("lineitem share = %.2f of data, want ~0.7", share)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	run := func() int64 {
+		db, eng := testDB(t, 0.001)
+		var s int64
+		sch := db.Lineitem.Heap.Schema
+		db.Lineitem.Heap.ScanRaw(func(addr simm.Addr, _ layout.RID) bool {
+			s += layout.ReadAttrRaw(eng.Mem(), sch, addr, sch.Index("l_extendedprice")).Int
+			return true
+		})
+		return s
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("generator not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestValueDomains(t *testing.T) {
+	db, eng := testDB(t, 0.001)
+	sch := db.Lineitem.Heap.Schema
+	mem := eng.Mem()
+	modes := map[string]bool{}
+	for _, m := range ShipModes {
+		modes[m] = true
+	}
+	checked := 0
+	db.Lineitem.Heap.ScanRaw(func(addr simm.Addr, _ layout.RID) bool {
+		ship := layout.ReadAttrRaw(mem, sch, addr, sch.Index("l_shipdate")).Int
+		commit := layout.ReadAttrRaw(mem, sch, addr, sch.Index("l_commitdate")).Int
+		receipt := layout.ReadAttrRaw(mem, sch, addr, sch.Index("l_receiptdate")).Int
+		disc := layout.ReadAttrRaw(mem, sch, addr, sch.Index("l_discount")).Int
+		qty := layout.ReadAttrRaw(mem, sch, addr, sch.Index("l_quantity")).Int
+		mode := layout.ReadAttrRaw(mem, sch, addr, sch.Index("l_shipmode")).Str
+		price := layout.ReadAttrRaw(mem, sch, addr, sch.Index("l_extendedprice")).Int
+		switch {
+		case ship <= StartDate || ship > EndDate:
+			t.Fatalf("shipdate %d out of range", ship)
+		case receipt <= ship:
+			t.Fatalf("receipt %d <= ship %d", receipt, ship)
+		case commit <= StartDate:
+			t.Fatalf("commitdate %d", commit)
+		case disc < 0 || disc > 1000:
+			t.Fatalf("discount %d", disc)
+		case qty < 1 || qty > 50:
+			t.Fatalf("quantity %d", qty)
+		case !modes[mode]:
+			t.Fatalf("shipmode %q", mode)
+		case price < qty*90000 || price > qty*200000:
+			t.Fatalf("extendedprice %d for qty %d", price, qty)
+		}
+		checked++
+		return true
+	})
+	if checked == 0 {
+		t.Fatal("no lineitems generated")
+	}
+}
+
+func TestOrdersMatchLineitems(t *testing.T) {
+	db, eng := testDB(t, 0.001)
+	mem := eng.Mem()
+	// Count lineitems per order and compare with the deterministic
+	// regeneration used by the orders pass.
+	counts := map[int64]int{}
+	lsch := db.Lineitem.Heap.Schema
+	db.Lineitem.Heap.ScanRaw(func(addr simm.Addr, _ layout.RID) bool {
+		ok := layout.ReadAttrRaw(mem, lsch, addr, 0).Int
+		counts[ok]++
+		return true
+	})
+	for ok := int64(1); ok <= 50; ok++ {
+		if got, want := counts[ok], len(db.orderLineitems(ok)); got != want {
+			t.Errorf("order %d: %d lineitems stored, %d regenerated", ok, got, want)
+		}
+	}
+}
+
+func TestParamsDeterministicAndVaried(t *testing.T) {
+	a := ParamsFor("Q3", 1)
+	b := ParamsFor("Q3", 1)
+	if a.Segment != b.Segment || a.Date != b.Date || a.Date2 != b.Date2 {
+		t.Error("params not deterministic")
+	}
+	varied := false
+	for v := uint64(2); v < 10; v++ {
+		if p := ParamsFor("Q3", v); p.Segment != a.Segment || p.Date != a.Date {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("params do not vary across variants")
+	}
+	if p := ParamsFor("Q12", 3); p.Mode1 == p.Mode2 {
+		t.Error("Q12 modes must differ")
+	}
+}
+
+// TestTable1 is the golden reproduction of the paper's Table 1: the
+// operator matrix of the 17 read-only queries.
+func TestTable1(t *testing.T) {
+	db, _ := testDB(t, 0.001)
+	//                      SS     IS     NL     M      H      Sort   Group  Aggr
+	want := map[string][8]bool{
+		"Q1":  {true, false, false, false, false, true, true, true},
+		"Q2":  {false, true, true, false, false, true, false, false},
+		"Q3":  {false, true, true, false, false, true, true, true},
+		"Q4":  {true, false, false, false, false, true, true, true},
+		"Q5":  {false, true, true, false, false, true, true, true},
+		"Q6":  {true, false, false, false, false, false, false, true},
+		"Q7":  {true, true, true, false, true, false, false, false},
+		"Q8":  {false, true, true, false, false, false, false, false},
+		"Q9":  {true, true, true, false, true, false, false, false},
+		"Q10": {false, true, true, false, false, true, true, true},
+		"Q11": {false, true, true, false, false, true, true, true},
+		"Q12": {true, true, false, true, false, true, true, false},
+		"Q13": {true, true, true, false, false, true, true, true},
+		"Q14": {true, true, true, false, false, false, false, true},
+		"Q15": {true, false, false, false, false, true, true, false},
+		"Q16": {true, false, false, false, true, true, true, true},
+		"Q17": {true, true, true, false, false, false, false, true},
+	}
+	for _, q := range QueryNames {
+		plan := BuildQuery(db, q, 0)
+		if got := plan.OpsRow(); got != want[q] {
+			t.Errorf("%s: ops = %v (%s), want %v", q, got, plan.OpsString(), want[q])
+		}
+	}
+}
+
+// TestAllQueriesExecute runs every query at tiny scale and checks it
+// completes, leaves no locks or pins behind, and (where meaningful)
+// produces sane results.
+func TestAllQueriesExecute(t *testing.T) {
+	db, eng := testDB(t, 0.001)
+	mem := eng.Mem()
+	priv := mem.AllocRegion("priv0", 64<<20, simm.CatPriv, 0)
+	for _, q := range QueryNames {
+		q := q
+		arena := simm.NewArena(priv)
+		var rows int
+		eng.Run([]func(*sched.Proc){func(p *sched.Proc) {
+			c := &executor.Ctx{
+				P: p, Xid: 0, Mem: mem, Arena: arena,
+				Cat: db.Cat, OverheadTouches: 2, HotTouches: 8, TupleBusy: 50,
+			}
+			plan := BuildQuery(db, q, 0)
+			rows = executor.Drain(c, plan.Root)
+		}, nil, nil, nil})
+		t.Logf("%s: %d rows", q, rows)
+		switch q {
+		case "Q1":
+			if rows < 2 || rows > 4 {
+				t.Errorf("Q1 groups = %d, want 2-4 (returnflag x linestatus)", rows)
+			}
+		case "Q4":
+			if rows < 1 || rows > 5 {
+				t.Errorf("Q4 groups = %d, want 1-5 priorities", rows)
+			}
+		case "Q6":
+			if rows != 1 {
+				t.Errorf("Q6 rows = %d, want 1", rows)
+			}
+		case "Q12":
+			if rows < 1 || rows > 2 {
+				t.Errorf("Q12 groups = %d, want 1-2 ship modes", rows)
+			}
+		}
+	}
+}
+
+// TestQ6AnswerMatchesReference cross-checks the simulated execution of
+// Q6 against a host-side scan of the same generated data.
+func TestQ6AnswerMatchesReference(t *testing.T) {
+	db, eng := testDB(t, 0.001)
+	mem := eng.Mem()
+	prm := ParamsFor("Q6", 0)
+	sch := db.Lineitem.Heap.Schema
+	var want int64
+	db.Lineitem.Heap.ScanRaw(func(addr simm.Addr, _ layout.RID) bool {
+		ship := layout.ReadAttrRaw(mem, sch, addr, sch.Index("l_shipdate")).Int
+		disc := layout.ReadAttrRaw(mem, sch, addr, sch.Index("l_discount")).Int
+		qty := layout.ReadAttrRaw(mem, sch, addr, sch.Index("l_quantity")).Int
+		price := layout.ReadAttrRaw(mem, sch, addr, sch.Index("l_extendedprice")).Int
+		if ship >= prm.Date && ship <= prm.Date+364 &&
+			disc >= prm.Discount-100 && disc <= prm.Discount+100 &&
+			qty < prm.Quantity {
+			want += price * disc / 10000
+		}
+		return true
+	})
+	priv := mem.AllocRegion("priv-q6", 32<<20, simm.CatPriv, 0)
+	var got int64
+	eng.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		c := &executor.Ctx{P: p, Xid: 0, Mem: mem, Arena: simm.NewArena(priv), Cat: db.Cat, OverheadTouches: 2, HotTouches: 8, TupleBusy: 50}
+		plan := BuildQuery(db, "Q6", 0)
+		rows := executor.Collect(c, plan.Root)
+		got = rows[0][0].Int
+	}, nil, nil, nil})
+	if got != want {
+		t.Errorf("Q6 revenue = %d, reference %d", got, want)
+	}
+}
+
+// TestQ3AnswerMatchesReference cross-checks Q3's row set.
+func TestQ3AnswerMatchesReference(t *testing.T) {
+	db, eng := testDB(t, 0.001)
+	mem := eng.Mem()
+	prm := ParamsFor("Q3", 0)
+
+	// Host-side reference: segment customers -> their orders before
+	// Date -> lineitems shipped after Date2, grouped by orderkey.
+	csch := db.Customer.Heap.Schema
+	segCust := map[int64]bool{}
+	db.Customer.Heap.ScanRaw(func(addr simm.Addr, _ layout.RID) bool {
+		if layout.ReadAttrRaw(mem, csch, addr, csch.Index("c_mktsegment")).Str == prm.Segment {
+			segCust[layout.ReadAttrRaw(mem, csch, addr, 0).Int] = true
+		}
+		return true
+	})
+	osch := db.Orders.Heap.Schema
+	okDate := map[int64]bool{}
+	db.Orders.Heap.ScanRaw(func(addr simm.Addr, _ layout.RID) bool {
+		ck := layout.ReadAttrRaw(mem, osch, addr, osch.Index("o_custkey")).Int
+		od := layout.ReadAttrRaw(mem, osch, addr, osch.Index("o_orderdate")).Int
+		if segCust[ck] && od < prm.Date {
+			okDate[layout.ReadAttrRaw(mem, osch, addr, 0).Int] = true
+		}
+		return true
+	})
+	lsch := db.Lineitem.Heap.Schema
+	wantRev := map[int64]int64{}
+	db.Lineitem.Heap.ScanRaw(func(addr simm.Addr, _ layout.RID) bool {
+		ok := layout.ReadAttrRaw(mem, lsch, addr, 0).Int
+		ship := layout.ReadAttrRaw(mem, lsch, addr, lsch.Index("l_shipdate")).Int
+		if okDate[ok] && ship > prm.Date2 {
+			price := layout.ReadAttrRaw(mem, lsch, addr, lsch.Index("l_extendedprice")).Int
+			disc := layout.ReadAttrRaw(mem, lsch, addr, lsch.Index("l_discount")).Int
+			wantRev[ok] += price * (10000 - disc) / 10000
+		}
+		return true
+	})
+
+	priv := mem.AllocRegion("priv-q3", 32<<20, simm.CatPriv, 0)
+	got := map[int64]int64{}
+	eng.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		c := &executor.Ctx{P: p, Xid: 0, Mem: mem, Arena: simm.NewArena(priv), Cat: db.Cat, OverheadTouches: 2, HotTouches: 8, TupleBusy: 50}
+		plan := BuildQuery(db, "Q3", 0)
+		rows := executor.Collect(c, plan.Root)
+		okIdx := plan.Root.Schema().Index("l_orderkey")
+		revIdx := plan.Root.Schema().Index("revenue")
+		for _, row := range rows {
+			got[row[okIdx].Int] = row[revIdx].Int
+		}
+	}, nil, nil, nil})
+
+	if len(got) != len(wantRev) {
+		t.Fatalf("Q3 groups = %d, reference %d", len(got), len(wantRev))
+	}
+	for ok, rev := range wantRev {
+		if got[ok] != rev {
+			t.Errorf("order %d: revenue %d, reference %d", ok, got[ok], rev)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package tpcd
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/pg/executor"
+)
+
+// The TPC-D update functions. The paper measured only the 17 read-only
+// queries, noting that "the locking support in the Postgres95 database
+// is not as fine-grained as in some of the tuned commercial databases"
+// and that "update queries are much more demanding on the locking
+// algorithm". This implementation makes that claim measurable: UF1
+// inserts new orders (and their lineitems) and UF2 deletes them, both
+// through the traced write path — relation-level write locks, traced
+// heap inserts/tombstones, and B-tree index maintenance with splits.
+
+// UFCount is the update set size: TPC-D specifies 0.1% of the orders
+// table per update function.
+func (db *Database) UFCount() int {
+	n := db.NOrders / 1000
+	if n < 5 {
+		n = 5
+	}
+	return n
+}
+
+// nextOrderKey hands out fresh order keys. The execution engine
+// serializes simulated processors, so plain state is race-free and the
+// assignment order is deterministic.
+func (db *Database) nextOrderKey() int64 {
+	if db.nextKey == 0 {
+		db.nextKey = int64(db.NOrders) + 1
+	}
+	k := db.nextKey
+	db.nextKey++
+	return k
+}
+
+// RunUF1 inserts count new orders with their lineitems and maintains
+// the four affected indices. It returns the inserted order keys.
+func (db *Database) RunUF1(c *executor.Ctx, count int, stream uint64) []int64 {
+	orders := db.Orders.Heap
+	lineitem := db.Lineitem.Heap
+	okIdx := db.Orders.IndexOn("o_orderkey")
+	ckIdx := db.Orders.IndexOn("o_custkey")
+	lokIdx := db.Lineitem.IndexOn("l_orderkey")
+	lpkIdx := db.Lineitem.IndexOn("l_partkey")
+	if okIdx == nil || ckIdx == nil || lokIdx == nil || lpkIdx == nil {
+		panic("tpcd: UF1 requires the standard index set")
+	}
+
+	keys := make([]int64, 0, count)
+	r := newRng(db.Cfg.Seed ^ 0xf1 ^ stream*0x9e3779b97f4a7c15)
+	for n := 0; n < count; n++ {
+		ok := db.nextOrderKey()
+		keys = append(keys, ok)
+		items := db.orderLineitems(ok)
+		var total int64
+		for _, li := range items {
+			total += li.extendedprice * (10000 - li.discount) / 10000
+		}
+		custkey := int64(r.rang(1, db.NCustomers))
+
+		c.P.Busy(c.TupleBusy)
+		orders.LockRelationWrite(c.P, c.Xid)
+		rid := orders.Insert(c.P, c.Xid, []layout.Datum{
+			layout.IntDatum(ok),
+			layout.IntDatum(custkey),
+			layout.StrDatum("O"),
+			layout.IntDatum(total),
+			layout.IntDatum(db.orderDate(ok)),
+			layout.StrDatum(Priorities[r.intn(len(Priorities))]),
+			layout.StrDatum(fmt.Sprintf("Clerk#%09d", r.rang(1, 1000))),
+			layout.IntDatum(0),
+			layout.StrDatum("uf1 order"),
+		})
+		orders.UnlockRelationWrite(c.P, c.Xid)
+		okIdx.Tree.Insert(c.P, c.Xid, ok, rid.Pack())
+		ckIdx.Tree.Insert(c.P, c.Xid, custkey, rid.Pack())
+
+		for i, li := range items {
+			c.P.Busy(c.TupleBusy)
+			lineitem.LockRelationWrite(c.P, c.Xid)
+			lrid := lineitem.Insert(c.P, c.Xid, []layout.Datum{
+				layout.IntDatum(ok),
+				layout.IntDatum(li.partkey),
+				layout.IntDatum(li.suppkey),
+				layout.IntDatum(int64(i + 1)),
+				layout.IntDatum(li.quantity),
+				layout.IntDatum(li.extendedprice),
+				layout.IntDatum(li.discount),
+				layout.IntDatum(li.tax),
+				layout.StrDatum(li.returnflag),
+				layout.StrDatum(li.linestatus),
+				layout.IntDatum(li.ship),
+				layout.IntDatum(li.commit),
+				layout.IntDatum(li.receipt),
+				layout.StrDatum(li.instruct),
+				layout.StrDatum(li.mode),
+				layout.StrDatum("uf1 lineitem"),
+			})
+			lineitem.UnlockRelationWrite(c.P, c.Xid)
+			lokIdx.Tree.Insert(c.P, c.Xid, ok, lrid.Pack())
+			lpkIdx.Tree.Insert(c.P, c.Xid, li.partkey, lrid.Pack())
+		}
+	}
+	return keys
+}
+
+// RunUF2 deletes count orders (and their lineitems) chosen by order
+// key, returning how many orders were actually live. Index entries are
+// left dangling, as Postgres leaves them for vacuum; scans skip the
+// tombstones.
+func (db *Database) RunUF2(c *executor.Ctx, count int, stream uint64) int {
+	orders := db.Orders.Heap
+	lineitem := db.Lineitem.Heap
+	okIdx := db.Orders.IndexOn("o_orderkey")
+	lokIdx := db.Lineitem.IndexOn("l_orderkey")
+	if okIdx == nil || lokIdx == nil {
+		panic("tpcd: UF2 requires the standard index set")
+	}
+
+	// Each stream deletes a disjoint slice of the key space so four
+	// processors do not chase the same orders.
+	span := int64(db.NOrders) / 4
+	if span < int64(count) {
+		span = int64(count)
+	}
+	start := int64(stream%4)*span + 1
+	deleted := 0
+	for ok := start; ok < start+span && deleted < count; ok++ {
+		c.P.Busy(c.TupleBusy)
+		v, found := okIdx.Tree.Search(c.P, c.Xid, ok)
+		if !found {
+			continue
+		}
+		orders.LockRelationWrite(c.P, c.Xid)
+		live := orders.Delete(c.P, c.Xid, layout.UnpackRID(v))
+		orders.UnlockRelationWrite(c.P, c.Xid)
+		if !live {
+			continue
+		}
+		deleted++
+		// Delete the order's lineitems found through the index.
+		var lrids []layout.RID
+		lokIdx.Tree.Range(c.P, c.Xid, ok, ok, func(lv uint64) bool {
+			lrids = append(lrids, layout.UnpackRID(lv))
+			return true
+		})
+		lineitem.LockRelationWrite(c.P, c.Xid)
+		for _, lrid := range lrids {
+			lineitem.Delete(c.P, c.Xid, lrid)
+		}
+		lineitem.UnlockRelationWrite(c.P, c.Xid)
+	}
+	return deleted
+}

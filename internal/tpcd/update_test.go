@@ -1,0 +1,216 @@
+package tpcd
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/pg/executor"
+	"repro/internal/sched"
+	"repro/internal/simm"
+)
+
+func updateCtx(db *Database, eng *sched.Engine, proc int) func(p *sched.Proc) *executor.Ctx {
+	priv := eng.Mem().AllocRegion("upd-priv", 32<<20, simm.CatPriv, proc)
+	return func(p *sched.Proc) *executor.Ctx {
+		c := &executor.Ctx{P: p, Xid: p.ID(), Mem: eng.Mem(), Arena: simm.NewArena(priv), Cat: db.Cat}
+		return c.DefaultCosts()
+	}
+}
+
+func TestUF1InsertsAreVisible(t *testing.T) {
+	db, eng := testDB(t, 0.001)
+	mkCtx := updateCtx(db, eng, 0)
+	before := db.Orders.Heap.NTuples
+	var keys []int64
+	eng.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		c := mkCtx(p)
+		keys = db.RunUF1(c, 10, 0)
+	}, nil, nil, nil})
+	if len(keys) != 10 {
+		t.Fatalf("inserted %d orders", len(keys))
+	}
+	if db.Orders.Heap.NTuples != before+10 {
+		t.Errorf("orders count = %d, want %d", db.Orders.Heap.NTuples, before+10)
+	}
+	// New orders are reachable through the index, with their lineitems.
+	okIdx := db.Orders.IndexOn("o_orderkey")
+	lokIdx := db.Lineitem.IndexOn("l_orderkey")
+	for _, k := range keys {
+		if _, found := okIdx.Tree.SearchRaw(k); !found {
+			t.Errorf("order %d not in index", k)
+		}
+		nl := 0
+		lokIdx.Tree.RangeRaw(k, k, func(uint64) bool { nl++; return true })
+		if nl < 1 || nl > 7 {
+			t.Errorf("order %d has %d indexed lineitems", k, nl)
+		}
+		if want := len(db.orderLineitems(k)); nl != want {
+			t.Errorf("order %d: %d lineitems indexed, generator says %d", k, nl, want)
+		}
+	}
+}
+
+func TestUF2DeletesAreInvisible(t *testing.T) {
+	db, eng := testDB(t, 0.001)
+	mkCtx := updateCtx(db, eng, 0)
+	liBefore := db.Lineitem.Heap.Live()
+	var deleted int
+	eng.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		c := mkCtx(p)
+		deleted = db.RunUF2(c, 8, 0)
+	}, nil, nil, nil})
+	if deleted != 8 {
+		t.Fatalf("deleted %d orders, want 8", deleted)
+	}
+	if db.Orders.Heap.Live() != db.Orders.Heap.NTuples-8 {
+		t.Errorf("live orders = %d", db.Orders.Heap.Live())
+	}
+	if db.Lineitem.Heap.Live() >= liBefore {
+		t.Error("no lineitems were deleted")
+	}
+	// A sequential scan of orders sees no deleted order keys.
+	sch := db.Orders.Heap.Schema
+	seen := map[int64]bool{}
+	db.Orders.Heap.ScanRaw(func(addr simm.Addr, _ layout.RID) bool {
+		seen[layout.ReadAttrRaw(eng.Mem(), sch, addr, 0).Int] = true
+		return true
+	})
+	// The deleted keys are the first live ones in stream 0's slice.
+	missing := 0
+	for ok := int64(1); ok <= 20; ok++ {
+		if !seen[ok] {
+			missing++
+		}
+	}
+	if missing != 8 {
+		t.Errorf("%d of the first 20 keys missing, want exactly 8", missing)
+	}
+}
+
+func TestUF1ThenQueryConsistency(t *testing.T) {
+	// After UF1, Q6-style aggregation over lineitem still matches a
+	// host-side reference including the new rows.
+	db, eng := testDB(t, 0.001)
+	mkCtx := updateCtx(db, eng, 0)
+	eng.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		db.RunUF1(mkCtx(p), 12, 3)
+	}, nil, nil, nil})
+
+	prm := ParamsFor("Q6", 0)
+	sch := db.Lineitem.Heap.Schema
+	var want int64
+	db.Lineitem.Heap.ScanRaw(func(addr simm.Addr, _ layout.RID) bool {
+		ship := layout.ReadAttrRaw(eng.Mem(), sch, addr, sch.Index("l_shipdate")).Int
+		disc := layout.ReadAttrRaw(eng.Mem(), sch, addr, sch.Index("l_discount")).Int
+		qty := layout.ReadAttrRaw(eng.Mem(), sch, addr, sch.Index("l_quantity")).Int
+		price := layout.ReadAttrRaw(eng.Mem(), sch, addr, sch.Index("l_extendedprice")).Int
+		if ship >= prm.Date && ship <= prm.Date+364 &&
+			disc >= prm.Discount-100 && disc <= prm.Discount+100 && qty < prm.Quantity {
+			want += price * disc / 10000
+		}
+		return true
+	})
+	var got int64
+	eng.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		c := mkCtx(p)
+		plan := BuildQuery(db, "Q6", 0)
+		rows := executor.Collect(c, plan.Root)
+		got = rows[0][0].Int
+	}, nil, nil, nil})
+	if got != want {
+		t.Errorf("Q6 after UF1 = %d, reference %d", got, want)
+	}
+}
+
+func TestConcurrentUF1DistinctKeys(t *testing.T) {
+	db, eng := testDB(t, 0.001)
+	regions := make([]*simm.Region, 4)
+	for i := range regions {
+		regions[i] = eng.Mem().AllocRegion("upd-priv4", 16<<20, simm.CatPriv, i)
+	}
+	all := map[int64]bool{}
+	bodies := make([]func(*sched.Proc), 4)
+	results := make([][]int64, 4)
+	for i := range bodies {
+		i := i
+		bodies[i] = func(p *sched.Proc) {
+			c := &executor.Ctx{P: p, Xid: p.ID(), Mem: eng.Mem(), Arena: simm.NewArena(regions[i]), Cat: db.Cat}
+			results[i] = db.RunUF1(c.DefaultCosts(), 6, uint64(i))
+		}
+	}
+	eng.Run(bodies)
+	for _, ks := range results {
+		for _, k := range ks {
+			if all[k] {
+				t.Fatalf("duplicate order key %d across processors", k)
+			}
+			all[k] = true
+		}
+	}
+	if len(all) != 24 {
+		t.Errorf("inserted %d distinct orders, want 24", len(all))
+	}
+}
+
+func TestVacuumAfterUF2(t *testing.T) {
+	db, eng := testDB(t, 0.001)
+	mkCtx := updateCtx(db, eng, 0)
+	prm := ParamsFor("Q6", 0)
+
+	// Reference for Q6 over the post-delete table.
+	refQ6 := func() int64 {
+		sch := db.Lineitem.Heap.Schema
+		var want int64
+		db.Lineitem.Heap.ScanRaw(func(addr simm.Addr, _ layout.RID) bool {
+			ship := layout.ReadAttrRaw(eng.Mem(), sch, addr, sch.Index("l_shipdate")).Int
+			disc := layout.ReadAttrRaw(eng.Mem(), sch, addr, sch.Index("l_discount")).Int
+			qty := layout.ReadAttrRaw(eng.Mem(), sch, addr, sch.Index("l_quantity")).Int
+			price := layout.ReadAttrRaw(eng.Mem(), sch, addr, sch.Index("l_extendedprice")).Int
+			if ship >= prm.Date && ship <= prm.Date+364 &&
+				disc >= prm.Discount-100 && disc <= prm.Discount+100 && qty < prm.Quantity {
+				want += price * disc / 10000
+			}
+			return true
+		})
+		return want
+	}
+
+	eng.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		db.RunUF2(mkCtx(p), 10, 0)
+	}, nil, nil, nil})
+	wantAfterDelete := refQ6()
+
+	liPages := db.Lineitem.Heap.NPages
+	reclaimedOrders := db.Orders.Heap.VacuumRaw()
+	reclaimedLi := db.Lineitem.Heap.VacuumRaw()
+	if reclaimedOrders != 10 || reclaimedLi == 0 {
+		t.Fatalf("reclaimed %d orders, %d lineitems", reclaimedOrders, reclaimedLi)
+	}
+	if db.Lineitem.Heap.NDeleted != 0 || db.Lineitem.Heap.Live() != db.Lineitem.Heap.NTuples {
+		t.Error("vacuum left tombstones")
+	}
+	if db.Lineitem.Heap.NPages > liPages {
+		t.Error("vacuum grew the relation")
+	}
+	db.Cat.Reindex(db.Orders)
+	db.Cat.Reindex(db.Lineitem)
+
+	// The vacuumed table gives the same Q6 answer through the executor.
+	var got int64
+	eng.Run([]func(*sched.Proc){func(p *sched.Proc) {
+		c := mkCtx(p)
+		rows := executor.Collect(c, BuildQuery(db, "Q6", 0).Root)
+		got = rows[0][0].Int
+	}, nil, nil, nil})
+	if got != wantAfterDelete {
+		t.Errorf("Q6 after vacuum = %d, want %d", got, wantAfterDelete)
+	}
+
+	// And the rebuilt index finds every surviving order.
+	okIdx := db.Orders.IndexOn("o_orderkey")
+	found := 0
+	okIdx.Tree.RangeRaw(-1<<62, 1<<62, func(uint64) bool { found++; return true })
+	if found != db.Orders.Heap.Live() {
+		t.Errorf("rebuilt index has %d entries, heap has %d live", found, db.Orders.Heap.Live())
+	}
+}
