@@ -1,0 +1,31 @@
+# Build and verification targets. `make check` is the full gate:
+# everything CI runs, including the race detector over the concurrent
+# packages (the runner's worker pool and the simulation scheduler).
+
+GO ?= go
+
+.PHONY: all build test race vet check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages with real concurrency: the experiment runner
+# (worker pool, shared-state systems, result cache) and the scheduler.
+race:
+	$(GO) test -race ./internal/runner ./internal/sched
+
+vet:
+	$(GO) vet ./...
+
+check: build vet race test
+
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1x .
+
+clean:
+	$(GO) clean ./...

@@ -6,7 +6,9 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/machine"
@@ -236,6 +238,41 @@ func BenchmarkUpdateFunctions(b *testing.B) {
 			b.ReportMetric(100*float64(r.Bd.MSync)/float64(r.Bd.Total()), r.Workload+"_msync%")
 		}
 	}
+}
+
+// BenchmarkRunnerParallelSweep compares the Figure 8 line sweep on a
+// 1-worker pool against an N-worker pool (N = GOMAXPROCS, at least 2).
+// Each leg uses a fresh Exec so its result cache is cold and every
+// sweep point actually simulates. Reported metrics: the worker count
+// and the wall-clock speedup of the parallel leg (expect ~1x on a
+// single-core host, approaching min(N, points) on real parallelism).
+func BenchmarkRunnerParallelSweep(b *testing.B) {
+	o := benchOptions()
+	o.Queries = []string{"Q6"}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		e1 := experiments.NewExec(1)
+		t0 := time.Now()
+		if _, err := e1.RunLineSweep(o); err != nil {
+			b.Fatal(err)
+		}
+		serial += time.Since(t0)
+		e1.Close()
+
+		eN := experiments.NewExec(workers)
+		t0 = time.Now()
+		if _, err := eN.RunLineSweep(o); err != nil {
+			b.Fatal(err)
+		}
+		parallel += time.Since(t0)
+		eN.Close()
+	}
+	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
 }
 
 // BenchmarkIntraQuery measures the intra-query-parallelism extension.

@@ -1,9 +1,12 @@
 // Command dssmem reproduces the paper's tables and figures.
 //
-//	dssmem -exp table1|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|all [-scale 0.01] [-seed N]
+//	dssmem -exp table1|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|all [-scale 0.01] [-seed N] [-jobs N]
 //
 // Each experiment prints the same rows/series the paper reports, as
-// aligned text tables.
+// aligned text tables. Measurements run as jobs on a worker pool
+// (internal/runner): -jobs picks the worker count, and a
+// content-addressed result cache deduplicates repeated configurations,
+// so the output is byte-identical for any worker count.
 package main
 
 import (
@@ -15,251 +18,73 @@ import (
 	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/machine"
+	"repro/internal/runner"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dssmem: ")
-	exp := flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, update, ablations, intraquery, streams, topology, scorecard, all")
+	exp := flag.String("exp", "all", "experiment: "+strings.Join(experiments.KnownExperiments, ", ")+", all")
 	scale := flag.Float64("scale", 0.01, "TPC-D scale factor (paper: 0.01, i.e. the standard set scaled down 100x)")
 	seed := flag.Uint64("seed", 12345, "database generation seed")
 	queries := flag.String("queries", "Q3,Q6,Q12", "comma-separated traced queries")
+	jobs := flag.Int("jobs", 0, "concurrent experiment workers (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent result cache (empty = in-memory only)")
+	verbose := flag.Bool("v", false, "log per-job progress to stderr")
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
+		os.Exit(2)
+	}
+
+	names := experiments.KnownExperiments
+	if *exp != "all" {
+		if !experiments.IsKnown(*exp) {
+			fmt.Fprintf(os.Stderr, "dssmem: unknown experiment %q\nvalid experiments: %s, all\n",
+				*exp, strings.Join(experiments.KnownExperiments, ", "))
+			os.Exit(2)
+		}
+		names = []string{*exp}
+	}
 
 	o := experiments.Defaults()
 	o.Scale = *scale
 	o.Seed = *seed
 	o.Queries = strings.Split(*queries, ",")
 
-	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
-			return
-		}
+	e := experiments.NewExecConfig(runner.Config{Workers: *jobs, CacheDir: *cacheDir})
+	defer e.Close()
+
+	if *verbose {
+		events, cancel := e.Pool().Subscribe(1024)
+		defer cancel()
+		go func() {
+			for ev := range events {
+				switch ev.Kind {
+				case runner.JobStarted:
+					log.Printf("job %d %s: started (attempt %d)", ev.Job, ev.Name, ev.Attempt+1)
+				case runner.JobFinished:
+					detail := ""
+					if ev.CacheHit {
+						detail = ", cache hit"
+					}
+					if ev.Err != "" {
+						detail += ", error: " + ev.Err
+					}
+					log.Printf("job %d %s: %s in %v%s", ev.Job, ev.Name, ev.State, ev.Elapsed.Round(time.Millisecond), detail)
+				}
+			}
+		}()
+	}
+
+	for _, name := range names {
 		t0 := time.Now()
 		fmt.Printf("==== %s ====\n", name)
-		if err := fn(); err != nil {
+		if err := e.Render(os.Stdout, name, o); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		fmt.Printf("[%s done in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
-	}
-
-	run("table1", func() error {
-		t, err := experiments.Table1(o)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Table 1: operations in the read-only TPC-D queries")
-		fmt.Print(t)
-		return nil
-	})
-
-	// Figures 6 and 7 share the baseline runs.
-	var baseline []experiments.QueryResult
-	needBaseline := *exp == "all" || *exp == "fig6" || *exp == "fig7"
-	if needBaseline {
-		var err error
-		baseline, err = experiments.RunCold(o, machine.Baseline())
-		if err != nil {
-			log.Fatalf("baseline runs: %v", err)
-		}
-	}
-
-	run("fig6", func() error {
-		a, b := experiments.Fig6(baseline)
-		fmt.Println("Figure 6(a): execution time breakdown")
-		fmt.Print(a)
-		fmt.Println("\nFigure 6(b): memory stall time by data structure")
-		fmt.Print(b)
-		return nil
-	})
-
-	run("fig7", func() error {
-		for _, r := range baseline {
-			l1, l2, rates := experiments.Fig7(r)
-			fmt.Printf("Figure 7: %s primary-cache read misses (normalized to 100)\n", r.Query)
-			fmt.Print(l1)
-			fmt.Printf("\nFigure 7: %s secondary-cache read misses (normalized to 100)\n", r.Query)
-			fmt.Print(l2)
-			fmt.Println(rates)
-			fmt.Println()
-		}
-		return nil
-	})
-
-	var lineSweep []experiments.SweepPoint
-	needLine := *exp == "all" || *exp == "fig8" || *exp == "fig9"
-	if needLine {
-		var err error
-		lineSweep, err = experiments.RunLineSweep(o)
-		if err != nil {
-			log.Fatalf("line sweep: %v", err)
-		}
-	}
-
-	run("fig8", func() error {
-		for _, q := range o.Queries {
-			l1, l2 := experiments.Fig8(lineSweep, q)
-			fmt.Printf("Figure 8: %s misses vs line size, primary cache (baseline 64B = 100)\n", q)
-			fmt.Print(l1)
-			fmt.Printf("\nFigure 8: %s misses vs line size, secondary cache\n", q)
-			fmt.Print(l2)
-			fmt.Println()
-		}
-		return nil
-	})
-
-	run("fig9", func() error {
-		for _, q := range o.Queries {
-			fmt.Printf("Figure 9: %s execution time vs line size (baseline 64B = 100)\n", q)
-			fmt.Print(experiments.Fig9(lineSweep, q))
-			fmt.Println()
-		}
-		return nil
-	})
-
-	var cacheSweep []experiments.SweepPoint
-	needCache := *exp == "all" || *exp == "fig10" || *exp == "fig11"
-	if needCache {
-		var err error
-		cacheSweep, err = experiments.RunCacheSweep(o)
-		if err != nil {
-			log.Fatalf("cache sweep: %v", err)
-		}
-	}
-
-	run("fig10", func() error {
-		for _, q := range o.Queries {
-			l1, l2 := experiments.Fig10(cacheSweep, q)
-			fmt.Printf("Figure 10: %s misses vs cache size, primary cache (baseline 128KB L2 = 100)\n", q)
-			fmt.Print(l1)
-			fmt.Printf("\nFigure 10: %s misses vs cache size, secondary cache\n", q)
-			fmt.Print(l2)
-			fmt.Println()
-		}
-		return nil
-	})
-
-	run("fig11", func() error {
-		for _, q := range o.Queries {
-			fmt.Printf("Figure 11: %s execution time vs cache size (baseline = 100)\n", q)
-			fmt.Print(experiments.Fig11(cacheSweep, q))
-			fmt.Println()
-		}
-		return nil
-	})
-
-	run("fig12", func() error {
-		results, err := experiments.RunWarmCache(o)
-		if err != nil {
-			return err
-		}
-		for _, q := range []string{"Q3", "Q12"} {
-			fmt.Printf("Figure 12: %s secondary-cache misses, cold vs warmed (cold = 100)\n", q)
-			fmt.Print(experiments.Fig12(results, q))
-			fmt.Println()
-		}
-		return nil
-	})
-
-	run("update", func() error {
-		results, err := experiments.RunUpdate(o)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Extension: the update functions the paper declined to trace")
-		fmt.Println("(relation-level locking makes writers serialize; cf. Section 2.2.2)")
-		fmt.Print(experiments.UpdateTable(results))
-		return nil
-	})
-
-	run("ablations", func() error {
-		fmt.Println("Ablation: prefetch degree on Q6 (paper fixes 4)")
-		pts, err := experiments.AblatePrefetchDegree(o, "Q6")
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.AblationTable(pts))
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(t0).Round(time.Millisecond))
 		fmt.Println()
-		fmt.Println("Ablation: write-buffer depth on Q6 (paper fixes 16)")
-		if pts, err = experiments.AblateWriteBuffer(o, "Q6"); err != nil {
-			return err
-		}
-		fmt.Print(experiments.AblationTable(pts))
-		fmt.Println()
-		fmt.Println("Ablation: directory contention on Q3 (paper models all but network)")
-		if pts, err = experiments.AblateContention(o, "Q3"); err != nil {
-			return err
-		}
-		fmt.Print(experiments.AblationTable(pts))
-		return nil
-	})
-
-	run("intraquery", func() error {
-		results, err := experiments.RunIntraQuery(o)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Extension: intra-query parallelism (a paper future-work item):")
-		fmt.Println("one Q6 page-partitioned across the processors vs the paper's")
-		fmt.Println("inter-query model")
-		fmt.Print(experiments.IntraQueryTable(results))
-		return nil
-	})
-
-	run("streams", func() error {
-		points, err := experiments.RunStreams(o, 9)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Extension: multi-round query streams on 1MB/32MB caches")
-		fmt.Println("(later rounds of Sequential queries run on warm data)")
-		fmt.Print(experiments.StreamsTable(points))
-		return nil
-	})
-
-	run("topology", func() error {
-		results, err := experiments.CompareTopology(o)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Extension: directory CC-NUMA (the paper's machine) vs a")
-		fmt.Println("bus-based snooping SMP with identical caches (per-query numa = 100);")
-		fmt.Println("at only 4 processors the bus's shorter round trip beats remote NUMA")
-		fmt.Println("latency — the paper's NUMA is built for scaling beyond a bus's reach")
-		fmt.Print(experiments.TopologyTable(results))
-		return nil
-	})
-
-	run("scorecard", func() error {
-		claims, err := experiments.RunScorecard(o)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Scorecard: the paper's headline claims graded against this run")
-		fmt.Print(experiments.ScorecardTable(claims))
-		failed := 0
-		for _, c := range claims {
-			if !c.Pass {
-				failed++
-			}
-		}
-		fmt.Printf("%d/%d claims hold\n", len(claims)-failed, len(claims))
-		return nil
-	})
-
-	run("fig13", func() error {
-		results, err := experiments.RunPrefetch(o)
-		if err != nil {
-			return err
-		}
-		fmt.Println("Figure 13: impact of sequential data prefetching (Base = 100)")
-		fmt.Print(experiments.Fig13(results))
-		return nil
-	})
-
-	if flag.NArg() > 0 {
-		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
-		os.Exit(2)
 	}
 }

@@ -1,0 +1,247 @@
+// Command dssmemd serves the paper's experiments over HTTP: a
+// long-lived daemon in front of the internal/runner worker pool, so
+// repeated experiment requests are answered from the content-addressed
+// result cache instead of re-simulating.
+//
+//	dssmemd [-addr :8080] [-jobs N] [-cache-dir DIR]
+//
+// Endpoints:
+//
+//	POST /v1/experiments      submit {"exp":"fig8","scale":0.01,...}; returns {"id":...}
+//	GET  /v1/experiments/{id} status; when done, the rendered report text
+//	GET  /v1/healthz          liveness
+//	GET  /v1/stats            pool accounting: cache hit rate, queue depth, utilization
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, lets
+// in-flight experiments finish rendering, then drains the pool.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+)
+
+// request is the POST /v1/experiments body. Zero-valued fields take the
+// paper's defaults.
+type request struct {
+	Exp     string   `json:"exp"`
+	Scale   float64  `json:"scale,omitempty"`
+	Seed    uint64   `json:"seed,omitempty"`
+	Queries []string `json:"queries,omitempty"`
+}
+
+// experimentRun is one submitted experiment's lifecycle record.
+type experimentRun struct {
+	ID        int64     `json:"id"`
+	Exp       string    `json:"exp"`
+	State     string    `json:"state"` // running, done, failed
+	Submitted time.Time `json:"submitted"`
+	Finished  time.Time `json:"finished,omitempty"`
+	Output    string    `json:"output,omitempty"`
+	Error     string    `json:"error,omitempty"`
+
+	mu sync.Mutex
+}
+
+func (r *experimentRun) snapshot() experimentRun {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return experimentRun{
+		ID: r.ID, Exp: r.Exp, State: r.State,
+		Submitted: r.Submitted, Finished: r.Finished,
+		Output: r.Output, Error: r.Error,
+	}
+}
+
+// server owns the Exec and the run table.
+type server struct {
+	exec *experiments.Exec
+
+	mu     sync.Mutex
+	nextID int64
+	runs   map[int64]*experimentRun
+	wg     sync.WaitGroup
+	closed bool
+
+	submitted int64
+	done      int64
+	failed    int64
+}
+
+func newServer(exec *experiments.Exec) *server {
+	return &server{exec: exec, nextID: 1, runs: make(map[int64]*experimentRun)}
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var req request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if !experiments.IsKnown(req.Exp) {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown experiment %q; valid: %s",
+			req.Exp, strings.Join(experiments.KnownExperiments, ", ")))
+		return
+	}
+	o := experiments.Defaults()
+	if req.Scale > 0 {
+		o.Scale = req.Scale
+	}
+	if req.Seed != 0 {
+		o.Seed = req.Seed
+	}
+	if len(req.Queries) > 0 {
+		o.Queries = req.Queries
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	run := &experimentRun{ID: s.nextID, Exp: req.Exp, State: "running", Submitted: time.Now()}
+	s.nextID++
+	s.runs[run.ID] = run
+	s.submitted++
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.wg.Done()
+		var buf strings.Builder
+		err := s.exec.Render(&buf, req.Exp, o)
+		run.mu.Lock()
+		run.Finished = time.Now()
+		if err != nil {
+			run.State, run.Error = "failed", err.Error()
+		} else {
+			run.State, run.Output = "done", buf.String()
+		}
+		run.mu.Unlock()
+		s.mu.Lock()
+		if err != nil {
+			s.failed++
+		} else {
+			s.done++
+		}
+		s.mu.Unlock()
+	}()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]interface{}{"id": run.ID, "state": "running"})
+}
+
+func (s *server) status(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad experiment id")
+		return
+	}
+	s.mu.Lock()
+	run, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no experiment %d", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(run.snapshot())
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	ps := s.exec.Pool().Stats()
+	s.mu.Lock()
+	resp := map[string]interface{}{
+		"pool":                  ps,
+		"cache_hit_rate":        ps.HitRate(),
+		"experiments_submitted": s.submitted,
+		"experiments_done":      s.done,
+		"experiments_failed":    s.failed,
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// drain stops accepting submissions and waits for in-flight experiments.
+func (s *server) drain() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dssmemd: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	jobs := flag.Int("jobs", 0, "concurrent experiment workers (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent result cache (empty = in-memory only)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
+		os.Exit(2)
+	}
+
+	exec := experiments.NewExecConfig(runner.Config{Workers: *jobs, CacheDir: *cacheDir})
+	s := newServer(exec)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/experiments", s.submit)
+	mux.HandleFunc("GET /v1/experiments/{id}", s.status)
+	mux.HandleFunc("GET /v1/healthz", s.healthz)
+	mux.HandleFunc("GET /v1/stats", s.stats)
+	srv := &http.Server{Addr: *addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (%d workers)", *addr, exec.Pool().Stats().Workers)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, let in-flight experiments
+	// finish, then drain the pool's workers.
+	log.Print("shutting down: draining in-flight experiments")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	s.drain()
+	exec.Close()
+	log.Print("drained; bye")
+}

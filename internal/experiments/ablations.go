@@ -1,7 +1,11 @@
 package experiments
 
 import (
+	"context"
+	"strings"
+
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -19,26 +23,51 @@ type AblationPoint struct {
 	Clock int64
 }
 
-func runConfigs(o Options, query string, cfgs []struct {
+// runConfigs runs one ablation sweep as a single job: the sweep's
+// configurations execute sequentially on one shared system (swapping
+// machines with ReplaceMachine), because the sweep's point is the
+// marginal effect of one knob along an axis — each point measured
+// against the same system history. The whole sweep is the cacheable
+// unit; independent sweeps still run concurrently as separate jobs.
+func (e *Exec) runConfigs(o Options, query string, cfgs []struct {
 	name string
 	cfg  machine.Config
 }) ([]AblationPoint, error) {
-	s, err := NewSystem(o)
+	names := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		names[i] = c.name
+	}
+	job := &runner.Job{
+		Name:    "ablate/" + query + "/" + names[0] + ".." + names[len(names)-1],
+		Mode:    "ablate",
+		Opts:    sysOpts(o),
+		Machine: cfgs[0].cfg,
+		Queries: []string{query},
+		Extra:   []string{"sweep=" + strings.Join(names, ",")},
+		Body: func(c *runner.Ctx) (interface{}, error) {
+			s, err := c.System()
+			if err != nil {
+				return nil, err
+			}
+			out := make([]AblationPoint, 0, len(cfgs))
+			for _, cc := range cfgs {
+				if err := s.ReplaceMachine(cc.cfg); err != nil {
+					return nil, err
+				}
+				rep := s.RunCold(query)
+				out = append(out, AblationPoint{
+					Name: cc.name, Query: query,
+					Bd: rep.Total(), Mach: rep.Machine, Clock: rep.MaxClock(),
+				})
+			}
+			return out, nil
+		},
+	}
+	res, err := e.pool.RunAll(context.Background(), []*runner.Job{job})
 	if err != nil {
 		return nil, err
 	}
-	var out []AblationPoint
-	for _, c := range cfgs {
-		if err := s.ReplaceMachine(c.cfg); err != nil {
-			return nil, err
-		}
-		rep := s.RunCold(query)
-		out = append(out, AblationPoint{
-			Name: c.name, Query: query,
-			Bd: rep.Total(), Mach: rep.Machine, Clock: rep.MaxClock(),
-		})
-	}
-	return out, nil
+	return res[0].([]AblationPoint), nil
 }
 
 // PrefetchDegrees is the prefetch-depth ablation (the paper fixes 4).
@@ -48,6 +77,11 @@ var PrefetchDegrees = []int{1, 2, 4, 8, 16}
 // Sequential query: deeper prefetching removes more Data stall until
 // cache disruption and late arrivals flatten the curve.
 func AblatePrefetchDegree(o Options, query string) ([]AblationPoint, error) {
+	return Default().AblatePrefetchDegree(o, query)
+}
+
+// AblatePrefetchDegree is the Exec-bound form of the package function.
+func (e *Exec) AblatePrefetchDegree(o Options, query string) ([]AblationPoint, error) {
 	cfgs := []struct {
 		name string
 		cfg  machine.Config
@@ -61,7 +95,7 @@ func AblatePrefetchDegree(o Options, query string) ([]AblationPoint, error) {
 			cfg  machine.Config
 		}{name: "deg" + itoa(d), cfg: cfg})
 	}
-	return runConfigs(o, query, cfgs)
+	return e.runConfigs(o, query, cfgs)
 }
 
 // WriteBufferDepths is the write-buffer ablation (the paper fixes 16).
@@ -71,6 +105,11 @@ var WriteBufferDepths = []int{1, 2, 4, 8, 16, 32}
 // buffers stall the processor on store bursts (tuple copies into
 // private slots), deep ones hide them entirely.
 func AblateWriteBuffer(o Options, query string) ([]AblationPoint, error) {
+	return Default().AblateWriteBuffer(o, query)
+}
+
+// AblateWriteBuffer is the Exec-bound form of the package function.
+func (e *Exec) AblateWriteBuffer(o Options, query string) ([]AblationPoint, error) {
 	var cfgs []struct {
 		name string
 		cfg  machine.Config
@@ -83,17 +122,22 @@ func AblateWriteBuffer(o Options, query string) ([]AblationPoint, error) {
 			cfg  machine.Config
 		}{name: "wb" + itoa(d), cfg: cfg})
 	}
-	return runConfigs(o, query, cfgs)
+	return e.runConfigs(o, query, cfgs)
 }
 
 // AblateContention toggles directory-occupancy queueing — the paper
 // models "all contention in the system ... except in the network". An
 // Index query's hot lock homes feel it; with it off, MSync shrinks.
 func AblateContention(o Options, query string) ([]AblationPoint, error) {
+	return Default().AblateContention(o, query)
+}
+
+// AblateContention is the Exec-bound form of the package function.
+func (e *Exec) AblateContention(o Options, query string) ([]AblationPoint, error) {
 	on := machine.Baseline()
 	off := machine.Baseline()
 	off.DirOccupancy = 0
-	return runConfigs(o, query, []struct {
+	return e.runConfigs(o, query, []struct {
 		name string
 		cfg  machine.Config
 	}{{"contention-on", on}, {"contention-off", off}})
@@ -106,31 +150,37 @@ func AblateContention(o Options, query string) ([]AblationPoint, error) {
 // saturate the single bus where the page-interleaved directories
 // spread the load.
 func CompareTopology(o Options) ([]AblationPoint, error) {
-	s, err := NewSystem(o)
+	return Default().CompareTopology(o)
+}
+
+// CompareTopology is the Exec-bound form of the package function.
+func (e *Exec) CompareTopology(o Options) ([]AblationPoint, error) {
+	bus := machine.Baseline()
+	bus.SnoopingBus = true
+	tops := []struct {
+		name string
+		cfg  machine.Config
+	}{{"numa", machine.Baseline()}, {"bus", bus}}
+	type coord struct {
+		q, name string
+	}
+	var coords []coord
+	var jobs []*runner.Job
+	for _, q := range o.Queries {
+		for _, top := range tops {
+			coords = append(coords, coord{q, top.name})
+			jobs = append(jobs, coldJob(o, top.cfg, q))
+		}
+	}
+	reps, err := e.reports(jobs)
 	if err != nil {
 		return nil, err
 	}
-	var out []AblationPoint
-	for _, q := range o.Queries {
-		for _, top := range []struct {
-			name string
-			cfg  machine.Config
-		}{
-			{"numa", machine.Baseline()},
-			{"bus", func() machine.Config {
-				c := machine.Baseline()
-				c.SnoopingBus = true
-				return c
-			}()},
-		} {
-			if err := s.ReplaceMachine(top.cfg); err != nil {
-				return nil, err
-			}
-			rep := s.RunCold(q)
-			out = append(out, AblationPoint{
-				Name: q + "/" + top.name, Query: q,
-				Bd: rep.Total(), Mach: rep.Machine, Clock: rep.MaxClock(),
-			})
+	out := make([]AblationPoint, len(reps))
+	for i, rep := range reps {
+		out[i] = AblationPoint{
+			Name: coords[i].q + "/" + coords[i].name, Query: coords[i].q,
+			Bd: rep.Total(), Mach: rep.Machine, Clock: rep.MaxClock(),
 		}
 	}
 	return out, nil

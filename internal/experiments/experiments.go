@@ -49,18 +49,15 @@ func NewSystem(o Options) (*core.System, error) {
 // Table 1
 
 // Table1 regenerates the paper's Table 1: the operations appearing in
-// the plan of every read-only TPC-D query.
+// the plan of every read-only TPC-D query. It delegates to the shared
+// runner-backed Exec (plan shape does not depend on data volume, so the
+// job runs at a clamped scale).
 func Table1(o Options) (*stats.Table, error) {
-	// Plan shape does not depend on the data volume; build a small
-	// database for speed.
-	small := o
-	if small.Scale > 0.002 {
-		small.Scale = 0.002
-	}
-	s, err := NewSystem(small)
-	if err != nil {
-		return nil, err
-	}
+	return Default().Table1(o)
+}
+
+// table1Of builds the Table 1 operator matrix from a loaded system.
+func table1Of(s *core.System) *stats.Table {
 	t := &stats.Table{Header: []string{"Query", "SS", "IS", "NL", "M", "H", "Sort", "Group", "Aggr"}}
 	for _, q := range tpcd.QueryNames {
 		plan := tpcd.BuildQuery(s.DB, q, 0)
@@ -74,7 +71,7 @@ func Table1(o Options) (*stats.Table, error) {
 		}
 		t.AddRow(row...)
 	}
-	return t, nil
+	return t
 }
 
 // ---------------------------------------------------------------------
@@ -87,20 +84,10 @@ type QueryResult struct {
 }
 
 // RunCold measures each query from a cold start on the given machine
-// configuration, reusing one loaded database.
+// configuration, one runner job per query (workers reuse one loaded
+// database, as the old serial loop reused one system).
 func RunCold(o Options, mcfg machine.Config) ([]QueryResult, error) {
-	s, err := NewSystem(o)
-	if err != nil {
-		return nil, err
-	}
-	if err := s.ReplaceMachine(mcfg); err != nil {
-		return nil, err
-	}
-	var out []QueryResult
-	for _, q := range o.Queries {
-		out = append(out, QueryResult{Query: q, Report: s.RunCold(q)})
-	}
-	return out, nil
+	return Default().RunCold(o, mcfg)
 }
 
 // Fig6 renders Figure 6: (a) normalized execution time broken into
@@ -181,37 +168,10 @@ type SweepPoint struct {
 	Clock  int64
 }
 
-func sweep(o Options, params []int, mk func(machine.Config, int) machine.Config) ([]SweepPoint, error) {
-	s, err := NewSystem(o)
-	if err != nil {
-		return nil, err
-	}
-	base := machine.Baseline()
-	var out []SweepPoint
-	for _, q := range o.Queries {
-		for _, prm := range params {
-			if err := s.ReplaceMachine(mk(base, prm)); err != nil {
-				return nil, err
-			}
-			rep := s.RunCold(q)
-			out = append(out, SweepPoint{
-				Query:  q,
-				Param:  prm,
-				L1Miss: rep.Machine.L1Misses.ByGroup(),
-				L2Miss: rep.Machine.L2Misses.ByGroup(),
-				Bd:     rep.Total(),
-				Clock:  rep.MaxClock(),
-			})
-		}
-	}
-	return out, nil
-}
-
-// RunLineSweep measures every query at every line size (Figures 8-9).
+// RunLineSweep measures every query at every line size (Figures 8-9),
+// one runner job per sweep point.
 func RunLineSweep(o Options) ([]SweepPoint, error) {
-	return sweep(o, LineSizes, func(c machine.Config, ls int) machine.Config {
-		return c.WithLineSize(ls)
-	})
+	return Default().RunLineSweep(o)
 }
 
 // findPoint returns the sweep point for (query, param); it panics when
@@ -312,11 +272,9 @@ var CacheSizes = []int{128, 256, 512, 1024, 2048, 4096, 8192}
 const BaselineL2KB = 128
 
 // RunCacheSweep measures every query at every cache size (Figures
-// 10-11).
+// 10-11), one runner job per sweep point.
 func RunCacheSweep(o Options) ([]SweepPoint, error) {
-	return sweep(o, CacheSizes, func(c machine.Config, l2kb int) machine.Config {
-		return c.WithCacheSizes(l2kb*1024/32, l2kb*1024)
-	})
+	return Default().RunCacheSweep(o)
 }
 
 // Fig10 renders Figure 10 for one query.
@@ -349,36 +307,10 @@ var Fig12Pairs = []WarmResult{
 
 // RunWarmCache runs Figure 12: very large caches (1-MB primary, 32-MB
 // secondary) to bound the achievable reuse; the second query of each
-// pair is the measured one.
+// pair is the measured one. Each scenario is a warming job plus a
+// dependent measured job sharing one system (see Exec.RunWarmCache).
 func RunWarmCache(o Options) ([]WarmResult, error) {
-	s, err := NewSystem(o)
-	if err != nil {
-		return nil, err
-	}
-	cfg := machine.Baseline().WithCacheSizes(1<<20, 32<<20)
-	if err := s.ReplaceMachine(cfg); err != nil {
-		return nil, err
-	}
-	runVariants := func(q string, base uint64) {
-		runs := s.SameQueryAllProcs(q)
-		for i := range runs {
-			runs[i].Variant += base
-		}
-		s.RunQueries(runs)
-	}
-	out := make([]WarmResult, 0, len(Fig12Pairs))
-	for _, sc := range Fig12Pairs {
-		s.ColdStart()
-		if sc.Warmer != "" {
-			runVariants(sc.Warmer, 0)
-			s.ResetMeasurement()
-		}
-		runVariants(sc.Target, 100) // measured run uses fresh parameters
-		res := sc
-		res.L2 = s.Mach.Stats().L2Misses.ByGroup()
-		out = append(out, res)
-	}
-	return out, nil
+	return Default().RunWarmCache(o)
 }
 
 // Fig12 renders Figure 12 for one target query, normalized to 100 for
@@ -424,32 +356,9 @@ type PrefetchResult struct {
 
 // RunPrefetch runs Figure 13: the baseline architecture against the
 // baseline plus 4-line sequential prefetching of database data into the
-// primary cache.
+// primary cache, two runner jobs per query.
 func RunPrefetch(o Options) ([]PrefetchResult, error) {
-	s, err := NewSystem(o)
-	if err != nil {
-		return nil, err
-	}
-	var out []PrefetchResult
-	for _, q := range o.Queries {
-		if err := s.ReplaceMachine(machine.Baseline()); err != nil {
-			return nil, err
-		}
-		base := s.RunCold(q)
-		pf := machine.Baseline()
-		pf.PrefetchData = true
-		if err := s.ReplaceMachine(pf); err != nil {
-			return nil, err
-		}
-		opt := s.RunCold(q)
-		out = append(out, PrefetchResult{
-			Query: q,
-			Base:  base.Total(), Opt: opt.Total(),
-			BaseClk: base.MaxClock(), OptClk: opt.MaxClock(),
-			Prefetch: opt.Machine.Prefetches,
-		})
-	}
-	return out, nil
+	return Default().RunPrefetch(o)
 }
 
 // Fig13 renders Figure 13: Base and Opt execution-time breakdowns per

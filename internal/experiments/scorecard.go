@@ -28,10 +28,17 @@ func claim(id, text string, pass bool, detail string) Claim {
 // sweeps, the warm-cache pairs, and the prefetch comparison, and grades
 // the paper's claims.
 func RunScorecard(o Options) ([]Claim, error) {
+	return Default().RunScorecard(o)
+}
+
+// RunScorecard is the Exec-bound form of the package function. The
+// component experiments all run through this Exec's pool, so a
+// scorecard after an `-exp all` run resolves mostly from cache.
+func (e *Exec) RunScorecard(o Options) ([]Claim, error) {
 	var out []Claim
 
 	// Table 1.
-	tbl, err := Table1(o)
+	tbl, err := e.Table1(o)
 	if err != nil {
 		return nil, err
 	}
@@ -39,7 +46,7 @@ func RunScorecard(o Options) ([]Claim, error) {
 		len(tbl.Rows) == len(tpcd.QueryNames), fmt.Sprintf("%d rows", len(tbl.Rows))))
 
 	// Figures 6 and 7.
-	results, err := RunCold(o, machine.Baseline())
+	results, err := e.RunCold(o, machine.Baseline())
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +93,7 @@ func RunScorecard(o Options) ([]Claim, error) {
 	// Figures 8 and 9 (Q6 + Q3 line sweep).
 	lo := o
 	lo.Queries = []string{"Q6", "Q3"}
-	line, err := RunLineSweep(lo)
+	line, err := e.RunLineSweep(lo)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +114,7 @@ func RunScorecard(o Options) ([]Claim, error) {
 	// Figures 10 and 11 (Q6 cache sweep).
 	co := o
 	co.Queries = []string{"Q6"}
-	cache, err := RunCacheSweep(co)
+	cache, err := e.RunCacheSweep(co)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +129,7 @@ func RunScorecard(o Options) ([]Claim, error) {
 		pSmall >= 4*pBig, fmt.Sprintf("%.0fx", float64(pSmall)/float64(pBig))))
 
 	// Figure 12.
-	warm, err := RunWarmCache(o)
+	warm, err := e.RunWarmCache(o)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +156,7 @@ func RunScorecard(o Options) ([]Claim, error) {
 	// Figure 13.
 	po := o
 	po.Queries = []string{"Q6", "Q12", "Q3"}
-	pf, err := RunPrefetch(po)
+	pf, err := e.RunPrefetch(po)
 	if err != nil {
 		return nil, err
 	}

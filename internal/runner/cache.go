@@ -1,0 +1,93 @@
+package runner
+
+import (
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: an always-on
+// in-memory map, optionally backed by a directory of gob files so cached
+// results survive process restarts. Values stored under a key are
+// treated as immutable — a hit returns the stored value itself, shared
+// by every requester — and concrete result types must be registered with
+// encoding/gob for the disk tier to accept them (the experiments package
+// registers its result types; unregistered values simply stay
+// memory-only).
+type resultCache struct {
+	mu  sync.RWMutex
+	mem map[string]interface{}
+	dir string // "" = memory-only
+}
+
+// diskEntry wraps a cached value so gob can encode the interface.
+type diskEntry struct {
+	V interface{}
+}
+
+func newResultCache(dir string) *resultCache {
+	if dir != "" {
+		// Best effort: an unusable directory degrades to memory-only.
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			dir = ""
+		}
+	}
+	return &resultCache{mem: make(map[string]interface{}), dir: dir}
+}
+
+func (c *resultCache) path(key string) string {
+	return filepath.Join(c.dir, key+".gob")
+}
+
+// get returns the cached value for key, checking memory first and then
+// the disk tier; disk hits are promoted to memory.
+func (c *resultCache) get(key string) (interface{}, bool) {
+	c.mu.RLock()
+	v, ok := c.mem[key]
+	c.mu.RUnlock()
+	if ok || c.dir == "" {
+		return v, ok
+	}
+	f, err := os.Open(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var e diskEntry
+	if err := gob.NewDecoder(f).Decode(&e); err != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.mem[key] = e.V
+	c.mu.Unlock()
+	return e.V, true
+}
+
+// put stores a value in memory and, when configured, on disk. Disk
+// failures (unregistered gob types, full disk) are silently tolerated:
+// the memory tier alone preserves correctness.
+func (c *resultCache) put(key string, v interface{}) {
+	c.mu.Lock()
+	c.mem[key] = v
+	c.mu.Unlock()
+	if c.dir == "" {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	err = gob.NewEncoder(tmp).Encode(&diskEntry{V: v})
+	if cerr := tmp.Close(); err == nil && cerr == nil {
+		os.Rename(tmp.Name(), c.path(key))
+	}
+}
+
+// size returns the number of in-memory entries.
+func (c *resultCache) size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.mem)
+}

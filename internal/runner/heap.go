@@ -1,0 +1,30 @@
+package runner
+
+// readyHeap is the min-heap ready queue: jobs whose dependencies are all
+// resolved, ordered by (Priority, submission ID). The explicit ID
+// tie-break makes worker pop order deterministic for equal priorities,
+// which keeps single-worker execution identical to the old serial loops.
+// It implements container/heap.Interface.
+type readyHeap []*jobRec
+
+func (h readyHeap) Len() int { return len(h) }
+
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].job.Priority != h[j].job.Priority {
+		return h[i].job.Priority < h[j].job.Priority
+	}
+	return h[i].id < h[j].id
+}
+
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(*jobRec)) }
+
+func (h *readyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	rec := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return rec
+}

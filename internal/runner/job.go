@@ -1,0 +1,162 @@
+package runner
+
+import (
+	"time"
+
+	"repro/internal/machine"
+)
+
+// JobID identifies a submitted job within its Pool. IDs are assigned in
+// submission order and double as the deterministic tie-breaker of the
+// ready queue, so equal-priority jobs execute FIFO.
+type JobID int64
+
+// SystemOptions identifies the simulated system a job runs against: the
+// database scale factor and generation seed. Together with the machine
+// configuration they fully determine a freshly built system, which is
+// why they are cache-key material.
+type SystemOptions struct {
+	Scale float64
+	Seed  uint64
+}
+
+// Job is one schedulable unit of simulation work.
+//
+// The Opts/Machine/Queries/Mode/Extra fields are the job's identity: the
+// pool derives the content-addressed cache key from them (see Key), so
+// they must fully determine the Body's result. Body receives a Ctx whose
+// System method lazily provides a *core.System built from Opts and
+// Machine; bodies that never call it never pay for database generation.
+type Job struct {
+	// Name labels the job in events, errors, and bookkeeping.
+	Name string
+	// Mode discriminates otherwise-identical cache keys between job
+	// families ("cold", "warm", "table1", ...).
+	Mode string
+	// Opts selects the simulated database.
+	Opts SystemOptions
+	// Machine is the machine configuration the job measures.
+	Machine machine.Config
+	// Queries is the measured query list (cache-key material).
+	Queries []string
+	// Extra is additional cache-key material for parameters not covered
+	// by the fields above.
+	Extra []string
+
+	// Priority orders the ready queue: lower runs earlier; ties break by
+	// submission order.
+	Priority int
+	// After lists jobs of the same SubmitAll batch that must reach a
+	// terminal state before this job may start (the warm-cache
+	// experiments hang a measured run off its warming run this way).
+	After []*Job
+	// StateKey names a shared mutable system. All jobs of one SubmitAll
+	// batch with the same non-empty StateKey run on one *core.System
+	// instance, created from the first job's Opts/Machine and never
+	// reconfigured, so cache contents survive from job to job. Callers
+	// must serialize such jobs through After edges; the pool frees the
+	// system when the last job naming it settles. Keys are scoped to
+	// their batch — equal keys in different batches never share state,
+	// so concurrent submissions of the same experiment cannot corrupt
+	// each other.
+	StateKey string
+
+	// NoCache exempts the job from result caching (for jobs run for
+	// their side effect on a shared system, whose "result" is state).
+	NoCache bool
+	// Ephemeral marks a job that exists only to feed its dependents: if
+	// at submission every dependent is already resolved from the cache,
+	// the job is skipped.
+	Ephemeral bool
+	// Retries is how many times a failed Body is re-attempted.
+	Retries int
+
+	// Body computes the job's result.
+	Body func(*Ctx) (interface{}, error)
+}
+
+// State is a job's lifecycle position.
+type State int
+
+const (
+	// Pending jobs wait on After dependencies.
+	Pending State = iota
+	// Ready jobs sit in the ready queue.
+	Ready
+	// Running jobs occupy a worker.
+	Running
+	// Done jobs completed their Body successfully.
+	Done
+	// Failed jobs exhausted their retries, lost a dependency, or were
+	// cancelled by shutdown.
+	Failed
+	// Cached jobs were resolved from the result cache without running.
+	Cached
+	// Skipped jobs were ephemeral and no longer needed.
+	Skipped
+)
+
+var stateNames = [...]string{"pending", "ready", "running", "done", "failed", "cached", "skipped"}
+
+func (s State) String() string {
+	if s < 0 || int(s) >= len(stateNames) {
+		return "invalid"
+	}
+	return stateNames[s]
+}
+
+// terminal reports whether the state is final.
+func (s State) terminal() bool { return s == Done || s == Failed || s == Cached || s == Skipped }
+
+// Info is the pool's bookkeeping snapshot for one job.
+type Info struct {
+	ID       JobID
+	Name     string
+	State    State
+	CacheHit bool
+	Attempts int
+
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+
+	Err error
+}
+
+// Duration returns how long the job ran (zero until it finishes).
+func (i Info) Duration() time.Duration {
+	if i.Finished.IsZero() || i.Started.IsZero() {
+		return 0
+	}
+	return i.Finished.Sub(i.Started)
+}
+
+// jobRec is the pool-internal record of a submitted job.
+type jobRec struct {
+	job      *Job
+	id       JobID
+	key      string // cache key, "" when NoCache
+	stateKey string // batch-scoped shared-system key, "" when stateless
+
+	// All fields below are guarded by the pool mutex.
+	state      State
+	waiting    int // unresolved dependencies
+	dependents []*jobRec
+	result     interface{}
+	err        error
+	attempts   int
+	cacheHit   bool
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	done       chan struct{} // closed on terminal state
+}
+
+func (r *jobRec) info() Info {
+	return Info{
+		ID: r.id, Name: r.job.Name, State: r.state,
+		CacheHit: r.cacheHit, Attempts: r.attempts,
+		Submitted: r.submitted, Started: r.started, Finished: r.finished,
+		Err: r.err,
+	}
+}

@@ -1,0 +1,61 @@
+package runner
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestKeyCanonicalization checks the content-address: equal identity
+// fields hash equal, and every identity field perturbs the key.
+func TestKeyCanonicalization(t *testing.T) {
+	base := func() *Job {
+		return &Job{
+			Name: "whatever", Mode: "cold",
+			Opts:    SystemOptions{Scale: 0.01, Seed: 12345},
+			Machine: machine.Baseline(),
+			Queries: []string{"Q6"},
+		}
+	}
+	k := base().Key()
+	if k == "" {
+		t.Fatal("cacheable job has empty key")
+	}
+	same := base()
+	same.Name = "a different label" // Name is not identity
+	same.Priority = 3               // neither is scheduling metadata
+	same.Retries = 2
+	if same.Key() != k {
+		t.Error("key depends on non-identity fields")
+	}
+
+	perturb := map[string]func(*Job){
+		"mode":    func(j *Job) { j.Mode = "warm" },
+		"scale":   func(j *Job) { j.Opts.Scale = 0.002 },
+		"seed":    func(j *Job) { j.Opts.Seed = 999 },
+		"machine": func(j *Job) { j.Machine.L2Line *= 2 },
+		"queries": func(j *Job) { j.Queries = []string{"Q3"} },
+		"extra":   func(j *Job) { j.Extra = []string{"warmer=Q12"} },
+	}
+	for field, mutate := range perturb {
+		j := base()
+		mutate(j)
+		if j.Key() == k {
+			t.Errorf("changing %s does not change the key", field)
+		}
+	}
+
+	queries := base()
+	queries.Queries = []string{"Q6", "Q3"}
+	split := base()
+	split.Queries = []string{"Q6,Q3"} // separator must prevent collisions
+	if queries.Key() == split.Key() {
+		t.Error("query list encoding is ambiguous")
+	}
+
+	nc := base()
+	nc.NoCache = true
+	if nc.Key() != "" {
+		t.Error("NoCache job has a key")
+	}
+}

@@ -1,0 +1,101 @@
+package runner
+
+import (
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// SystemFactory builds a simulated system for a job. The default factory
+// assembles the paper's core.System; tests substitute lightweight fakes.
+type SystemFactory func(SystemOptions, machine.Config) (*core.System, error)
+
+// defaultFactory builds the real thing: the paper's default
+// configuration with the job's database scale/seed and machine model.
+func defaultFactory(o SystemOptions, m machine.Config) (*core.System, error) {
+	cfg := core.DefaultConfig()
+	cfg.DB.ScaleFactor = o.Scale
+	cfg.DB.Seed = o.Seed
+	cfg.Machine = m
+	return core.NewSystem(cfg)
+}
+
+// Ctx is the execution context handed to a job Body. Its System method
+// is lazy: bodies that never call it (pure bookkeeping jobs, tests)
+// never pay for database generation.
+type Ctx struct {
+	pool *Pool
+	rec  *jobRec
+	w    *worker
+}
+
+// Job returns the job being executed.
+func (c *Ctx) Job() *Job { return c.rec.job }
+
+// System returns the simulated system for this job.
+//
+// Stateless jobs (empty StateKey) receive a freshly constructed system:
+// a simulation's timing depends on the system's entire run history (a
+// previous query leaves the database's buffer pool and lock tables in a
+// different state), so sharing systems between unrelated jobs would
+// make results depend on which worker ran what first. Building each
+// measurement from a pristine system makes every result a pure function
+// of the job's identity fields — the property that lets the cache
+// deduplicate and lets any worker count produce byte-identical output.
+//
+// StateKey jobs receive the shared system registered under that key,
+// creating it from this job's Opts/Machine on first use; its caches and
+// measurement state carry over between the jobs that share it, which
+// are serialized by their dependency edges.
+func (c *Ctx) System() (*core.System, error) {
+	if c.rec.stateKey != "" {
+		return c.pool.sharedSystem(c.rec)
+	}
+	j := c.rec.job
+	return c.pool.factory(j.Opts, j.Machine)
+}
+
+// worker is one pool worker.
+type worker struct {
+	id int
+}
+
+// sharedSystem returns (creating on first use) the system registered
+// under the record's batch-scoped state key. Jobs sharing a key are
+// serialized by their dependency edges, so at most one of them executes
+// at a time; the map lock guards only the lookup and insert, never the
+// (slow) factory call, so a system build cannot stall unrelated
+// workers.
+func (p *Pool) sharedSystem(rec *jobRec) (*core.System, error) {
+	p.sharedMu.Lock()
+	s, ok := p.shared[rec.stateKey]
+	p.sharedMu.Unlock()
+	if ok {
+		return s, nil
+	}
+	j := rec.job
+	s, err := p.factory(j.Opts, j.Machine)
+	if err != nil {
+		return nil, err
+	}
+	p.sharedMu.Lock()
+	p.shared[rec.stateKey] = s
+	p.sharedMu.Unlock()
+	return s, nil
+}
+
+// stateRef / stateUnref track how many live jobs name each StateKey so
+// the shared system can be freed as soon as the last one finishes.
+func (p *Pool) stateRef(key string) {
+	p.sharedMu.Lock()
+	p.stateRefs[key]++
+	p.sharedMu.Unlock()
+}
+
+func (p *Pool) stateUnref(key string) {
+	p.sharedMu.Lock()
+	if p.stateRefs[key]--; p.stateRefs[key] <= 0 {
+		delete(p.stateRefs, key)
+		delete(p.shared, key)
+	}
+	p.sharedMu.Unlock()
+}
