@@ -14,18 +14,29 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the packages with real concurrency: the experiment runner
-# (worker pool, shared-state systems, result cache) and the scheduler.
+# Race-check every internal package. The scheduler's baton-pass handoff
+# and the runner's worker pool are the concurrency hot spots, but the
+# determinism tests in internal/experiments only mean something if they
+# also hold under the race detector, so the whole tree runs.
 race:
-	$(GO) test -race ./internal/runner ./internal/sched
+	$(GO) test -race ./internal/...
 
 vet:
 	$(GO) vet ./...
 
 check: build vet race test
 
+# Benchmark snapshot: the per-figure experiment benchmarks (one cold
+# iteration each — the runner's result cache would otherwise serve
+# repeats and measure nothing) plus the per-reference hot-path
+# microbenchmarks, folded into a committed JSON file for cross-PR diffs.
+BENCH_JSON ?= BENCH_pr2.json
 bench:
-	$(GO) test -run NONE -bench . -benchtime 1x .
+	$(GO) test -run NONE -bench . -benchmem -benchtime 1x . > bench_output.txt
+	$(GO) test -run NONE -bench . -benchmem ./internal/machine ./internal/sched >> bench_output.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) bench_output.txt
+	@echo "wrote $(BENCH_JSON)"
 
 clean:
 	$(GO) clean ./...
+	rm -f bench_output.txt

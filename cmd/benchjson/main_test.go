@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFig6Breakdown-8   	       1	1709234209 ns/op	        56.30 Q3_busy%	 4096 B/op	 1015622 allocs/op
+pkg: repro/internal/machine
+BenchmarkReadHit-8   	195000000	         6.139 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/machine	2.1s
+`
+	got, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(got))
+	}
+	fig6 := got[0]
+	if fig6.Name != "BenchmarkFig6Breakdown" || fig6.Package != "repro" || fig6.Iterations != 1 {
+		t.Errorf("fig6 header = %+v", fig6)
+	}
+	if fig6.Metrics["ns/op"] != 1709234209 || fig6.Metrics["allocs/op"] != 1015622 ||
+		fig6.Metrics["Q3_busy%"] != 56.30 {
+		t.Errorf("fig6 metrics = %v", fig6.Metrics)
+	}
+	hit := got[1]
+	if hit.Package != "repro/internal/machine" || hit.Metrics["ns/op"] != 6.139 ||
+		hit.Metrics["allocs/op"] != 0 {
+		t.Errorf("readhit = %+v", hit)
+	}
+}

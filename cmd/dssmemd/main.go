@@ -11,6 +11,7 @@
 //	GET  /v1/experiments/{id} status; when done, the rendered report text
 //	GET  /v1/healthz          liveness
 //	GET  /v1/stats            pool accounting: cache hit rate, queue depth, utilization
+//	GET  /debug/pprof/        live profiling (CPU, heap, goroutine, trace)
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, lets
 // in-flight experiments finish rendering, then drains the pool.
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -218,6 +220,13 @@ func main() {
 	mux.HandleFunc("GET /v1/experiments/{id}", s.status)
 	mux.HandleFunc("GET /v1/healthz", s.healthz)
 	mux.HandleFunc("GET /v1/stats", s.stats)
+	// Live profiling of a running daemon: `go tool pprof
+	// http://host/debug/pprof/profile` while experiments execute.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Addr: *addr, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

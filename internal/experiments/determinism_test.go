@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The scheduler's contract is that simulated time is a pure function of
+// the configuration: the baton-pass handoff may run procs on any OS
+// thread in any real-time order, but the (clock, id) ordering must make
+// every run — including runs under the race detector — produce the
+// same clocks, the same miss tables, and the same report bytes.
+
+func determinismConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.DB.ScaleFactor = 0.002
+	return cfg
+}
+
+func TestSchedulerDeterminism(t *testing.T) {
+	queries := []string{"Q3", "Q6", "Q12"}
+	measure := func() []*core.Report {
+		s, err := core.NewSystem(determinismConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps := make([]*core.Report, 0, len(queries))
+		for _, q := range queries {
+			reps = append(reps, s.RunCold(q))
+		}
+		return reps
+	}
+	first, second := measure(), measure()
+	for i, q := range queries {
+		a, b := first[i], second[i]
+		if !reflect.DeepEqual(a.Clocks, b.Clocks) {
+			t.Errorf("%s: clocks differ between runs:\n  %v\n  %v", q, a.Clocks, b.Clocks)
+		}
+		if !reflect.DeepEqual(a.PerProc, b.PerProc) {
+			t.Errorf("%s: cycle breakdowns differ between runs", q)
+		}
+		if !reflect.DeepEqual(a.Machine, b.Machine) {
+			t.Errorf("%s: machine stats (miss tables) differ between runs", q)
+		}
+		if !reflect.DeepEqual(a.Rows, b.Rows) {
+			t.Errorf("%s: row counts differ between runs: %v vs %v", q, a.Rows, b.Rows)
+		}
+	}
+}
+
+// TestReportBytesDeterministic renders fig6 through two independent
+// executors (fresh pools, fresh caches) and requires identical bytes —
+// the end-to-end version of the per-run check above.
+func TestReportBytesDeterministic(t *testing.T) {
+	render := func() []byte {
+		e := NewExec(4)
+		defer e.Close()
+		var buf bytes.Buffer
+		if err := e.Render(&buf, "fig6", goldenOptions()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Errorf("fig6 report bytes differ between independent executors:\n%s", firstDiff(a, b))
+	}
+}

@@ -162,6 +162,9 @@ func TestScorecardAllClaimsHold(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")
 	}
+	if raceEnabled {
+		t.Skip("native-speed claim pinning; the race-mode net is determinism_test.go")
+	}
 	claims, err := RunScorecard(testOptions(0.002))
 	if err != nil {
 		t.Fatal(err)

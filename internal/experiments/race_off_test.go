@@ -1,0 +1,9 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; heavyweight byte-pinning tests skip under it (they are
+// native-speed equivalence gates — the determinism tests are the
+// race-mode regression net, see determinism_test.go).
+const raceEnabled = false

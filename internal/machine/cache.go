@@ -1,6 +1,10 @@
 package machine
 
-import "repro/internal/stats"
+import (
+	"math/bits"
+
+	"repro/internal/stats"
+)
 
 // Absence reasons recorded per line per cache, used to classify the next
 // miss on that line (cold if never recorded, conflict if replaced,
@@ -11,8 +15,8 @@ const (
 	present           = uint8(3)
 )
 
-func classify(seen map[uint64]uint8, line uint64) stats.MissKind {
-	switch seen[line] {
+func classify(seen *seenTab, line uint64) stats.MissKind {
+	switch seen.get(line) {
 	case absentReplaced:
 		return stats.Conf
 	case absentInvalidated:
@@ -22,29 +26,47 @@ func classify(seen map[uint64]uint8, line uint64) stats.MissKind {
 	}
 }
 
+// setIndex computes (line>>lineShift) % sets, using the mask when the
+// set count is a power of two (every standard geometry) and division
+// otherwise.
+func setIndex(line uint64, lineShift uint, sets, setMask uint64) uint64 {
+	s := line >> lineShift
+	if setMask != 0 {
+		return s & setMask
+	}
+	return s % sets
+}
+
 // l1Cache is a direct-mapped primary cache. It holds no coherence state
 // of its own: it is kept inclusive in the node's secondary cache, which
 // is where the directory protocol acts.
 type l1Cache struct {
-	lineSize uint64
-	sets     uint64
-	lines    []uint64 // line address per set; 0 = invalid
-	seen     map[uint64]uint8
+	lineSize  uint64
+	lineShift uint
+	sets      uint64
+	setMask   uint64   // sets-1 when sets is a power of two, else 0
+	lines     []uint64 // line address per set; 0 = invalid
+	seen      *seenTab
 }
 
 func newL1(bytes, line int) *l1Cache {
 	sets := uint64(bytes / line)
-	return &l1Cache{
-		lineSize: uint64(line),
-		sets:     sets,
-		lines:    make([]uint64, sets),
-		seen:     make(map[uint64]uint8),
+	c := &l1Cache{
+		lineSize:  uint64(line),
+		lineShift: uint(bits.TrailingZeros64(uint64(line))),
+		sets:      sets,
+		lines:     make([]uint64, sets),
+		seen:      newSeenTab(uint64(line)),
 	}
+	if sets&(sets-1) == 0 {
+		c.setMask = sets - 1
+	}
+	return c
 }
 
 func (c *l1Cache) lineOf(a uint64) uint64 { return a &^ (c.lineSize - 1) }
 func (c *l1Cache) setOf(line uint64) uint64 {
-	return (line / c.lineSize) % c.sets
+	return setIndex(line, c.lineShift, c.sets, c.setMask)
 }
 
 func (c *l1Cache) lookup(a uint64) bool {
@@ -57,10 +79,10 @@ func (c *l1Cache) fill(a uint64) {
 	line := c.lineOf(a)
 	s := c.setOf(line)
 	if v := c.lines[s]; v != 0 && v != line {
-		c.seen[v] = absentReplaced
+		c.seen.set(v, absentReplaced)
 	}
 	c.lines[s] = line
-	c.seen[line] = present
+	c.seen.set(line, present)
 }
 
 // invalidateRange drops any line overlapping [a, a+n) for the given
@@ -70,7 +92,7 @@ func (c *l1Cache) invalidateRange(a, n uint64, reason uint8) {
 		s := c.setOf(line)
 		if c.lines[s] == line {
 			c.lines[s] = 0
-			c.seen[line] = reason
+			c.seen.set(line, reason)
 		}
 	}
 }
@@ -79,7 +101,7 @@ func (c *l1Cache) flush() {
 	for i := range c.lines {
 		c.lines[i] = 0
 	}
-	c.seen = make(map[uint64]uint8)
+	c.seen.reset()
 }
 
 // MSI states of a secondary-cache line.
@@ -92,33 +114,40 @@ const (
 // l2Cache is the set-associative secondary cache; its lines carry the
 // MSI coherence state.
 type l2Cache struct {
-	lineSize uint64
-	sets     uint64
-	ways     int
-	tags     []uint64 // sets*ways; 0 = invalid
-	state    []uint8
-	lastUse  []uint64
-	tick     uint64
-	seen     map[uint64]uint8
+	lineSize  uint64
+	lineShift uint
+	sets      uint64
+	setMask   uint64
+	ways      int
+	tags      []uint64 // sets*ways; 0 = invalid
+	state     []uint8
+	lastUse   []uint64
+	tick      uint64
+	seen      *seenTab
 }
 
 func newL2(bytes, line, ways int) *l2Cache {
 	sets := uint64(bytes / (line * ways))
 	n := sets * uint64(ways)
-	return &l2Cache{
-		lineSize: uint64(line),
-		sets:     sets,
-		ways:     ways,
-		tags:     make([]uint64, n),
-		state:    make([]uint8, n),
-		lastUse:  make([]uint64, n),
-		seen:     make(map[uint64]uint8),
+	c := &l2Cache{
+		lineSize:  uint64(line),
+		lineShift: uint(bits.TrailingZeros64(uint64(line))),
+		sets:      sets,
+		ways:      ways,
+		tags:      make([]uint64, n),
+		state:     make([]uint8, n),
+		lastUse:   make([]uint64, n),
+		seen:      newSeenTab(uint64(line)),
 	}
+	if sets&(sets-1) == 0 {
+		c.setMask = sets - 1
+	}
+	return c
 }
 
 func (c *l2Cache) lineOf(a uint64) uint64 { return a &^ (c.lineSize - 1) }
 func (c *l2Cache) setOf(line uint64) uint64 {
-	return (line / c.lineSize) % c.sets
+	return setIndex(line, c.lineShift, c.sets, c.setMask)
 }
 
 // find returns the way index of the line, or -1.
@@ -162,13 +191,13 @@ func (c *l2Cache) fill(line uint64, st uint8) (victim uint64, victimState uint8)
 			}
 		}
 		victim, victimState = c.tags[slot], c.state[slot]
-		c.seen[victim] = absentReplaced
+		c.seen.set(victim, absentReplaced)
 	}
 	c.tick++
 	c.tags[slot] = line
 	c.state[slot] = st
 	c.lastUse[slot] = c.tick
-	c.seen[line] = present
+	c.seen.set(line, present)
 	return victim, victimState
 }
 
@@ -183,7 +212,7 @@ func (c *l2Cache) setState(line uint64, st uint8) {
 func (c *l2Cache) invalidate(line uint64) bool {
 	if i := c.find(line); i >= 0 {
 		c.state[i] = stInvalid
-		c.seen[line] = absentInvalidated
+		c.seen.set(line, absentInvalidated)
 		return true
 	}
 	return false
@@ -195,5 +224,5 @@ func (c *l2Cache) flush() {
 		c.state[i] = stInvalid
 		c.lastUse[i] = 0
 	}
-	c.seen = make(map[uint64]uint8)
+	c.seen.reset()
 }

@@ -28,7 +28,9 @@ type node struct {
 	wb []wbEntry
 	// pfReady records when a prefetched primary line's data actually
 	// arrives; a demand access before that stalls for the remainder.
-	pfReady map[uint64]int64
+	// It is empty unless prefetching is enabled, and the hot path gates
+	// on its length before probing.
+	pfReady *timeTab
 }
 
 // AccessResult reports the outcome of one processor memory reference:
@@ -46,7 +48,7 @@ type Machine struct {
 	cfg   Config
 	mem   *simm.Memory
 	nodes []*node
-	dir   map[uint64]*dirEntry
+	dir   *dirTab
 	// dirFreeAt models directory occupancy at each home node: requests
 	// queue behind one another, which is where hot-spot contention
 	// (e.g. on LockSLock's home) comes from. Under SnoopingBus,
@@ -70,7 +72,7 @@ func New(cfg Config, mem *simm.Memory) (*Machine, error) {
 	m := &Machine{
 		cfg:       cfg,
 		mem:       mem,
-		dir:       make(map[uint64]*dirEntry),
+		dir:       newDirTab(),
 		dirFreeAt: make([]int64, cfg.Nodes),
 	}
 	m.l1FillLat = cfg.L2HitLat + int64(cfg.L1Line-32)/8*cfg.TransferPerWord
@@ -85,7 +87,7 @@ func New(cfg Config, mem *simm.Memory) (*Machine, error) {
 		m.nodes = append(m.nodes, &node{
 			l1:      newL1(cfg.L1Bytes, cfg.L1Line),
 			l2:      newL2(cfg.L2Bytes, cfg.L2Line, cfg.L2Ways),
-			pfReady: make(map[uint64]int64),
+			pfReady: newTimeTab(),
 		})
 	}
 	return m, nil
@@ -109,21 +111,20 @@ func (m *Machine) Flush() {
 		n.l1.flush()
 		n.l2.flush()
 		n.wb = nil
-		n.pfReady = make(map[uint64]int64)
+		n.pfReady.reset()
 	}
-	m.dir = make(map[uint64]*dirEntry)
+	m.dir.reset()
 	for i := range m.dirFreeAt {
 		m.dirFreeAt[i] = 0
 	}
 }
 
+// entry returns the directory entry for line, inserting a zero entry on
+// first touch. The pointer aliases the directory's backing array and is
+// invalidated by the next entry call; callers must not hold it across
+// one.
 func (m *Machine) entry(line uint64) *dirEntry {
-	e := m.dir[line]
-	if e == nil {
-		e = &dirEntry{}
-		m.dir[line] = e
-	}
-	return e
+	return m.dir.entry(line)
 }
 
 // dirQueue charges directory occupancy at the home node and returns the
@@ -253,14 +254,34 @@ func (m *Machine) wbPending(n int, line uint64, now int64) bool {
 // node n at the given cycle. The processor stalls on primary-cache read
 // misses for the full round trip.
 func (m *Machine) Read(n int, a simm.Addr, size int, now int64) AccessResult {
-	res := AccessResult{Cat: m.mem.CategoryOf(a)}
+	return m.ReadCat(n, a, size, now, m.mem.CategoryOf(a))
+}
+
+// ReadCat is Read with the category of the reference's first byte
+// precomputed — the engine's traced accessors resolve the page table
+// once for both the data load and the attribution.
+func (m *Machine) ReadCat(n int, a simm.Addr, size int, now int64, firstCat simm.Category) AccessResult {
 	nd := m.nodes[n]
 	addr := uint64(a)
+	// Fast path for the overwhelmingly common reference: a single-line
+	// access that hits the primary cache while the write buffer is
+	// drained and no prefetch is outstanding. It touches only the L1
+	// tag array — no page-table walk, no hash probes, no allocation, no
+	// stall.
+	if first := addr &^ (nd.l1.lineSize - 1); addr+uint64(size) <= first+nd.l1.lineSize &&
+		len(nd.wb) == 0 && nd.pfReady.len() == 0 &&
+		nd.l1.lines[nd.l1.setOf(first)] == first {
+		m.st.Reads++
+		m.st.ReadsByCat[firstCat]++
+		return AccessResult{Cat: firstCat}
+	}
+	res := AccessResult{Cat: firstCat}
 	end := addr + uint64(size)
 	for line := nd.l1.lineOf(addr); line < end; line += nd.l1.lineSize {
-		cat := m.mem.CategoryOf(simm.Addr(line))
-		if line < addr {
-			cat = m.mem.CategoryOf(a)
+		cat := firstCat
+		if line > addr {
+			// Later lines of a multi-line access may cross a page.
+			cat = m.mem.CategoryOf(simm.Addr(line))
 		}
 		m.st.Reads++
 		m.st.ReadsByCat[cat]++
@@ -273,12 +294,14 @@ func (m *Machine) Read(n int, a simm.Addr, size int, now int64) AccessResult {
 			// A prefetched line may not have arrived yet: stall for
 			// the remainder (a late prefetch hides only part of the
 			// miss latency).
-			if ready, ok := nd.pfReady[line]; ok {
-				if ready > now {
-					res.Stall += ready - now
-					m.st.LatePrefetches++
+			if nd.pfReady.len() > 0 {
+				if ready, ok := nd.pfReady.get(line); ok {
+					if ready > now {
+						res.Stall += ready - now
+						m.st.LatePrefetches++
+					}
+					nd.pfReady.del(line)
 				}
-				delete(nd.pfReady, line)
 			}
 			continue
 		}
@@ -308,8 +331,13 @@ func (m *Machine) Read(n int, a simm.Addr, size int, now int64) AccessResult {
 // coherence action for each drained store is applied when the store is
 // buffered (a small timing approximation documented in DESIGN.md).
 func (m *Machine) Write(n int, a simm.Addr, size int, now int64) AccessResult {
+	return m.WriteCat(n, a, size, now, m.mem.CategoryOf(a))
+}
+
+// WriteCat is Write with the first byte's category precomputed, the
+// store-side twin of ReadCat.
+func (m *Machine) WriteCat(n int, a simm.Addr, size int, now int64, cat simm.Category) AccessResult {
 	nd := m.nodes[n]
-	cat := m.mem.CategoryOf(a)
 	res := AccessResult{Cat: cat}
 	m.st.Writes++
 	g := nd.l2.lineOf(uint64(a))
@@ -425,7 +453,7 @@ func (m *Machine) prefetch(n int, l1line uint64, now int64) {
 			m.insertL2(n, g, stShared)
 		}
 		nd.l1.fill(pa)
-		nd.pfReady[pa] = now + lat
+		nd.pfReady.set(pa, now+lat)
 	}
 }
 

@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The open-addressed tables replace built-in maps on the per-reference
+// hot path; this file fuzzes each against a map oracle through growth
+// and (for timeTab) backward-shift deletion.
+
+func TestSeenTabAgainstMap(t *testing.T) {
+	tab := newSeenTab(64)
+	oracle := map[uint64]uint8{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200000; i++ {
+		// Line-address-shaped keys: multiples of 64, clustered, with a
+		// far-away band to exercise chunk materialization.
+		k := (uint64(rng.Intn(50000)) + 1) * 64
+		if rng.Intn(10) == 0 {
+			k += 1 << 30
+		}
+		switch rng.Intn(3) {
+		case 0:
+			v := uint8(rng.Intn(4))
+			tab.set(k, v)
+			oracle[k] = v
+		default:
+			if got, want := tab.get(k), oracle[k]; got != want {
+				t.Fatalf("get(%d) = %d, want %d", k, got, want)
+			}
+		}
+	}
+	tab.reset()
+	for k := range oracle {
+		if tab.get(k) != 0 {
+			t.Fatalf("reset left key %d", k)
+		}
+	}
+}
+
+func TestTimeTabAgainstMap(t *testing.T) {
+	tab := newTimeTab()
+	oracle := map[uint64]int64{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300000; i++ {
+		k := (uint64(rng.Intn(5000)) + 1) * 32
+		switch rng.Intn(4) {
+		case 0:
+			v := rng.Int63()
+			tab.set(k, v)
+			oracle[k] = v
+		case 1:
+			tab.del(k)
+			delete(oracle, k)
+		default:
+			got, ok := tab.get(k)
+			want, wantOK := oracle[k]
+			if ok != wantOK || got != want {
+				t.Fatalf("get(%d) = (%d,%v), want (%d,%v)", k, got, ok, want, wantOK)
+			}
+		}
+		if tab.len() != len(oracle) {
+			t.Fatalf("len = %d, oracle has %d", tab.len(), len(oracle))
+		}
+	}
+	// Drain completely through the deletion path.
+	for k := range oracle {
+		tab.del(k)
+	}
+	if tab.len() != 0 {
+		t.Fatalf("len = %d after drain", tab.len())
+	}
+}
+
+func TestDirTabEntryStable(t *testing.T) {
+	tab := newDirTab()
+	// Force growth and verify entries keep their values.
+	for i := uint64(1); i <= 5000; i++ {
+		e := tab.entry(i * 64)
+		e.sharers = uint16(i)
+	}
+	for i := uint64(1); i <= 5000; i++ {
+		if e := tab.entry(i * 64); e.sharers != uint16(i) {
+			t.Fatalf("entry %d: sharers = %d", i, e.sharers)
+		}
+	}
+	tab.reset()
+	if e := tab.entry(64); e.sharers != 0 {
+		t.Fatal("reset did not clear entries")
+	}
+}

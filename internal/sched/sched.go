@@ -34,12 +34,31 @@ func DefaultConfig() Config {
 }
 
 // Engine coordinates the simulated processors.
+//
+// Scheduling is a direct baton pass rather than a central scheduler
+// goroutine: the running processor owns the baton, and when its clock
+// passes the runnable horizon it repositions itself in a small ring of
+// runnable processors sorted by (clock, id). If it is still the
+// minimum it just refreshes its horizon and keeps running — no channel
+// operation, no goroutine switch. Only when it actually loses the
+// min-clock race does it wake the new minimum and park, which costs a
+// single handoff instead of the two channel operations per yield (and
+// two goroutine switches) of a scheduler-in-the-middle design. Exactly
+// one goroutine runs at a time and every handoff synchronizes through
+// a channel, so the interleaving is identical to the old engine's and
+// race-detector clean.
 type Engine struct {
 	cfg   Config
 	mem   *simm.Memory
 	mach  *machine.Machine
 	procs []*Proc
-	yield chan *Proc
+	// ring is the runnable set, sorted ascending by (clock, id); the
+	// running processor is always ring[0]. Only the running processor
+	// (or, between runs, the caller of Run) touches it.
+	ring []*Proc
+	// finished receives every processor that completes its body; Run
+	// counts completions and re-raises panics.
+	finished chan *Proc
 
 	// Tracer, when set, observes every traced reference in issue order
 	// (the address-trace methodology of the paper's Section 4). It runs
@@ -53,16 +72,15 @@ func New(cfg Config, mem *simm.Memory, mach *machine.Machine) *Engine {
 		panic("sched: BusyPerAccess must be at least 1")
 	}
 	e := &Engine{
-		cfg:   cfg,
-		mem:   mem,
-		mach:  mach,
-		yield: make(chan *Proc),
+		cfg:  cfg,
+		mem:  mem,
+		mach: mach,
 	}
 	for i := 0; i < mach.Config().Nodes; i++ {
 		e.procs = append(e.procs, &Proc{
-			id:     i,
-			eng:    e,
-			resume: make(chan struct{}),
+			id:   i,
+			eng:  e,
+			park: make(chan struct{}, 1),
 		})
 	}
 	return e
@@ -77,6 +95,8 @@ func (e *Engine) Mem() *simm.Memory { return e.mem }
 // Machine returns the memory-system model.
 func (e *Engine) Machine() *machine.Machine { return e.mach }
 
+const horizonMax = int64(1<<63 - 1)
+
 // Run executes one body per processor to completion, interleaving them
 // in simulated-time order. Bodies may be nil for idle processors.
 // Clocks and per-processor breakdowns accumulate across calls, so a
@@ -85,67 +105,117 @@ func (e *Engine) Run(bodies []func(*Proc)) {
 	if len(bodies) != len(e.procs) {
 		panic(fmt.Sprintf("sched: %d bodies for %d processors", len(bodies), len(e.procs)))
 	}
-	active := 0
+	e.ring = e.ring[:0]
 	for i, body := range bodies {
 		if body == nil {
 			continue
 		}
-		active++
 		p := e.procs[i]
 		p.done = false
 		p.started = true
 		p.panicVal = nil
+		e.ringInsert(p)
 		go func(p *Proc, body func(*Proc)) {
 			defer func() {
 				p.panicVal = recover()
 				p.done = true
-				e.yield <- p
+				p.complete()
 			}()
-			<-p.resume
+			<-p.park
 			body(p)
 		}(p, body)
 	}
+	active := len(e.ring)
+	if active == 0 {
+		return
+	}
+	e.finished = make(chan *Proc, active)
+	e.wakeHead()
 	for active > 0 {
-		p, horizon := e.next()
-		if p == nil {
-			panic("sched: no runnable processor")
-		}
-		p.horizon = horizon
-		p.resume <- struct{}{}
-		q := <-e.yield
-		if q.done {
-			active--
-			if q.panicVal != nil {
-				// Re-raise a simulated processor's panic in the
-				// caller. Sibling processors stay parked; a panic is
-				// a fatal configuration or engine bug.
-				panic(q.panicVal)
-			}
+		q := <-e.finished
+		active--
+		if q.panicVal != nil {
+			// Re-raise a simulated processor's panic in the caller.
+			// Sibling processors stay parked; a panic is a fatal
+			// configuration or engine bug.
+			panic(q.panicVal)
 		}
 	}
 }
 
-// next picks the runnable processor with the smallest clock and returns
-// it along with the second-smallest clock: the processor may run ahead
-// until its clock passes that horizon without violating global order.
-func (e *Engine) next() (*Proc, int64) {
-	var best *Proc
-	second := int64(1<<63 - 1)
-	for _, p := range e.procs {
-		if !p.started || p.done {
-			continue
-		}
-		switch {
-		case best == nil:
-			best = p
-		case p.clock < best.clock || (p.clock == best.clock && p.id < best.id):
-			second = best.clock
-			best = p
-		case p.clock < second:
-			second = p.clock
-		}
+// ringInsert adds p to the runnable ring, keeping it sorted ascending
+// by (clock, id).
+func (e *Engine) ringInsert(p *Proc) {
+	i := len(e.ring)
+	e.ring = append(e.ring, p)
+	for i > 0 && less(p, e.ring[i-1]) {
+		e.ring[i] = e.ring[i-1]
+		i--
 	}
-	return best, second
+	e.ring[i] = p
+}
+
+// less orders runnable processors by (clock, id): the global simulated-
+// time order, with processor id as the deterministic tie-break.
+func less(a, b *Proc) bool {
+	return a.clock < b.clock || (a.clock == b.clock && a.id < b.id)
+}
+
+// wakeHead hands the baton to the ring minimum after refreshing its
+// horizon (the second-smallest runnable clock: it may run ahead until
+// its clock passes that without violating global order).
+func (e *Engine) wakeHead() {
+	h := e.ring[0]
+	if len(e.ring) > 1 {
+		h.horizon = e.ring[1].clock
+	} else {
+		h.horizon = horizonMax
+	}
+	h.park <- struct{}{}
+}
+
+// reschedule is called by the running processor (ring[0]) once its
+// clock has passed its horizon: it re-sorts itself into the ring and
+// either keeps running with a refreshed horizon — the common case,
+// costing no synchronization at all — or wakes the new minimum and
+// parks until it wins the clock race again.
+func (p *Proc) reschedule() {
+	e := p.eng
+	// Bubble p (at ring[0]) right to its sorted position.
+	i := 0
+	for i+1 < len(e.ring) && less(e.ring[i+1], p) {
+		e.ring[i] = e.ring[i+1]
+		i++
+	}
+	e.ring[i] = p
+	if i == 0 {
+		if len(e.ring) > 1 {
+			p.horizon = e.ring[1].clock
+		} else {
+			p.horizon = horizonMax
+		}
+		return
+	}
+	e.wakeHead()
+	<-p.park
+}
+
+// complete retires the running processor from the ring and notifies
+// Run; on normal completion it passes the baton to the next minimum.
+// After a panic the baton is deliberately dropped — Run re-raises in
+// the caller and the siblings stay parked, exactly the fatal-error
+// semantics the engine has always had.
+func (p *Proc) complete() {
+	e := p.eng
+	// p is ring[0]: it held the baton. All ring accesses must precede
+	// the finished send — once Run observes the last completion it may
+	// rebuild the ring for a subsequent Run.
+	copy(e.ring, e.ring[1:])
+	e.ring = e.ring[:len(e.ring)-1]
+	if p.panicVal == nil && len(e.ring) > 0 {
+		e.wakeHead()
+	}
+	e.finished <- p
 }
 
 // AlignClocks advances every processor's clock to the current maximum
@@ -191,7 +261,7 @@ type Proc struct {
 	clock    int64
 	horizon  int64
 	bd       stats.CycleBreakdown
-	resume   chan struct{}
+	park     chan struct{} // baton: buffered(1), one token per wake
 	started  bool
 	done     bool
 	inSync   bool
@@ -207,12 +277,12 @@ func (p *Proc) Clock() int64 { return p.clock }
 // Breakdown returns the processor's accumulated time breakdown.
 func (p *Proc) Breakdown() stats.CycleBreakdown { return p.bd }
 
-// maybeYield hands control back to the scheduler once this processor
-// has run past the next processor's clock.
+// maybeYield re-enters the scheduling race once this processor has run
+// past the next processor's clock. In the common case the processor is
+// still the minimum and continues immediately without synchronizing.
 func (p *Proc) maybeYield() {
-	if p.clock > p.horizon && !p.done {
-		p.eng.yield <- p
-		<-p.resume
+	if p.clock > p.horizon {
+		p.reschedule()
 	}
 }
 
@@ -242,12 +312,32 @@ func (p *Proc) read(a simm.Addr, size int) {
 	p.maybeYield()
 }
 
+// readCat is read with the first byte's category already resolved by
+// the combined load (see the Load*Cat accessors of simm.Memory).
+func (p *Proc) readCat(a simm.Addr, size int, cat simm.Category) {
+	if t := p.eng.Tracer; t != nil {
+		t(p.id, a, size, false)
+	}
+	p.preAccess()
+	p.charge(p.eng.mach.ReadCat(p.id, a, size, p.clock, cat))
+	p.maybeYield()
+}
+
 func (p *Proc) write(a simm.Addr, size int) {
 	if t := p.eng.Tracer; t != nil {
 		t(p.id, a, size, true)
 	}
 	p.preAccess()
 	p.charge(p.eng.mach.Write(p.id, a, size, p.clock))
+	p.maybeYield()
+}
+
+func (p *Proc) writeCat(a simm.Addr, size int, cat simm.Category) {
+	if t := p.eng.Tracer; t != nil {
+		t(p.id, a, size, true)
+	}
+	p.preAccess()
+	p.charge(p.eng.mach.WriteCat(p.id, a, size, p.clock, cat))
 	p.maybeYield()
 }
 
@@ -260,54 +350,50 @@ func (p *Proc) Busy(n int64) {
 
 // Read8 performs a traced 1-byte load.
 func (p *Proc) Read8(a simm.Addr) uint8 {
-	v := p.eng.mem.Load8(a)
-	p.read(a, 1)
+	v, cat := p.eng.mem.Load8Cat(a)
+	p.readCat(a, 1, cat)
 	return v
 }
 
 // Read16 performs a traced 2-byte load.
 func (p *Proc) Read16(a simm.Addr) uint16 {
-	v := p.eng.mem.Load16(a)
-	p.read(a, 2)
+	v, cat := p.eng.mem.Load16Cat(a)
+	p.readCat(a, 2, cat)
 	return v
 }
 
 // Read32 performs a traced 4-byte load.
 func (p *Proc) Read32(a simm.Addr) uint32 {
-	v := p.eng.mem.Load32(a)
-	p.read(a, 4)
+	v, cat := p.eng.mem.Load32Cat(a)
+	p.readCat(a, 4, cat)
 	return v
 }
 
 // Read64 performs a traced 8-byte load.
 func (p *Proc) Read64(a simm.Addr) uint64 {
-	v := p.eng.mem.Load64(a)
-	p.read(a, 8)
+	v, cat := p.eng.mem.Load64Cat(a)
+	p.readCat(a, 8, cat)
 	return v
 }
 
 // Write8 performs a traced 1-byte store.
 func (p *Proc) Write8(a simm.Addr, v uint8) {
-	p.eng.mem.Store8(a, v)
-	p.write(a, 1)
+	p.writeCat(a, 1, p.eng.mem.Store8Cat(a, v))
 }
 
 // Write16 performs a traced 2-byte store.
 func (p *Proc) Write16(a simm.Addr, v uint16) {
-	p.eng.mem.Store16(a, v)
-	p.write(a, 2)
+	p.writeCat(a, 2, p.eng.mem.Store16Cat(a, v))
 }
 
 // Write32 performs a traced 4-byte store.
 func (p *Proc) Write32(a simm.Addr, v uint32) {
-	p.eng.mem.Store32(a, v)
-	p.write(a, 4)
+	p.writeCat(a, 4, p.eng.mem.Store32Cat(a, v))
 }
 
 // Write64 performs a traced 8-byte store.
 func (p *Proc) Write64(a simm.Addr, v uint64) {
-	p.eng.mem.Store64(a, v)
-	p.write(a, 8)
+	p.writeCat(a, 8, p.eng.mem.Store64Cat(a, v))
 }
 
 // ReadBytes performs a traced load of n bytes into dst, issuing one
