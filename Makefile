@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench clean
+.PHONY: all build test race vet check cover bench clean
 
 all: build
 
@@ -26,6 +26,17 @@ vet:
 
 check: build vet race test
 
+# Coverage gate for the observability subsystem: internal/metrics is
+# the one package every other layer reports through, so its own tests
+# must stay thorough. Fails when statement coverage drops below 85%.
+COVER_MIN ?= 85
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/metrics
+	@$(GO) tool cover -func=cover.out | awk -v min=$(COVER_MIN) \
+		'/^total:/ { sub(/%/, "", $$3); printf "internal/metrics coverage: %s%% (floor %s%%)\n", $$3, min; \
+		if ($$3 + 0 < min) { exit 1 } }'
+	@rm -f cover.out
+
 # Benchmark snapshot: the per-figure experiment benchmarks (one cold
 # iteration each — the runner's result cache would otherwise serve
 # repeats and measure nothing) plus the per-reference hot-path
@@ -39,4 +50,4 @@ bench:
 
 clean:
 	$(GO) clean ./...
-	rm -f bench_output.txt
+	rm -f bench_output.txt cover.out

@@ -7,9 +7,15 @@
 // (internal/runner): -jobs picks the worker count, and a
 // content-addressed result cache deduplicates repeated configurations,
 // so the output is byte-identical for any worker count.
+//
+// With -metrics FILE the run is instrumented (internal/metrics) and a
+// JSON snapshot of every counter, gauge, and histogram is written after
+// the last experiment; "-" writes it to stderr. Without the flag no
+// registry exists and the instrumentation costs nothing.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/runner"
 )
 
@@ -32,6 +39,7 @@ func main() {
 	queries := flag.String("queries", "Q3,Q6,Q12", "comma-separated traced queries")
 	jobs := flag.Int("jobs", 0, "concurrent experiment workers (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent result cache (empty = in-memory only)")
+	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot to this file after the run (\"-\" = stderr)")
 	verbose := flag.Bool("v", false, "log per-job progress to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -82,7 +90,24 @@ func main() {
 	o.Seed = *seed
 	o.Queries = strings.Split(*queries, ",")
 
-	e := experiments.NewExecConfig(runner.Config{Workers: *jobs, CacheDir: *cacheDir})
+	// A CLI run with an unusable cache directory must fail loudly: the
+	// user asked for persistence, and silently re-simulating whole
+	// sweeps is far more expensive than restating the flag.
+	if *cacheDir != "" {
+		if err := runner.ValidateCacheDir(*cacheDir); err != nil {
+			log.Fatalf("-cache-dir: %v", err)
+		}
+	}
+
+	// The registry exists only when asked for; a nil registry makes all
+	// instrumentation no-ops, so the default path measures nothing.
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.New()
+		reg.CollectGoRuntime()
+	}
+
+	e := experiments.NewExecConfig(runner.Config{Workers: *jobs, CacheDir: *cacheDir, Metrics: reg})
 	defer e.Close()
 
 	if *verbose {
@@ -115,5 +140,22 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(t0).Round(time.Millisecond))
 		fmt.Println()
+	}
+
+	if reg != nil {
+		out := os.Stderr
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				log.Fatalf("-metrics: %v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reg.Snapshot()); err != nil {
+			log.Fatalf("-metrics: %v", err)
+		}
 	}
 }

@@ -10,8 +10,14 @@
 //	POST /v1/experiments      submit {"exp":"fig8","scale":0.01,...}; returns {"id":...}
 //	GET  /v1/experiments/{id} status; when done, the rendered report text
 //	GET  /v1/healthz          liveness
-//	GET  /v1/stats            pool accounting: cache hit rate, queue depth, utilization
+//	GET  /v1/stats            JSON operational snapshot: uptime, requests, cache hit rate
+//	GET  /metrics             Prometheus text exposition (internal/metrics)
 //	GET  /debug/pprof/        live profiling (CPU, heap, goroutine, trace)
+//
+// Every route runs behind the internal/metrics HTTP middleware, so
+// request counts, status classes, latency histograms, and in-flight
+// gauges land on /metrics alongside the runner, cache, experiment, and
+// Go-runtime instruments.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, lets
 // in-flight experiments finish rendering, then drains the pool.
@@ -34,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/runner"
 )
 
@@ -69,23 +76,65 @@ func (r *experimentRun) snapshot() experimentRun {
 	}
 }
 
-// server owns the Exec and the run table.
+// server owns the Exec, the run table, and the metrics registry.
+// Experiment lifecycle accounting lives entirely in registry counters;
+// /v1/stats reads them back, so the JSON view and /metrics can never
+// disagree.
 type server struct {
-	exec *experiments.Exec
+	exec  *experiments.Exec
+	reg   *metrics.Registry
+	httpm *metrics.HTTPMetrics
+	start time.Time
+
+	expSubmitted *metrics.Counter
+	expDone      *metrics.Counter
+	expFailed    *metrics.Counter
 
 	mu     sync.Mutex
 	nextID int64
 	runs   map[int64]*experimentRun
 	wg     sync.WaitGroup
 	closed bool
-
-	submitted int64
-	done      int64
-	failed    int64
 }
 
-func newServer(exec *experiments.Exec) *server {
-	return &server{exec: exec, nextID: 1, runs: make(map[int64]*experimentRun)}
+func newServer(exec *experiments.Exec, reg *metrics.Registry) *server {
+	return &server{
+		exec:  exec,
+		reg:   reg,
+		httpm: metrics.NewHTTPMetrics(reg),
+		start: time.Now(),
+		expSubmitted: reg.Counter("dssmem_experiments_submitted_total",
+			"Experiment requests accepted by POST /v1/experiments."),
+		expDone: reg.Counter("dssmem_experiments_done_total",
+			"Submitted experiments that rendered successfully."),
+		expFailed: reg.Counter("dssmem_experiments_failed_total",
+			"Submitted experiments that failed to render."),
+		nextID: 1,
+		runs:   make(map[int64]*experimentRun),
+	}
+}
+
+// handler builds the route table. Each route is wrapped with the HTTP
+// middleware under its pattern (not the concrete URL), so /metrics
+// cardinality stays bounded no matter how many experiment ids exist.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(pattern, route string, h http.Handler) {
+		mux.Handle(pattern, s.httpm.Wrap(route, h))
+	}
+	handle("POST /v1/experiments", "/v1/experiments", http.HandlerFunc(s.submit))
+	handle("GET /v1/experiments/{id}", "/v1/experiments/{id}", http.HandlerFunc(s.status))
+	handle("GET /v1/healthz", "/v1/healthz", http.HandlerFunc(s.healthz))
+	handle("GET /v1/stats", "/v1/stats", http.HandlerFunc(s.stats))
+	handle("GET /metrics", "/metrics", s.reg.Handler())
+	// Live profiling of a running daemon: `go tool pprof
+	// http://host/debug/pprof/profile` while experiments execute.
+	handle("/debug/pprof/", "/debug/pprof", http.HandlerFunc(pprof.Index))
+	handle("/debug/pprof/cmdline", "/debug/pprof", http.HandlerFunc(pprof.Cmdline))
+	handle("/debug/pprof/profile", "/debug/pprof", http.HandlerFunc(pprof.Profile))
+	handle("/debug/pprof/symbol", "/debug/pprof", http.HandlerFunc(pprof.Symbol))
+	handle("/debug/pprof/trace", "/debug/pprof", http.HandlerFunc(pprof.Trace))
+	return mux
 }
 
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {
@@ -119,9 +168,9 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	run := &experimentRun{ID: s.nextID, Exp: req.Exp, State: "running", Submitted: time.Now()}
 	s.nextID++
 	s.runs[run.ID] = run
-	s.submitted++
 	s.wg.Add(1)
 	s.mu.Unlock()
+	s.expSubmitted.Inc()
 
 	go func() {
 		defer s.wg.Done()
@@ -135,13 +184,11 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 			run.State, run.Output = "done", buf.String()
 		}
 		run.mu.Unlock()
-		s.mu.Lock()
 		if err != nil {
-			s.failed++
+			s.expFailed.Inc()
 		} else {
-			s.done++
+			s.expDone.Inc()
 		}
-		s.mu.Unlock()
 	}()
 
 	w.Header().Set("Content-Type", "application/json")
@@ -171,17 +218,28 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
 }
 
+// stats reports the operational state as JSON. Everything beyond the
+// pool snapshot is derived from the metrics registry — the HTTP request
+// total is summed from the same samples /metrics exposes.
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	ps := s.exec.Pool().Stats()
-	s.mu.Lock()
+	var served float64
+	for _, f := range s.reg.Snapshot() {
+		if f.Name == "dssmem_http_requests_total" {
+			for _, smp := range f.Samples {
+				served += smp.Value
+			}
+		}
+	}
 	resp := map[string]interface{}{
 		"pool":                  ps,
 		"cache_hit_rate":        ps.HitRate(),
-		"experiments_submitted": s.submitted,
-		"experiments_done":      s.done,
-		"experiments_failed":    s.failed,
+		"uptime_seconds":        time.Since(s.start).Seconds(),
+		"requests_total":        served,
+		"experiments_submitted": s.expSubmitted.Value(),
+		"experiments_done":      s.expDone.Value(),
+		"experiments_failed":    s.expFailed.Value(),
 	}
-	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
@@ -212,22 +270,30 @@ func main() {
 		os.Exit(2)
 	}
 
-	exec := experiments.NewExecConfig(runner.Config{Workers: *jobs, CacheDir: *cacheDir})
-	s := newServer(exec)
+	// A daemon should keep serving when its disk cache is unusable:
+	// degrade to the memory tier and say so, instead of dying at boot.
+	if *cacheDir != "" {
+		if err := runner.ValidateCacheDir(*cacheDir); err != nil {
+			log.Printf("disk cache disabled: %v", err)
+			*cacheDir = ""
+		}
+	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/experiments", s.submit)
-	mux.HandleFunc("GET /v1/experiments/{id}", s.status)
-	mux.HandleFunc("GET /v1/healthz", s.healthz)
-	mux.HandleFunc("GET /v1/stats", s.stats)
-	// Live profiling of a running daemon: `go tool pprof
-	// http://host/debug/pprof/profile` while experiments execute.
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	reg := metrics.New()
+	reg.CollectGoRuntime()
+	exec := experiments.NewExecConfig(runner.Config{Workers: *jobs, CacheDir: *cacheDir, Metrics: reg})
+	s := newServer(exec, reg)
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: s.handler(),
+		// Slow-client protection. WriteTimeout must cover the longest
+		// legitimate response: a 30s pprof CPU profile or a full trace.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

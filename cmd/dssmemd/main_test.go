@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+)
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	reg := metrics.New()
+	reg.CollectGoRuntime()
+	exec := experiments.NewExecConfig(runner.Config{Workers: 2, Metrics: reg})
+	s := newServer(exec, reg)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.drain()
+		exec.Close()
+	})
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := fmt.Fprint(&sb, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, sb.String()
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func TestRoutes(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	if code, body := get(t, ts.URL+"/v1/healthz"); code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Errorf("healthz: %d %q", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/v1/experiments/999"); code != 404 {
+		t.Errorf("unknown id: got %d, want 404", code)
+	}
+	if code, _ := get(t, ts.URL+"/v1/experiments/notanumber"); code != 400 {
+		t.Errorf("bad id: got %d, want 400", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/experiments", "application/json",
+		strings.NewReader(`{"exp":"fig99"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("unknown experiment: got %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSubmitAndMetrics drives one tiny experiment end to end and then
+// checks that /metrics exposes the acceptance-critical families with
+// the traffic visible in them.
+func TestSubmitAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, err := http.Post(ts.URL+"/v1/experiments", "application/json",
+		strings.NewReader(`{"exp":"table1","scale":0.001}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID int64 `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 202 || sub.ID == 0 {
+		t.Fatalf("submit: %d id=%d", resp.StatusCode, sub.ID)
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	var run experimentRun
+	for {
+		code, body := get(t, fmt.Sprintf("%s/v1/experiments/%d", ts.URL, sub.ID))
+		if code != 200 {
+			t.Fatalf("status: %d %q", code, body)
+		}
+		if err := json.Unmarshal([]byte(body), &run); err != nil {
+			t.Fatal(err)
+		}
+		if run.State != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("experiment did not finish in time")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if run.State != "done" || !strings.Contains(run.Output, "Table 1") {
+		t.Fatalf("run: state=%s err=%q", run.State, run.Error)
+	}
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{
+		"dssmem_http_requests_total",
+		"dssmem_http_request_seconds",
+		"dssmem_runner_queue_depth",
+		"dssmem_cache_hits_total",
+		"dssmem_experiment_seconds",
+		"dssmem_experiments_done_total 1",
+		`dssmem_http_requests_total{route="/v1/experiments",status="2xx"} 1`,
+		"go_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = get(t, ts.URL+"/v1/stats")
+	if code != 200 {
+		t.Fatalf("/v1/stats: %d", code)
+	}
+	var stats struct {
+		Uptime    float64 `json:"uptime_seconds"`
+		Requests  float64 `json:"requests_total"`
+		Submitted float64 `json:"experiments_submitted"`
+		Done      float64 `json:"experiments_done"`
+		Failed    float64 `json:"experiments_failed"`
+		HitRate   float64 `json:"cache_hit_rate"`
+		Pool      any     `json:"pool"`
+	}
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatalf("stats json: %v\n%s", err, body)
+	}
+	if stats.Uptime <= 0 {
+		t.Errorf("uptime_seconds = %v, want > 0", stats.Uptime)
+	}
+	if stats.Requests == 0 {
+		t.Error("requests_total = 0 after served traffic")
+	}
+	if stats.Submitted != 1 || stats.Done != 1 || stats.Failed != 0 {
+		t.Errorf("experiment counters = %v/%v/%v, want 1/1/0",
+			stats.Submitted, stats.Done, stats.Failed)
+	}
+	if stats.Pool == nil {
+		t.Error("stats missing pool snapshot")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
@@ -20,6 +21,30 @@ import (
 // rendered table byte-identical no matter the worker count.
 type Exec struct {
 	pool *runner.Pool
+	met  execMetrics
+}
+
+// execMetrics observes the experiment layer: host wall-clock per
+// rendered experiment, and the simulated cycles behind it, so sim-time
+// and host-time can be watched side by side (a cache-warm render is
+// host-cheap but still "accounts for" its simulated cycles). Nil fields
+// (no registry) record nothing.
+type execMetrics struct {
+	seconds *metrics.HistogramVec // dssmem_experiment_seconds{exp}
+	cycles  *metrics.CounterVec   // dssmem_experiment_simulated_cycles_total{exp}
+}
+
+// experimentBuckets spans renders from cache-warm re-renders
+// (milliseconds) to full-scale `-exp all` sweeps (minutes).
+var experimentBuckets = []float64{.05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600}
+
+func newExecMetrics(r *metrics.Registry) execMetrics {
+	return execMetrics{
+		seconds: r.HistogramVec("dssmem_experiment_seconds",
+			"Host wall-clock per rendered experiment.", experimentBuckets, "exp"),
+		cycles: r.CounterVec("dssmem_experiment_simulated_cycles_total",
+			"Simulated processor cycles behind rendered experiments (cache hits re-count their cycles).", "exp"),
+	}
 }
 
 // NewExec returns an Exec backed by a fresh pool with the given worker
@@ -29,9 +54,22 @@ func NewExec(workers int) *Exec {
 }
 
 // NewExecConfig returns an Exec backed by a fresh pool built from cfg
-// (worker count, cache directory).
+// (worker count, cache directory, metrics registry).
 func NewExecConfig(cfg runner.Config) *Exec {
-	return &Exec{pool: runner.New(cfg)}
+	return &Exec{pool: runner.New(cfg), met: newExecMetrics(cfg.Metrics)}
+}
+
+// addCycles charges simulated cycles to an experiment's counter. The
+// nil check keeps the unmetered path free of even the summation loop.
+func (e *Exec) addCycles(name string, clocks ...int64) {
+	if e.met.cycles == nil {
+		return
+	}
+	var total int64
+	for _, c := range clocks {
+		total += c
+	}
+	e.met.cycles.With(name).Add(float64(total))
 }
 
 // Pool exposes the underlying pool (stats, progress subscription).

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/machine"
 )
@@ -34,7 +35,50 @@ func IsKnown(name string) bool {
 // the baseline runs, fig8/fig9 the line sweep, fig10/fig11 the cache
 // sweep, fig13 the baseline again) deduplicate through the pool's
 // result cache instead of through caller-side plumbing.
+//
+// When the Exec was built with a metrics registry, each successful
+// render observes its wall-clock into dssmem_experiment_seconds{exp}
+// and charges the simulated cycles of its results (where the result
+// type carries clocks) to dssmem_experiment_simulated_cycles_total.
+// Metrics go to the side channel only; the rendered bytes are
+// untouched.
 func (e *Exec) Render(w io.Writer, name string, o Options) error {
+	start := time.Now()
+	err := e.renderExperiment(w, name, o)
+	if err == nil {
+		e.met.seconds.With(name).Observe(time.Since(start).Seconds())
+	}
+	return err
+}
+
+// queryClocks extracts the per-query completion clocks of a cold run.
+func queryClocks(results []QueryResult) []int64 {
+	out := make([]int64, len(results))
+	for i, r := range results {
+		out[i] = r.Report.MaxClock()
+	}
+	return out
+}
+
+// sweepClocks extracts the per-point completion clocks of a sweep.
+func sweepClocks(points []SweepPoint) []int64 {
+	out := make([]int64, len(points))
+	for i, p := range points {
+		out[i] = p.Clock
+	}
+	return out
+}
+
+// ablationClocks extracts the per-point clocks of an ablation sweep.
+func ablationClocks(points []AblationPoint) []int64 {
+	out := make([]int64, len(points))
+	for i, p := range points {
+		out[i] = p.Clock
+	}
+	return out
+}
+
+func (e *Exec) renderExperiment(w io.Writer, name string, o Options) error {
 	switch name {
 	case "table1":
 		t, err := e.Table1(o)
@@ -49,6 +93,7 @@ func (e *Exec) Render(w io.Writer, name string, o Options) error {
 		if err != nil {
 			return err
 		}
+		e.addCycles(name, queryClocks(baseline)...)
 		a, b := Fig6(baseline)
 		fmt.Fprintln(w, "Figure 6(a): execution time breakdown")
 		fmt.Fprint(w, a)
@@ -60,6 +105,7 @@ func (e *Exec) Render(w io.Writer, name string, o Options) error {
 		if err != nil {
 			return err
 		}
+		e.addCycles(name, queryClocks(baseline)...)
 		for _, r := range baseline {
 			l1, l2, rates := Fig7(r)
 			fmt.Fprintf(w, "Figure 7: %s primary-cache read misses (normalized to 100)\n", r.Query)
@@ -75,6 +121,7 @@ func (e *Exec) Render(w io.Writer, name string, o Options) error {
 		if err != nil {
 			return err
 		}
+		e.addCycles(name, sweepClocks(lineSweep)...)
 		for _, q := range o.Queries {
 			l1, l2 := Fig8(lineSweep, q)
 			fmt.Fprintf(w, "Figure 8: %s misses vs line size, primary cache (baseline 64B = 100)\n", q)
@@ -89,6 +136,7 @@ func (e *Exec) Render(w io.Writer, name string, o Options) error {
 		if err != nil {
 			return err
 		}
+		e.addCycles(name, sweepClocks(lineSweep)...)
 		for _, q := range o.Queries {
 			fmt.Fprintf(w, "Figure 9: %s execution time vs line size (baseline 64B = 100)\n", q)
 			fmt.Fprint(w, Fig9(lineSweep, q))
@@ -100,6 +148,7 @@ func (e *Exec) Render(w io.Writer, name string, o Options) error {
 		if err != nil {
 			return err
 		}
+		e.addCycles(name, sweepClocks(cacheSweep)...)
 		for _, q := range o.Queries {
 			l1, l2 := Fig10(cacheSweep, q)
 			fmt.Fprintf(w, "Figure 10: %s misses vs cache size, primary cache (baseline 128KB L2 = 100)\n", q)
@@ -114,6 +163,7 @@ func (e *Exec) Render(w io.Writer, name string, o Options) error {
 		if err != nil {
 			return err
 		}
+		e.addCycles(name, sweepClocks(cacheSweep)...)
 		for _, q := range o.Queries {
 			fmt.Fprintf(w, "Figure 11: %s execution time vs cache size (baseline = 100)\n", q)
 			fmt.Fprint(w, Fig11(cacheSweep, q))
@@ -146,24 +196,30 @@ func (e *Exec) Render(w io.Writer, name string, o Options) error {
 		if err != nil {
 			return err
 		}
+		e.addCycles(name, ablationClocks(pts)...)
 		fmt.Fprint(w, AblationTable(pts))
 		fmt.Fprintln(w)
 		fmt.Fprintln(w, "Ablation: write-buffer depth on Q6 (paper fixes 16)")
 		if pts, err = e.AblateWriteBuffer(o, "Q6"); err != nil {
 			return err
 		}
+		e.addCycles(name, ablationClocks(pts)...)
 		fmt.Fprint(w, AblationTable(pts))
 		fmt.Fprintln(w)
 		fmt.Fprintln(w, "Ablation: directory contention on Q3 (paper models all but network)")
 		if pts, err = e.AblateContention(o, "Q3"); err != nil {
 			return err
 		}
+		e.addCycles(name, ablationClocks(pts)...)
 		fmt.Fprint(w, AblationTable(pts))
 
 	case "intraquery":
 		results, err := RunIntraQuery(o)
 		if err != nil {
 			return err
+		}
+		for _, r := range results {
+			e.addCycles(name, r.Clock)
 		}
 		fmt.Fprintln(w, "Extension: intra-query parallelism (a paper future-work item):")
 		fmt.Fprintln(w, "one Q6 page-partitioned across the processors vs the paper's")
@@ -209,6 +265,9 @@ func (e *Exec) Render(w io.Writer, name string, o Options) error {
 		results, err := e.RunPrefetch(o)
 		if err != nil {
 			return err
+		}
+		for _, r := range results {
+			e.addCycles(name, r.BaseClk, r.OptClk)
 		}
 		fmt.Fprintln(w, "Figure 13: impact of sequential data prefetching (Base = 100)")
 		fmt.Fprint(w, Fig13(results))

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentHammer drives counters, gauges, vec children, and
+// histograms from many goroutines at once and checks the exact totals.
+// Run under -race this is the registry's central concurrency proof: the
+// record paths are lock-free and the family/child maps are guarded.
+func TestConcurrentHammer(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 10000
+	)
+	r := New()
+	c := r.Counter("hammer_total", "")
+	g := r.Gauge("hammer_depth", "")
+	cv := r.CounterVec("hammer_vec_total", "", "worker")
+	h := r.Histogram("hammer_seconds", "", []float64{0.5, 1, 2})
+
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// Each goroutine also creates its own vec child and
+			// re-resolves shared families, racing the registry maps.
+			own := cv.With(fmt.Sprintf("w%d", id))
+			shared := r.Counter("hammer_total", "")
+			for j := 0; j < iters; j++ {
+				shared.Inc()
+				c.Add(0.5)
+				g.Inc()
+				g.Dec()
+				own.Inc()
+				h.Observe(float64(j%3) * 0.75) // 0, 0.75, 1.5
+				if j%100 == 0 {
+					r.Snapshot() // concurrent gathers must not wedge writers
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got, want := c.Value(), float64(goroutines*iters)*1.5; got != want {
+		t.Errorf("counter = %v, want %v", got, want)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	for i := 0; i < goroutines; i++ {
+		if got := cv.With(fmt.Sprintf("w%d", i)).Value(); got != iters {
+			t.Errorf("worker %d counter = %v, want %d", i, got, iters)
+		}
+	}
+	hs := h.Snapshot()
+	if hs.Count != goroutines*iters {
+		t.Errorf("histogram count = %d, want %d", hs.Count, goroutines*iters)
+	}
+	// j%3 spreads evenly (iters divisible by 3 is not required; compute).
+	per := make([]uint64, 3)
+	for j := 0; j < iters; j++ {
+		per[j%3]++
+	}
+	// 0 -> le=0.5, 0.75 -> le=1, 1.5 -> le=2.
+	wantCum := []uint64{
+		goroutines * per[0],
+		goroutines * (per[0] + per[1]),
+		goroutines * iters,
+		goroutines * iters,
+	}
+	for i, w := range wantCum {
+		if hs.Buckets[i].Count != w {
+			t.Errorf("bucket %d = %d, want %d", i, hs.Buckets[i].Count, w)
+		}
+	}
+}

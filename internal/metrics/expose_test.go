@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenRegistry builds a registry with one of everything, at fixed
+// values, in deliberately unsorted registration order — the exposition
+// must sort families and samples itself.
+func goldenRegistry() *Registry {
+	r := New()
+	r.GaugeFunc("zz_cache_entries", "In-memory cache entries.", func() float64 { return 3 })
+	h := r.Histogram("request_seconds", "Request latency.", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.1, 0.25, 2} {
+		h.Observe(v)
+	}
+	cv := r.CounterVec("cache_hits_total", "Cache hits by tier.", "tier")
+	cv.With("memory").Add(5)
+	cv.With("disk").Inc()
+	r.Gauge("queue_depth", "Jobs queued.").Set(4)
+	r.Counter("jobs_total", "Jobs run.").Add(12)
+	r.CounterVec("empty_family_total", "Registered but never incremented.", "kind")
+	hv := r.HistogramVec("job_seconds", "Per-job wall time.", []float64{1, 10}, "mode")
+	hv.With("cold").Observe(0.5)
+	hv.With(`we"ird\mode` + "\n").Observe(3)
+	return r
+}
+
+// TestPrometheusGolden pins the text exposition format byte-for-byte.
+// Regenerate with: go test ./internal/metrics -run Golden -update-golden
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestSnapshotJSON: the snapshot must encode cleanly (the +Inf bucket
+// bound is a string for exactly this reason) and round-trip its values.
+func TestSnapshotJSON(t *testing.T) {
+	b, err := json.Marshal(goldenRegistry().Snapshot())
+	if err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got := findSample(t, back, "jobs_total", nil).Value; got != 12 {
+		t.Errorf("jobs_total = %v, want 12", got)
+	}
+	hs := findSample(t, back, "request_seconds", nil)
+	if hs.Count != 4 || hs.Sum != 2.4 {
+		t.Errorf("request_seconds = count %d sum %v, want 4 and 2.4", hs.Count, hs.Sum)
+	}
+	if last := hs.Buckets[len(hs.Buckets)-1]; last.LE != "+Inf" || last.Count != 4 {
+		t.Errorf("+Inf bucket = %+v", last)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	goldenRegistry().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE cache_hits_total counter",
+		`cache_hits_total{tier="memory"} 5`,
+		`request_seconds_bucket{le="+Inf"} 4`,
+		"# TYPE empty_family_total counter", // schema visible before first sample
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+
+	var nilReg *Registry
+	rec = httptest.NewRecorder()
+	nilReg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Errorf("nil registry handler: status %d body %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for v, want := range map[float64]string{
+		1:      "1",
+		0.005:  "0.005",
+		2.5:    "2.5",
+		-3:     "-3",
+		1e9:    "1e+09",
+		0.0001: "0.0001",
+	} {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets, in seconds — the same
+// spread the Prometheus client library defaults to, covering 5ms to
+// 10s. Callers measuring other scales pass their own buckets.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram counts observations into fixed buckets with cumulative
+// less-than-or-equal semantics: an observation lands in the first
+// bucket whose upper bound is >= the value, an observation above every
+// bound lands in the implicit +Inf bucket. The record path is lock-free
+// — one binary search plus three atomic operations — so observing from
+// worker goroutines never serializes them. All methods are safe on a
+// nil *Histogram.
+type Histogram struct {
+	upper  []float64 // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// newHistogram builds a histogram over the given ascending bucket upper
+// bounds. A trailing +Inf bound is tolerated and stripped (the +Inf
+// bucket always exists); empty or non-ascending bounds panic.
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) > 0 && math.IsInf(buckets[len(buckets)-1], 1) {
+		buckets = buckets[:len(buckets)-1]
+	}
+	if len(buckets) == 0 {
+		panic("metrics: histogram needs at least one finite bucket")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("metrics: histogram buckets must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound is >= v; len(upper) selects the
+	// +Inf bucket. Boundary values count into the bucket they equal.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloatBits(&h.sum, v)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// Bucket counts are cumulative (Prometheus `le` semantics) and end with
+// the +Inf bucket, whose count equals Count. Under concurrent writers
+// the snapshot may straddle an observation (count updated, sum not
+// yet); the skew is one observation and disappears at rest.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// BucketCount is one cumulative bucket of a snapshot. LE is the
+// formatted upper bound ("0.005", ..., "+Inf") — a string so the +Inf
+// bound survives JSON encoding.
+type BucketCount struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot returns the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sum.Load()),
+		Buckets: make([]BucketCount, len(h.upper)+1),
+	}
+	var cum uint64
+	for i := range h.upper {
+		cum += h.counts[i].Load()
+		s.Buckets[i] = BucketCount{LE: formatFloat(h.upper[i]), Count: cum}
+	}
+	cum += h.counts[len(h.upper)].Load()
+	s.Buckets[len(h.upper)] = BucketCount{LE: "+Inf", Count: cum}
+	return s
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le semantics: an observation
+// exactly on a bucket's upper bound counts into that bucket, not the
+// next one; values beyond the last bound land in +Inf only.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := New()
+	h := r.Histogram("test_h_seconds", "", []float64{1, 2, 5})
+	for _, v := range []float64{
+		0.5, // below first bound -> le=1
+		1,   // exactly on a bound -> le=1
+		1.0000001,
+		2, // -> le=2
+		5, // -> le=5
+		6, // -> +Inf only
+		math.Inf(1),
+	} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	want := []struct {
+		le  string
+		cum uint64
+	}{{"1", 2}, {"2", 4}, {"5", 5}, {"+Inf", 7}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	for i, w := range want {
+		if s.Buckets[i].LE != w.le || s.Buckets[i].Count != w.cum {
+			t.Errorf("bucket %d = {%s %d}, want {%s %d}",
+				i, s.Buckets[i].LE, s.Buckets[i].Count, w.le, w.cum)
+		}
+	}
+}
+
+// TestHistogramNegativeAndSum: values below every bound (including
+// negative ones) go to the first bucket; Sum accumulates exactly.
+func TestHistogramNegativeAndSum(t *testing.T) {
+	h := New().Histogram("test_h2", "", []float64{0, 10})
+	h.Observe(-5)
+	h.Observe(0) // boundary of the zero bucket
+	h.Observe(7.25)
+	s := h.Snapshot()
+	if s.Buckets[0].Count != 2 {
+		t.Errorf("le=0 bucket = %d, want 2", s.Buckets[0].Count)
+	}
+	if s.Buckets[1].Count != 3 || s.Buckets[2].Count != 3 {
+		t.Errorf("cumulative counts = %+v", s.Buckets)
+	}
+	if s.Sum != 2.25 {
+		t.Errorf("sum = %v, want 2.25", s.Sum)
+	}
+}
+
+// TestHistogramInfBoundStripped: a caller-supplied trailing +Inf bound
+// folds into the implicit one instead of doubling it.
+func TestHistogramInfBoundStripped(t *testing.T) {
+	h := New().Histogram("test_h3", "", []float64{1, math.Inf(1)})
+	h.Observe(0.5)
+	h.Observe(99)
+	s := h.Snapshot()
+	if len(s.Buckets) != 2 {
+		t.Fatalf("buckets = %+v, want le=1 and le=+Inf only", s.Buckets)
+	}
+	if s.Buckets[1].LE != "+Inf" || s.Buckets[1].Count != 2 {
+		t.Errorf("+Inf bucket = %+v", s.Buckets[1])
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	h := New().Histogram("test_h4", "", nil)
+	s := h.Snapshot()
+	if len(s.Buckets) != len(DefBuckets)+1 {
+		t.Errorf("default buckets = %d, want %d", len(s.Buckets), len(DefBuckets)+1)
+	}
+}

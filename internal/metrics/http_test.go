@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHTTPMiddleware(t *testing.T) {
+	r := New()
+	m := NewHTTPMetrics(r)
+
+	ok := m.Wrap("/ok", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if got := m.inFlight.Value(); got != 1 {
+			t.Errorf("in-flight during request = %v, want 1", got)
+		}
+		w.Write([]byte("hi")) // implicit 200
+	}))
+	missing := m.Wrap("/missing", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	boom := m.Wrap("/boom", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+
+	for i := 0; i < 3; i++ {
+		ok.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/ok", nil))
+	}
+	missing.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/missing", nil))
+	boom.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/boom", nil))
+
+	s := r.Snapshot()
+	if got := findSample(t, s, "dssmem_http_requests_total",
+		map[string]string{"route": "/ok", "status": "2xx"}).Value; got != 3 {
+		t.Errorf("/ok 2xx = %v, want 3", got)
+	}
+	if got := findSample(t, s, "dssmem_http_requests_total",
+		map[string]string{"route": "/missing", "status": "4xx"}).Value; got != 1 {
+		t.Errorf("/missing 4xx = %v, want 1", got)
+	}
+	if got := findSample(t, s, "dssmem_http_requests_total",
+		map[string]string{"route": "/boom", "status": "5xx"}).Value; got != 1 {
+		t.Errorf("/boom 5xx = %v, want 1", got)
+	}
+	if got := findSample(t, s, "dssmem_http_request_seconds",
+		map[string]string{"route": "/ok"}).Count; got != 3 {
+		t.Errorf("/ok latency observations = %v, want 3", got)
+	}
+	if got := findSample(t, s, "dssmem_http_in_flight", nil).Value; got != 0 {
+		t.Errorf("in-flight after requests = %v, want 0", got)
+	}
+}
+
+// TestHTTPMiddlewareNil: with no registry the middleware must still
+// serve correctly.
+func TestHTTPMiddlewareNil(t *testing.T) {
+	m := NewHTTPMetrics(nil)
+	h := m.Wrap("/x", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Errorf("status = %d", rec.Code)
+	}
+
+	var nilSet *HTTPMetrics
+	h = nilSet.Wrap("/y", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/y", nil))
+}
+
+func TestStatusClass(t *testing.T) {
+	for code, want := range map[int]string{
+		200: "2xx", 202: "2xx", 301: "3xx", 404: "4xx", 500: "5xx", 99: "other", 900: "other",
+	} {
+		if got := statusClass(code); got != want {
+			t.Errorf("statusClass(%d) = %q, want %q", code, got, want)
+		}
+	}
+}

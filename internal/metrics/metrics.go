@@ -1,0 +1,118 @@
+// Package metrics is a zero-dependency instrumentation library for the
+// serving layer: atomic counters and gauges, fixed-bucket histograms
+// with a lock-free record path, and a registry of labeled metric
+// families that exposes itself as Prometheus text format and as a JSON
+// snapshot.
+//
+// The paper's whole method is attribution — every cache miss charged to
+// a data structure and a miss kind — and this package applies the same
+// discipline to the system that serves those measurements: every job,
+// cache lookup, and HTTP request is counted where it happens.
+//
+// The central contract is that a nil *Registry is a no-op: every
+// constructor on a nil registry returns a nil instrument, and every
+// method on a nil instrument returns immediately. Instrumented code
+// therefore calls its metrics unconditionally, tests stay hermetic by
+// simply not passing a registry, and the simulation hot path pays
+// nothing when observability is off.
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// addFloatBits atomically adds v to a float64 stored as IEEE-754 bits,
+// using a CAS loop — the lock-free float accumulation path shared by
+// counters, gauges, and histogram sums.
+func addFloatBits(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically non-decreasing metric. Integral increments
+// take a plain atomic add; fractional increments take the CAS float
+// path; the exposed value is the sum of both accumulators. All methods
+// are safe on a nil *Counter (they do nothing), which is what a nil
+// registry hands out.
+type Counter struct {
+	intVal  atomic.Uint64 // whole-number increments
+	bitsVal atomic.Uint64 // float64 bits of fractional increments
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.intVal.Add(1)
+}
+
+// Add increments the counter by v. Counters are monotonic: a negative v
+// panics, because a decreasing "counter" corrupts every rate() computed
+// from it downstream.
+func (c *Counter) Add(v float64) {
+	if c == nil {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		panic("metrics: counter decreased or NaN")
+	}
+	if iv := uint64(v); float64(iv) == v {
+		c.intVal.Add(iv)
+		return
+	}
+	addFloatBits(&c.bitsVal, v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return float64(c.intVal.Load()) + math.Float64frombits(c.bitsVal.Load())
+}
+
+// Gauge is a metric that can go up and down (queue depth, in-flight
+// requests, heap bytes). All methods are safe on a nil *Gauge.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by v (which may be negative).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	addFloatBits(&g.bits, v)
+}
+
+// Sub decrements the gauge by v.
+func (g *Gauge) Sub(v float64) { g.Add(-v) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}

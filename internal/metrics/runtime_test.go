@@ -1,0 +1,19 @@
+package metrics
+
+import "testing"
+
+func TestCollectGoRuntime(t *testing.T) {
+	r := New()
+	r.CollectGoRuntime()
+	s := r.Snapshot()
+	if got := findSample(t, s, "go_goroutines", nil).Value; got < 1 {
+		t.Errorf("go_goroutines = %v, want >= 1", got)
+	}
+	if got := findSample(t, s, "go_heap_alloc_bytes", nil).Value; got <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %v, want > 0", got)
+	}
+	// Registering twice must not panic (idempotent families, hook just
+	// runs twice).
+	r.CollectGoRuntime()
+	r.Snapshot()
+}

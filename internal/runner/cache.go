@@ -2,10 +2,30 @@ package runner
 
 import (
 	"encoding/gob"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 )
+
+// ValidateCacheDir reports whether dir can back the disk cache tier: it
+// must be creatable and writable. Callers decide the failure policy —
+// cmd/dssmem refuses to start (a requested cache that silently does
+// nothing wastes whole sweeps), while dssmemd logs and degrades to the
+// memory tier rather than failing requests.
+func ValidateCacheDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cache dir %s: %w", dir, err)
+	}
+	f, err := os.CreateTemp(dir, "probe-*")
+	if err != nil {
+		return fmt.Errorf("cache dir %s not writable: %w", dir, err)
+	}
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+	return nil
+}
 
 // resultCache is the content-addressed result store: an always-on
 // in-memory map, optionally backed by a directory of gob files so cached
@@ -19,6 +39,7 @@ type resultCache struct {
 	mu  sync.RWMutex
 	mem map[string]interface{}
 	dir string // "" = memory-only
+	met cacheMetrics
 }
 
 // diskEntry wraps a cached value so gob can encode the interface.
@@ -26,14 +47,16 @@ type diskEntry struct {
 	V interface{}
 }
 
-func newResultCache(dir string) *resultCache {
+func newResultCache(dir string, met cacheMetrics) *resultCache {
 	if dir != "" {
 		// Best effort: an unusable directory degrades to memory-only.
+		// Callers that want a hard failure instead probe with
+		// ValidateCacheDir before building the pool.
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			dir = ""
 		}
 	}
-	return &resultCache{mem: make(map[string]interface{}), dir: dir}
+	return &resultCache{mem: make(map[string]interface{}), dir: dir, met: met}
 }
 
 func (c *resultCache) path(key string) string {
@@ -41,23 +64,34 @@ func (c *resultCache) path(key string) string {
 }
 
 // get returns the cached value for key, checking memory first and then
-// the disk tier; disk hits are promoted to memory.
+// the disk tier; disk hits are promoted to memory. Each tier consulted
+// counts one lookup outcome, so the hit counters attribute where an
+// answer came from the same way the simulator attributes a miss to a
+// cache level.
 func (c *resultCache) get(key string) (interface{}, bool) {
 	c.mu.RLock()
 	v, ok := c.mem[key]
 	c.mu.RUnlock()
-	if ok || c.dir == "" {
-		return v, ok
+	if ok {
+		c.met.hitMem.Inc()
+		return v, true
+	}
+	c.met.missMem.Inc()
+	if c.dir == "" {
+		return nil, false
 	}
 	f, err := os.Open(c.path(key))
 	if err != nil {
+		c.met.missDisk.Inc()
 		return nil, false
 	}
 	defer f.Close()
 	var e diskEntry
 	if err := gob.NewDecoder(f).Decode(&e); err != nil {
+		c.met.missDisk.Inc()
 		return nil, false
 	}
+	c.met.hitDisk.Inc()
 	c.mu.Lock()
 	c.mem[key] = e.V
 	c.mu.Unlock()

@@ -1,0 +1,140 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// metricValue reads one sample value out of a registry snapshot.
+func metricValue(t *testing.T, reg *metrics.Registry, name string, labels map[string]string) float64 {
+	t.Helper()
+	for _, f := range reg.Snapshot() {
+		if f.Name != name {
+			continue
+		}
+		for _, s := range f.Samples {
+			match := len(s.Labels) == len(labels)
+			for k, v := range labels {
+				if s.Labels[k] != v {
+					match = false
+				}
+			}
+			if match {
+				return s.Value
+			}
+		}
+	}
+	t.Fatalf("no sample %s%v in registry", name, labels)
+	return 0
+}
+
+func newMeteredPool(t *testing.T, workers int, dir string) (*Pool, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.New()
+	f := &fakeFactory{}
+	p := New(Config{Workers: workers, CacheDir: dir, Metrics: reg, Factory: f.build})
+	t.Cleanup(p.Close)
+	return p, reg
+}
+
+// TestPoolMetrics checks the job-lifecycle instruments against a mixed
+// batch: successes, a cached resubmission, and a failure.
+func TestPoolMetrics(t *testing.T) {
+	p, reg := newMeteredPool(t, 2, "")
+
+	mk := func(q string) *Job {
+		return &Job{Name: "cold/" + q, Mode: "cold", Queries: []string{q},
+			Body: func(*Ctx) (interface{}, error) { return q, nil }}
+	}
+	if _, err := p.RunAll(context.Background(), []*Job{mk("Q3"), mk("Q6")}); err != nil {
+		t.Fatal(err)
+	}
+	// Identical resubmission: resolves from the memory tier at submit.
+	if _, err := p.RunAll(context.Background(), []*Job{mk("Q6")}); err != nil {
+		t.Fatal(err)
+	}
+	// A failing, uncacheable job.
+	boom := &Job{Name: "boom", NoCache: true,
+		Body: func(*Ctx) (interface{}, error) { return nil, errors.New("boom") }}
+	if _, err := p.RunAll(context.Background(), []*Job{boom}); err == nil {
+		t.Fatal("failing job reported success")
+	}
+
+	for name, want := range map[string]float64{
+		"dssmem_runner_jobs_submitted_total": 4,
+		"dssmem_runner_jobs_started_total":   3, // cached job never starts
+		"dssmem_runner_jobs_completed_total": 2,
+		"dssmem_runner_jobs_failed_total":    1,
+		"dssmem_runner_queue_depth":          0,
+		"dssmem_runner_running":              0,
+		"dssmem_runner_workers":              2,
+	} {
+		if got := metricValue(t, reg, name, nil); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if got := metricValue(t, reg, "dssmem_cache_hits_total", map[string]string{"tier": "memory"}); got != 1 {
+		t.Errorf("memory hits = %v, want 1", got)
+	}
+	// Q3+Q6 probe at submit and again at execute (4 misses), Q6 resub
+	// hits at submit; the failing job is uncacheable and never probes.
+	if got := metricValue(t, reg, "dssmem_cache_misses_total", map[string]string{"tier": "memory"}); got != 4 {
+		t.Errorf("memory misses = %v, want 4", got)
+	}
+	// Per-job wall-time histogram saw exactly the three executed jobs.
+	for _, f := range reg.Snapshot() {
+		if f.Name == "dssmem_runner_job_seconds" {
+			if got := f.Samples[0].Count; got != 3 {
+				t.Errorf("job_seconds count = %d, want 3", got)
+			}
+		}
+	}
+}
+
+// TestCacheTierMetrics checks disk-tier attribution: a second pool on
+// the same cache directory misses memory, hits disk.
+func TestCacheTierMetrics(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() *Job {
+		return &Job{Name: "cold/QD", Mode: "cold", Queries: []string{"QD"},
+			Body: func(*Ctx) (interface{}, error) { return "v", nil }}
+	}
+	p1, _ := newMeteredPool(t, 1, dir)
+	if _, err := p1.RunAll(context.Background(), []*Job{mk()}); err != nil {
+		t.Fatal(err)
+	}
+	p1.Close()
+
+	p2, reg := newMeteredPool(t, 1, dir)
+	if _, err := p2.RunAll(context.Background(), []*Job{mk()}); err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, reg, "dssmem_cache_hits_total", map[string]string{"tier": "disk"}); got != 1 {
+		t.Errorf("disk hits = %v, want 1", got)
+	}
+	if got := metricValue(t, reg, "dssmem_cache_misses_total", map[string]string{"tier": "memory"}); got != 1 {
+		t.Errorf("memory misses = %v, want 1", got)
+	}
+	// The disk hit was promoted; entries gauge sees it.
+	if got := metricValue(t, reg, "dssmem_cache_entries", nil); got != 1 {
+		t.Errorf("cache entries = %v, want 1", got)
+	}
+}
+
+func TestValidateCacheDir(t *testing.T) {
+	if err := ValidateCacheDir(t.TempDir()); err != nil {
+		t.Errorf("writable dir rejected: %v", err)
+	}
+	// A path under a file cannot be created.
+	f := t.TempDir() + "/file"
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateCacheDir(f + "/sub"); err == nil {
+		t.Error("path under a regular file accepted")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 // ErrShutdown is reported by jobs cancelled because the pool shut down
@@ -45,6 +46,11 @@ type Config struct {
 	// CacheDir, when non-empty, backs the result cache with a directory
 	// of gob files that survive process restarts.
 	CacheDir string
+	// Metrics, when non-nil, receives the pool's instrumentation
+	// (job/queue/cache-tier families under dssmem_runner_* and
+	// dssmem_cache_*). Nil disables observability at zero cost — see
+	// internal/metrics for the nil no-op contract.
+	Metrics *metrics.Registry
 	// Factory overrides system construction (tests).
 	Factory SystemFactory
 }
@@ -55,6 +61,7 @@ type Pool struct {
 	cache   *resultCache
 	hub     progressHub
 	start   time.Time
+	met     poolMetrics
 
 	sharedMu  sync.Mutex
 	shared    map[string]*core.System
@@ -90,10 +97,12 @@ func New(cfg Config) *Pool {
 	if factory == nil {
 		factory = defaultFactory
 	}
+	met := newPoolMetrics(cfg.Metrics)
 	p := &Pool{
 		factory:   factory,
-		cache:     newResultCache(cfg.CacheDir),
+		cache:     newResultCache(cfg.CacheDir, met.cacheMetrics()),
 		start:     time.Now(),
+		met:       met,
 		shared:    make(map[string]*core.System),
 		stateRefs: make(map[string]int),
 		jobs:      make(map[JobID]*jobRec),
@@ -101,6 +110,9 @@ func New(cfg Config) *Pool {
 		nworkers:  n,
 	}
 	p.cond = sync.NewCond(&p.mu)
+	p.met.workers.Set(float64(n))
+	cfg.Metrics.GaugeFunc("dssmem_cache_entries",
+		"In-memory result-cache entries.", func() float64 { return float64(p.cache.size()) })
 	for i := 0; i < n; i++ {
 		w := &worker{id: i}
 		p.wg.Add(1)
@@ -162,6 +174,8 @@ func (p *Pool) SubmitAll(jobs []*Job) ([]JobID, error) {
 	// The batch is now structurally valid; account every job, and pin
 	// shared-state systems until their last job settles.
 	p.submitted += int64(len(recs))
+	p.met.jobsSubmitted.Add(float64(len(recs)))
+	p.met.queueDepth.Add(float64(len(recs)))
 	for _, rec := range recs {
 		if rec.stateKey != "" {
 			p.stateRef(rec.stateKey)
@@ -389,13 +403,16 @@ func (p *Pool) enqueueLocked(rec *jobRec) {
 func (p *Pool) settleLocked(rec *jobRec, st State) {
 	rec.state = st
 	rec.finished = time.Now()
+	p.met.queueDepth.Dec() // settled jobs were Pending or Ready
 	switch st {
 	case Cached:
 		p.cacheHits++
 	case Skipped:
 		p.skipped++
+		p.met.jobsSkipped.Inc()
 	case Failed:
 		p.failed++
+		p.met.jobsFailed.Inc()
 	}
 	if rec.stateKey != "" {
 		p.stateUnref(rec.stateKey)
@@ -442,6 +459,9 @@ func (p *Pool) runWorker(w *worker) {
 		rec.state = Running
 		rec.started = time.Now()
 		p.running++
+		p.met.queueDepth.Dec()
+		p.met.running.Inc()
+		p.met.jobsStarted.Inc()
 		p.mu.Unlock()
 
 		p.publish(Event{Kind: JobStarted, Job: rec.id, Name: rec.job.Name, State: Running})
@@ -499,6 +519,11 @@ func (p *Pool) finish(rec *jobRec, res interface{}, err error, fromCache bool, b
 	rec.finished = time.Now()
 	p.running--
 	p.busy += busy
+	p.met.running.Dec()
+	if !fromCache {
+		p.met.busySeconds.Add(busy.Seconds())
+		p.met.jobSeconds.Observe(busy.Seconds())
+	}
 	switch {
 	case fromCache:
 		rec.cacheHit = true
@@ -507,9 +532,11 @@ func (p *Pool) finish(rec *jobRec, res interface{}, err error, fromCache bool, b
 	case err != nil:
 		rec.state = Failed
 		p.failed++
+		p.met.jobsFailed.Inc()
 	default:
 		rec.state = Done
 		p.completed++
+		p.met.jobsCompleted.Inc()
 		if rec.key != "" {
 			p.cacheMisses++
 		}
