@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check cover bench clean
+.PHONY: all build test race vet check cover bench bench-diff clean
 
 all: build
 
@@ -41,12 +41,22 @@ cover:
 # iteration each — the runner's result cache would otherwise serve
 # repeats and measure nothing) plus the per-reference hot-path
 # microbenchmarks, folded into a committed JSON file for cross-PR diffs.
-BENCH_JSON ?= BENCH_pr2.json
+BENCH_JSON ?= BENCH_pr4.json
 bench:
 	$(GO) test -run NONE -bench . -benchmem -benchtime 1x . > bench_output.txt
 	$(GO) test -run NONE -bench . -benchmem ./internal/machine ./internal/sched >> bench_output.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) bench_output.txt
 	@echo "wrote $(BENCH_JSON)"
+
+# Comparison mode: re-run the benchmarks and diff them against the
+# committed baseline snapshot, failing on any >10% ns/op regression.
+# Single-iteration experiment benchmarks are noisy, so CI runs this as
+# a non-blocking job — a red result is a prompt to look, not a gate.
+BENCH_BASELINE ?= BENCH_pr2.json
+bench-diff:
+	$(GO) test -run NONE -bench . -benchmem -benchtime 1x . > bench_output.txt
+	$(GO) test -run NONE -bench . -benchmem ./internal/machine ./internal/sched >> bench_output.txt
+	$(GO) run ./cmd/benchjson -diff $(BENCH_BASELINE) bench_output.txt
 
 clean:
 	$(GO) clean ./...

@@ -3,12 +3,20 @@
 // without external tooling.
 //
 //	go test -run NONE -bench . -benchmem ./... | benchjson -o BENCH.json
+//	go test -run NONE -bench . -benchmem ./... | benchjson -diff BENCH_pr2.json
 //
 // Each benchmark line becomes one object keyed by its name (with the
 // -cpu suffix stripped), carrying every reported metric — ns/op, B/op,
 // allocs/op, and any custom b.ReportMetric units. Non-benchmark lines
 // (pkg headers, PASS/ok) are ignored, so raw output can be piped in
 // directly or via a saved file.
+//
+// With -diff BASELINE the run is instead compared against a committed
+// snapshot: every benchmark present in both is reported with its ns/op
+// delta, and the exit status is 1 when any delta exceeds -max-regress
+// percent (default 10). Benchmarks only on one side are listed but
+// never fail the comparison, so adding or retiring a benchmark doesn't
+// break the gate.
 package main
 
 import (
@@ -75,10 +83,55 @@ func parse(r io.Reader) ([]result, error) {
 	return out, sc.Err()
 }
 
+// snapshot is the file format this tool writes and -diff reads back.
+type snapshot struct {
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// diff compares current against baseline on ns/op and writes one line
+// per benchmark. It returns the names whose regression exceeds maxPct.
+func diff(w io.Writer, baseline, current []result, maxPct float64) []string {
+	base := make(map[string]result, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	seen := make(map[string]bool, len(current))
+	var failed []string
+	for _, r := range current {
+		seen[r.Name] = true
+		old, ok := base[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-60s new benchmark, no baseline\n", r.Name)
+			continue
+		}
+		on, oldOK := old.Metrics["ns/op"]
+		nn, newOK := r.Metrics["ns/op"]
+		if !oldOK || !newOK || on == 0 {
+			fmt.Fprintf(w, "%-60s no ns/op to compare\n", r.Name)
+			continue
+		}
+		pct := 100 * (nn - on) / on
+		verdict := "ok"
+		if pct > maxPct {
+			verdict = "REGRESSED"
+			failed = append(failed, r.Name)
+		}
+		fmt.Fprintf(w, "%-60s %14.0f -> %14.0f ns/op  %+7.1f%%  %s\n", r.Name, on, nn, pct, verdict)
+	}
+	for _, r := range baseline {
+		if !seen[r.Name] {
+			fmt.Fprintf(w, "%-60s missing from this run (baseline only)\n", r.Name)
+		}
+	}
+	return failed
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	outPath := flag.String("o", "", "output file (default stdout)")
+	diffPath := flag.String("diff", "", "compare against this baseline snapshot instead of emitting JSON")
+	maxRegress := flag.Float64("max-regress", 10, "with -diff, fail when ns/op regresses by more than this percent")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -108,6 +161,24 @@ func main() {
 		}
 		return results[i].Name < results[j].Name
 	})
+
+	if *diffPath != "" {
+		raw, err := os.ReadFile(*diffPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var snap snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			log.Fatalf("%s: %v", *diffPath, err)
+		}
+		failed := diff(os.Stdout, snap.Benchmarks, results, *maxRegress)
+		if len(failed) > 0 {
+			log.Fatalf("%d benchmark(s) regressed more than %.0f%% vs %s: %s",
+				len(failed), *maxRegress, *diffPath, strings.Join(failed, ", "))
+		}
+		fmt.Printf("no ns/op regression beyond %.0f%% vs %s\n", *maxRegress, *diffPath)
+		return
+	}
 
 	out := os.Stdout
 	if *outPath != "" {

@@ -36,3 +36,47 @@ ok  	repro/internal/machine	2.1s
 		t.Errorf("readhit = %+v", hit)
 	}
 }
+
+func res(name string, nsop float64) result {
+	return result{Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": nsop}}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	baseline := []result{
+		res("BenchmarkA", 1000),
+		res("BenchmarkB", 1000),
+		res("BenchmarkGone", 500),
+	}
+	current := []result{
+		res("BenchmarkA", 1050), // +5%: within the gate
+		res("BenchmarkB", 1200), // +20%: regression
+		res("BenchmarkNew", 42),
+	}
+	var buf strings.Builder
+	failed := diff(&buf, baseline, current, 10)
+	if len(failed) != 1 || failed[0] != "BenchmarkB" {
+		t.Fatalf("failed = %v, want [BenchmarkB]", failed)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"BenchmarkB", "REGRESSED",
+		"BenchmarkNew", "new benchmark",
+		"BenchmarkGone", "baseline only",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "REGRESSED") != 1 {
+		t.Errorf("want exactly one REGRESSED line:\n%s", out)
+	}
+}
+
+func TestDiffImprovementPasses(t *testing.T) {
+	baseline := []result{res("BenchmarkA", 1000)}
+	current := []result{res("BenchmarkA", 400)} // -60%: speedups never fail
+	var buf strings.Builder
+	if failed := diff(&buf, baseline, current, 10); len(failed) != 0 {
+		t.Fatalf("improvement reported as regression: %v", failed)
+	}
+}

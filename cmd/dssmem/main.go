@@ -39,6 +39,7 @@ func main() {
 	queries := flag.String("queries", "Q3,Q6,Q12", "comma-separated traced queries")
 	jobs := flag.Int("jobs", 0, "concurrent experiment workers (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent result cache (empty = in-memory only)")
+	traceDir := flag.String("trace-dir", "", "directory for captured reference-trace blobs (empty = traces stay in the result cache)")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot to this file after the run (\"-\" = stderr)")
 	verbose := flag.Bool("v", false, "log per-job progress to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -98,6 +99,11 @@ func main() {
 			log.Fatalf("-cache-dir: %v", err)
 		}
 	}
+	if *traceDir != "" {
+		if err := runner.ValidateCacheDir(*traceDir); err != nil {
+			log.Fatalf("-trace-dir: %v", err)
+		}
+	}
 
 	// The registry exists only when asked for; a nil registry makes all
 	// instrumentation no-ops, so the default path measures nothing.
@@ -107,7 +113,7 @@ func main() {
 		reg.CollectGoRuntime()
 	}
 
-	e := experiments.NewExecConfig(runner.Config{Workers: *jobs, CacheDir: *cacheDir, Metrics: reg})
+	e := experiments.NewExecConfig(runner.Config{Workers: *jobs, CacheDir: *cacheDir, TraceDir: *traceDir, Metrics: reg})
 	defer e.Close()
 
 	if *verbose {

@@ -3,7 +3,7 @@
 // repeated experiment requests are answered from the content-addressed
 // result cache instead of re-simulating.
 //
-//	dssmemd [-addr :8080] [-jobs N] [-cache-dir DIR]
+//	dssmemd [-addr :8080] [-jobs N] [-cache-dir DIR] [-trace-dir DIR]
 //
 // Endpoints:
 //
@@ -264,6 +264,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	jobs := flag.Int("jobs", 0, "concurrent experiment workers (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent result cache (empty = in-memory only)")
+	traceDir := flag.String("trace-dir", "", "directory for captured reference-trace blobs (empty = traces stay in the result cache)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
@@ -278,10 +279,16 @@ func main() {
 			*cacheDir = ""
 		}
 	}
+	if *traceDir != "" {
+		if err := runner.ValidateCacheDir(*traceDir); err != nil {
+			log.Printf("trace store disabled: %v", err)
+			*traceDir = ""
+		}
+	}
 
 	reg := metrics.New()
 	reg.CollectGoRuntime()
-	exec := experiments.NewExecConfig(runner.Config{Workers: *jobs, CacheDir: *cacheDir, Metrics: reg})
+	exec := experiments.NewExecConfig(runner.Config{Workers: *jobs, CacheDir: *cacheDir, TraceDir: *traceDir, Metrics: reg})
 	s := newServer(exec, reg)
 
 	srv := &http.Server{

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/pg/lockmgr"
+	"repro/internal/sched"
+	"repro/internal/simm"
+	"repro/internal/trace"
+)
+
+// Record-once/replay-many: a cold query run's reference stream depends
+// on (query, scale, seed) but not on cache geometry, so the sweep
+// experiments capture one baseline execution per query and re-derive
+// every other configuration's report by replaying the recorded streams
+// through the unchanged sched/machine timing model. Synchronization
+// (spinlocks, lock-manager operations) is recorded symbolically and
+// re-executed live — its raw traffic depends on cross-processor timing
+// and must re-emerge per configuration rather than replay verbatim.
+
+// lockTracer adapts the capture recorder to the lock manager's Tracer.
+type lockTracer struct{ rec *trace.Recorder }
+
+func (t lockTracer) BeginOp(p *sched.Proc, acquire bool, tag lockmgr.Tag, mode lockmgr.Mode) {
+	t.rec.BeginLockOp(p.ID(), acquire, tag.RelID, uint8(tag.Level), tag.Page, uint8(mode))
+}
+
+func (t lockTracer) EndOp(p *sched.Proc) { t.rec.EndLockOp(p.ID()) }
+
+// RunColdRecorded is RunCold with trace capture: it returns the run's
+// report (byte-identical to an unrecorded run — observation does not
+// perturb the simulation) plus the recorded trace.
+func (s *System) RunColdRecorded(query string) (*Report, *trace.QueryTrace) {
+	rec := trace.NewRecorder(s.Mem.Nodes())
+	s.Eng.Recorder = rec
+	s.LockMgr.Tracer = lockTracer{rec: rec}
+	rep := s.RunCold(query)
+	s.Eng.Recorder = nil
+	s.LockMgr.Tracer = nil
+	tr := &trace.QueryTrace{
+		Query: query,
+		Scale: s.Cfg.DB.ScaleFactor,
+		Seed:  s.Cfg.DB.Seed,
+		Nodes: s.Mem.Nodes(),
+
+		BusyPerAccess: s.Cfg.Sched.BusyPerAccess,
+		SpinBackoff:   s.Cfg.Sched.SpinBackoff,
+		LockCap:       s.LockMgr.TableCap(),
+
+		Layout:  s.Mem.Layout(),
+		Rows:    append([]int(nil), rep.Rows...),
+		Streams: rec.Streams(),
+	}
+	return rep, tr
+}
+
+// replaySource adapts one recorded stream to the engine's flat replay
+// driver: data references and busy time translate directly, spin
+// acquire/release stay symbolic (the driver re-spins them live), and
+// lock-manager operations become closures the driver runs as real code
+// against the replay's lock state.
+func replaySource(st *trace.Stream, lm *lockmgr.Manager) func(*sched.ReplayEvent) (bool, error) {
+	cur := st.Cursor()
+	return func(out *sched.ReplayEvent) (bool, error) {
+		var ev trace.Event
+		ok, err := cur.Next(&ev)
+		if !ok || err != nil {
+			return ok, err
+		}
+		switch ev.Kind {
+		case trace.EvRef:
+			out.Kind, out.Addr, out.Size, out.Write = sched.ReplayRef, ev.Addr, ev.Size, ev.Write
+		case trace.EvBusy:
+			out.Kind, out.N = sched.ReplayBusy, ev.N
+		case trace.EvSpinAcquire:
+			out.Kind, out.Addr = sched.ReplaySpinAcquire, ev.Addr
+		case trace.EvSpinRelease:
+			out.Kind, out.Addr = sched.ReplaySpinRelease, ev.Addr
+		case trace.EvLockOp:
+			tag := lockmgr.Tag{RelID: ev.RelID, Level: lockmgr.Level(ev.Level), Page: ev.Page}
+			mode := lockmgr.Mode(ev.Mode)
+			acquire := ev.Acquire
+			out.Kind = sched.ReplayOp
+			out.Op = func(p *sched.Proc) {
+				if acquire {
+					lm.Acquire(p, p.ID(), tag, mode)
+				} else {
+					lm.Release(p, p.ID(), tag, mode)
+				}
+			}
+		}
+		return true, nil
+	}
+}
+
+// replayOn drives a full replay on an engine whose machine and memory
+// are already prepared (cold caches, zeroed/quiesced lock state).
+func replayOn(eng *sched.Engine, lm *lockmgr.Manager, tr *trace.QueryTrace) (*Report, error) {
+	rep := &Report{Rows: append([]int(nil), tr.Rows...)}
+	srcs := make([]func(*sched.ReplayEvent) (bool, error), tr.Nodes)
+	for i := range srcs {
+		rep.Queries = append(rep.Queries, tr.Query)
+		srcs[i] = replaySource(&tr.Streams[i], lm)
+	}
+	if err := eng.RunReplay(srcs); err != nil {
+		return nil, fmt.Errorf("core: replaying %s: %w", tr.Query, err)
+	}
+	for _, p := range eng.Procs() {
+		rep.PerProc = append(rep.PerProc, p.Breakdown())
+		rep.Clocks = append(rep.Clocks, p.Clock())
+	}
+	rep.Machine = *eng.Machine().Stats()
+	return rep, nil
+}
+
+// ReplayTrace replays a recorded query under the given machine
+// configuration on a freshly reconstructed skeleton system — the
+// layout's regions and page categories without any data contents — and
+// returns the report a fresh execution of that configuration would
+// produce. The replayed streams must come from the same (query, scale,
+// seed); the configuration may vary in any way that leaves the
+// reference stream invariant (cache geometry, prefetching, write
+// buffering — not node count).
+func ReplayTrace(tr *trace.QueryTrace, mcfg machine.Config) (*Report, error) {
+	return ReplayTraceWith(tr, mcfg, nil)
+}
+
+// ReplayTraceWith is ReplayTrace with an attachment hook called after
+// the skeleton is assembled and before the replay runs — the locality
+// analyzer installs its Tracer this way to analyze a saved trace
+// without re-running the executor.
+func ReplayTraceWith(tr *trace.QueryTrace, mcfg machine.Config, attach func(*sched.Engine, *simm.Memory)) (*Report, error) {
+	if err := mcfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mcfg.Nodes != tr.Nodes {
+		return nil, fmt.Errorf("core: trace recorded on %d nodes, config has %d", tr.Nodes, mcfg.Nodes)
+	}
+	if len(tr.Streams) != tr.Nodes {
+		return nil, fmt.Errorf("core: trace has %d streams for %d nodes", len(tr.Streams), tr.Nodes)
+	}
+	mem, err := simm.NewFromLayout(tr.Layout)
+	if err != nil {
+		return nil, err
+	}
+	mach, err := machine.New(mcfg, mem)
+	if err != nil {
+		return nil, err
+	}
+	scfg := sched.Config{BusyPerAccess: tr.BusyPerAccess, SpinBackoff: tr.SpinBackoff}
+	eng := sched.New(scfg, mem, mach)
+	lm, err := lockmgr.Attach(mem, tr.LockCap)
+	if err != nil {
+		return nil, err
+	}
+	if attach != nil {
+		attach(eng, mem)
+	}
+	return replayOn(eng, lm, tr)
+}
+
+// ReplayCold replays a recorded query on this system's current machine
+// configuration, reusing the live address space and lock manager: the
+// replay analogue of RunCold for the ablation sweeps, whose points
+// share one system's history. The system's lock state must be
+// quiescent (every completed run releases all locks), which replay then
+// mutates exactly as the recorded run's operations do.
+func (s *System) ReplayCold(tr *trace.QueryTrace) (*Report, error) {
+	if tr.Nodes != s.Mem.Nodes() {
+		return nil, fmt.Errorf("core: trace recorded on %d nodes, system has %d", tr.Nodes, s.Mem.Nodes())
+	}
+	if len(tr.Streams) != tr.Nodes {
+		return nil, fmt.Errorf("core: trace has %d streams for %d nodes", len(tr.Streams), tr.Nodes)
+	}
+	s.ColdStart()
+	return replayOn(s.Eng, s.LockMgr, tr)
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"encoding/gob"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Exec runs experiments through the runner subsystem: each measurement
@@ -32,6 +34,12 @@ type Exec struct {
 type execMetrics struct {
 	seconds *metrics.HistogramVec // dssmem_experiment_seconds{exp}
 	cycles  *metrics.CounterVec   // dssmem_experiment_simulated_cycles_total{exp}
+
+	// Capture/replay engine counters: executions recorded, reports
+	// derived by replaying a recording, and recorded blob bytes held.
+	captures   *metrics.Counter // dssmem_trace_captures_total
+	replays    *metrics.Counter // dssmem_trace_replays_total
+	traceBytes *metrics.Gauge   // dssmem_trace_recorded_bytes
 }
 
 // experimentBuckets spans renders from cache-warm re-renders
@@ -44,6 +52,12 @@ func newExecMetrics(r *metrics.Registry) execMetrics {
 			"Host wall-clock per rendered experiment.", experimentBuckets, "exp"),
 		cycles: r.CounterVec("dssmem_experiment_simulated_cycles_total",
 			"Simulated processor cycles behind rendered experiments (cache hits re-count their cycles).", "exp"),
+		captures: r.Counter("dssmem_trace_captures_total",
+			"Query executions recorded as reference traces."),
+		replays: r.Counter("dssmem_trace_replays_total",
+			"Reports derived by replaying a recorded trace instead of executing."),
+		traceBytes: r.Gauge("dssmem_trace_recorded_bytes",
+			"Encoded bytes of reference traces recorded by this process."),
 	}
 }
 
@@ -102,6 +116,7 @@ func init() {
 	gob.Register(&stats.Table{})
 	gob.Register(WarmResult{})
 	gob.Register([]AblationPoint{})
+	gob.Register(&CaptureResult{})
 }
 
 func sysOpts(o Options) runner.SystemOptions {
@@ -129,6 +144,101 @@ func coldJob(o Options, mcfg machine.Config, q string) *runner.Job {
 	}
 }
 
+// CaptureResult is a capture job's result: the baseline cold report
+// (byte-identical to an unrecorded run) plus the recorded reference
+// trace, encoded — everything replay jobs need to re-derive the same
+// query's report under other machine configurations.
+type CaptureResult struct {
+	Report *core.Report
+	Blob   []byte
+}
+
+// captureJob is coldJob with trace capture: it executes q cold on mcfg
+// while recording the per-processor reference streams. One capture per
+// (query, options) feeds the baseline figures and every sweep replay.
+//
+// The body consults the pool's trace store (-trace-dir) before
+// executing: a spilled blob regenerates the report by replaying at the
+// capture's own configuration — no executor work, no database build. A
+// damaged blob fails to decode and falls through to execution.
+func (e *Exec) captureJob(o Options, mcfg machine.Config, q string) *runner.Job {
+	return &runner.Job{
+		Name:    "capture/" + q,
+		Mode:    "capture",
+		Opts:    sysOpts(o),
+		Machine: mcfg,
+		Queries: []string{q},
+		Body: func(c *runner.Ctx) (interface{}, error) {
+			if blob, ok := c.TraceBlob(); ok {
+				if tr, err := trace.Unmarshal(blob); err == nil {
+					if rep, err := core.ReplayTrace(tr, mcfg); err == nil {
+						e.met.replays.Inc()
+						return &CaptureResult{Report: rep, Blob: blob}, nil
+					}
+				}
+			}
+			s, err := c.System()
+			if err != nil {
+				return nil, err
+			}
+			rep, tr := s.RunColdRecorded(q)
+			blob := tr.Marshal()
+			c.PutTraceBlob(blob)
+			e.met.captures.Inc()
+			e.met.traceBytes.Add(float64(len(blob)))
+			return &CaptureResult{Report: rep, Blob: blob}, nil
+		},
+	}
+}
+
+// replayJob derives the cold report of (q, mcfg) by replaying capture's
+// recorded streams through the timing model — no executor work. Replay
+// is byte-identical to fresh execution (the reference stream is a pure
+// function of query, scale, and seed), so the job carries the cold
+// job's cache identity: a replayed result satisfies later cold
+// submissions of the same point and vice versa.
+func (e *Exec) replayJob(o Options, mcfg machine.Config, q string, capture *runner.Job) *runner.Job {
+	return &runner.Job{
+		Name:    "replay/" + q,
+		Mode:    "cold",
+		Opts:    sysOpts(o),
+		Machine: mcfg,
+		Queries: []string{q},
+		After:   []*runner.Job{capture},
+		Body: func(c *runner.Ctx) (interface{}, error) {
+			dep, err := c.After(0)
+			if err != nil {
+				return nil, err
+			}
+			cr, ok := dep.(*CaptureResult)
+			if !ok {
+				return nil, fmt.Errorf("experiments: replay of %s: dependency returned %T, not a capture", q, dep)
+			}
+			tr, err := trace.Unmarshal(cr.Blob)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := core.ReplayTrace(tr, mcfg)
+			if err != nil {
+				return nil, err
+			}
+			e.met.replays.Inc()
+			return rep, nil
+		},
+	}
+}
+
+// asReport unwraps a job result that is a report either way.
+func asReport(v interface{}) *core.Report {
+	switch r := v.(type) {
+	case *core.Report:
+		return r
+	case *CaptureResult:
+		return r.Report
+	}
+	panic(fmt.Sprintf("experiments: job result %T is not a report", v))
+}
+
 // reports runs a batch and casts the results, which arrive in
 // submission order.
 func (e *Exec) reports(jobs []*runner.Job) ([]*core.Report, error) {
@@ -138,17 +248,20 @@ func (e *Exec) reports(jobs []*runner.Job) ([]*core.Report, error) {
 	}
 	out := make([]*core.Report, len(res))
 	for i, r := range res {
-		out[i] = r.(*core.Report)
+		out[i] = asReport(r)
 	}
 	return out, nil
 }
 
 // RunCold measures each query from a cold start on the given machine
-// configuration, one job per query.
+// configuration, one job per query. The jobs capture as they execute
+// (in practice mcfg is the baseline, whose recordings drive every sweep
+// replay), so an `-exp all` run simulates each query's baseline exactly
+// once, as the capture.
 func (e *Exec) RunCold(o Options, mcfg machine.Config) ([]QueryResult, error) {
 	jobs := make([]*runner.Job, len(o.Queries))
 	for i, q := range o.Queries {
-		jobs[i] = coldJob(o, mcfg, q)
+		jobs[i] = e.captureJob(o, mcfg, q)
 	}
 	reps, err := e.reports(jobs)
 	if err != nil {
@@ -161,36 +274,55 @@ func (e *Exec) RunCold(o Options, mcfg machine.Config) ([]QueryResult, error) {
 	return out, nil
 }
 
-// sweep submits one cold job per (query, parameter) point and distills
-// the sweep-point projection of each report.
+// sweep runs one capture job per query at the baseline configuration
+// and derives every other (query, parameter) point by replaying the
+// capture's recorded streams — the record-once/replay-many engine. The
+// replay points fan out as parallel jobs, each a pure decode-and-replay
+// with no executor work and no database build; the point whose
+// configuration is the baseline itself is the capture.
 func (e *Exec) sweep(o Options, params []int, mk func(machine.Config, int) machine.Config) ([]SweepPoint, error) {
 	base := machine.Baseline()
 	type coord struct {
-		q   string
-		prm int
+		q    string
+		prm  int
+		pad  bool // capture appended only to anchor replays, not a point
 	}
 	var coords []coord
 	var jobs []*runner.Job
 	for _, q := range o.Queries {
+		capture := e.captureJob(o, base, q)
+		captureUsed := false
 		for _, prm := range params {
-			coords = append(coords, coord{q, prm})
-			jobs = append(jobs, coldJob(o, mk(base, prm), q))
+			coords = append(coords, coord{q: q, prm: prm})
+			if mcfg := mk(base, prm); mcfg == base && !captureUsed {
+				jobs = append(jobs, capture)
+				captureUsed = true
+			} else {
+				jobs = append(jobs, e.replayJob(o, mcfg, q, capture))
+			}
+		}
+		if !captureUsed { // no baseline point in params; submit the anchor anyway
+			coords = append(coords, coord{q: q, pad: true})
+			jobs = append(jobs, capture)
 		}
 	}
 	reps, err := e.reports(jobs)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]SweepPoint, len(reps))
+	out := make([]SweepPoint, 0, len(reps))
 	for i, rep := range reps {
-		out[i] = SweepPoint{
+		if coords[i].pad {
+			continue
+		}
+		out = append(out, SweepPoint{
 			Query:  coords[i].q,
 			Param:  coords[i].prm,
 			L1Miss: rep.Machine.L1Misses.ByGroup(),
 			L2Miss: rep.Machine.L2Misses.ByGroup(),
 			Bd:     rep.Total(),
 			Clock:  rep.MaxClock(),
-		}
+		})
 	}
 	return out, nil
 }
@@ -297,16 +429,17 @@ func (e *Exec) RunWarmCache(o Options) ([]WarmResult, error) {
 	return out, nil
 }
 
-// RunPrefetch runs Figure 13: per query, the baseline and the
-// prefetching architecture as two independent cold jobs. The baseline
-// job's key matches the Figure 6/7 baseline, so an `-exp all` run
-// simulates it once.
+// RunPrefetch runs Figure 13: per query, the baseline capture (its key
+// matches the Figure 6/7 baseline, so an `-exp all` run simulates it
+// once) and the prefetching architecture replayed from it — prefetching
+// changes timing, not the reference stream.
 func (e *Exec) RunPrefetch(o Options) ([]PrefetchResult, error) {
 	pf := machine.Baseline()
 	pf.PrefetchData = true
 	var jobs []*runner.Job
 	for _, q := range o.Queries {
-		jobs = append(jobs, coldJob(o, machine.Baseline(), q), coldJob(o, pf, q))
+		capture := e.captureJob(o, machine.Baseline(), q)
+		jobs = append(jobs, capture, e.replayJob(o, pf, q, capture))
 	}
 	reps, err := e.reports(jobs)
 	if err != nil {

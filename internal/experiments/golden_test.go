@@ -20,9 +20,15 @@ import (
 var updateGolden = flag.Bool("update-golden", false, "rewrite golden experiment outputs")
 
 // goldenExperiments are the pinned experiments: the two baseline
-// characterization figures plus the scorecard, which transitively runs
-// the sweeps, warm-cache pairs, and prefetch comparison.
-var goldenExperiments = []string{"fig6", "fig7", "scorecard"}
+// characterization figures, every sweep the trace-replay engine serves
+// (the line/cache sweeps and the prefetch/write-buffer ablations — their
+// goldens were captured from fresh execution before replay existed, so
+// they are the byte-level proof that replay equals execution), and the
+// scorecard, which transitively runs the sweeps, warm-cache pairs, and
+// prefetch comparison.
+var goldenExperiments = []string{
+	"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations", "scorecard",
+}
 
 func goldenOptions() Options {
 	o := Defaults()

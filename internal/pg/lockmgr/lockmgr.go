@@ -70,6 +70,18 @@ func unpackLock(v uint64) (readers uint32, writer int32) {
 	return uint32(v), int32(uint32(v>>32)) - 1
 }
 
+// Tracer observes lock-manager operations for trace capture: BeginOp
+// fires before an Acquire or Release touches any shared state, EndOp
+// after it completes. A capture records the operation symbolically and
+// suppresses the bracketed raw traffic (spinlock probes, hash-table
+// walks, conflict backoff), because that traffic's shape depends on
+// cross-processor timing — a replay re-executes the operation live on a
+// real Manager instead of replaying stale probes.
+type Tracer interface {
+	BeginOp(p *sched.Proc, acquire bool, tag Tag, mode Mode)
+	EndOp(p *sched.Proc)
+}
+
 // Manager is the lock management module.
 type Manager struct {
 	lockHash *shmtab.Table
@@ -81,6 +93,9 @@ type Manager struct {
 	// RetryBackoff is the busy-wait before re-checking a conflicting
 	// data lock. Read-only DSS queries never hit this path.
 	RetryBackoff int64
+
+	// Tracer, when set, observes every Acquire/Release (trace capture).
+	Tracer Tracer
 }
 
 // New creates the module with the given table capacity (slots).
@@ -95,11 +110,34 @@ func New(mem *simm.Memory, capacity int) *Manager {
 	return m
 }
 
+// Attach reconstructs a Manager over the lock regions of an existing
+// address space (trace replay over a layout-reconstructed memory, whose
+// zeroed lock regions are the all-released state). capacity must be the
+// slot count the tables were created with.
+func Attach(mem *simm.Memory, capacity uint64) (*Manager, error) {
+	lock := mem.RegionByName("LockHash")
+	xid := mem.RegionByName("XidHash")
+	slock := mem.RegionByName("LockMgrLock")
+	if lock == nil || xid == nil || slock == nil {
+		return nil, fmt.Errorf("lockmgr: attach: lock regions missing from address space")
+	}
+	return &Manager{
+		lockHash:     shmtab.Attach(mem, lock, capacity),
+		xidHash:      shmtab.Attach(mem, xid, capacity),
+		Lock:         sched.SpinLock{Addr: slock.Base},
+		RetryBackoff: 200,
+	}, nil
+}
+
 // Acquire takes the lock named by tag in the given mode for transaction
 // xid (the simulated processor's query), spinning with backoff until any
 // conflicting holder releases. Lock-table probes and updates are traced
 // shared accesses; waiting happens with LockMgrLock released.
 func (m *Manager) Acquire(p *sched.Proc, xid int, tag Tag, mode Mode) {
+	if t := m.Tracer; t != nil {
+		t.BeginOp(p, true, tag, mode)
+		defer t.EndOp(p)
+	}
 	k := tag.key()
 	backoff := m.RetryBackoff + int64(17*p.ID())
 	for {
@@ -153,6 +191,10 @@ func (m *Manager) heldByXid(p *sched.Proc, xid int, tag Tag) bool {
 
 // Release drops one hold on the lock.
 func (m *Manager) Release(p *sched.Proc, xid int, tag Tag, mode Mode) {
+	if t := m.Tracer; t != nil {
+		t.BeginOp(p, false, tag, mode)
+		defer t.EndOp(p)
+	}
 	k := tag.key()
 	p.Acquire(m.Lock)
 	v, ok := m.lockHash.Lookup(p, k)
@@ -186,6 +228,10 @@ func (m *Manager) Release(p *sched.Proc, xid int, tag Tag, mode Mode) {
 	}
 	p.Release(m.Lock)
 }
+
+// TableCap returns the hash tables' slot count (trace capture records
+// it so Attach can rebuild tables of identical geometry).
+func (m *Manager) TableCap() uint64 { return m.lockHash.Cap() }
 
 // Holders returns the untraced reader count and writer of a tag (tests).
 func (m *Manager) Holders(tag Tag) (readers uint32, writer int32) {

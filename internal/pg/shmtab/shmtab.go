@@ -39,6 +39,18 @@ func New(mem *simm.Memory, name string, minCap int, cat simm.Category) *Table {
 	return &Table{mem: mem, region: r, mask: capacity - 1}
 }
 
+// Attach wraps an existing region (same capacity it was allocated with)
+// as a table, without allocating. Trace replay uses it to re-instantiate
+// a module's tables over a layout-reconstructed address space: a table
+// stores no header in simulated memory and key 0 is the empty marker,
+// so a zeroed region is a valid empty table.
+func Attach(mem *simm.Memory, r *simm.Region, capacity uint64) *Table {
+	if capacity == 0 || capacity&(capacity-1) != 0 || capacity*entrySize > r.Size {
+		panic(fmt.Sprintf("shmtab: attach %s: bad capacity %d for %d-byte region", r.Name, capacity, r.Size))
+	}
+	return &Table{mem: mem, region: r, mask: capacity - 1}
+}
+
 // Cap returns the slot count.
 func (t *Table) Cap() uint64 { return t.mask + 1 }
 

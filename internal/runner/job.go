@@ -138,6 +138,10 @@ type jobRec struct {
 	key      string // cache key, "" when NoCache
 	stateKey string // batch-scoped shared-system key, "" when stateless
 
+	// deps mirrors Job.After in order (wired at submission, then
+	// read-only); Ctx.After serves dependency results from it.
+	deps []*jobRec
+
 	// All fields below are guarded by the pool mutex.
 	state      State
 	waiting    int // unresolved dependencies

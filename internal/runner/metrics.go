@@ -29,6 +29,8 @@ type poolMetrics struct {
 	// (cacheMetrics) so the lookup path pays no label resolution.
 	cacheHits   *metrics.CounterVec
 	cacheMisses *metrics.CounterVec
+
+	traceWrites *metrics.Counter
 }
 
 func newPoolMetrics(r *metrics.Registry) poolMetrics {
@@ -57,6 +59,8 @@ func newPoolMetrics(r *metrics.Registry) poolMetrics {
 			"Result-cache lookups answered, by tier.", "tier"),
 		cacheMisses: r.CounterVec("dssmem_cache_misses_total",
 			"Result-cache lookups not answered, by tier.", "tier"),
+		traceWrites: r.Counter("dssmem_trace_store_writes_total",
+			"Trace blobs written to the trace store."),
 	}
 	return m
 }
@@ -76,5 +80,20 @@ func (m poolMetrics) cacheMetrics() cacheMetrics {
 		missMem:  m.cacheMisses.With("memory"),
 		hitDisk:  m.cacheHits.With("disk"),
 		missDisk: m.cacheMisses.With("disk"),
+	}
+}
+
+// traceMetrics is the trace store's instrument set; lookups share the
+// cache hit/miss families under tier="trace".
+type traceMetrics struct {
+	hits, misses *metrics.Counter
+	writes       *metrics.Counter
+}
+
+func (m poolMetrics) traceMetrics() traceMetrics {
+	return traceMetrics{
+		hits:   m.cacheHits.With("trace"),
+		misses: m.cacheMisses.With("trace"),
+		writes: m.traceWrites,
 	}
 }

@@ -46,6 +46,13 @@ type Config struct {
 	// CacheDir, when non-empty, backs the result cache with a directory
 	// of gob files that survive process restarts.
 	CacheDir string
+	// TraceDir, when non-empty, spills captured reference-trace blobs to
+	// a directory of content-addressed .trace files — a cache tier below
+	// the result cache: a capture job whose result is gone but whose
+	// trace survives regenerates its report by replay instead of
+	// re-executing. Blobs carry their own checksum, so damaged files
+	// read as misses.
+	TraceDir string
 	// Metrics, when non-nil, receives the pool's instrumentation
 	// (job/queue/cache-tier families under dssmem_runner_* and
 	// dssmem_cache_*). Nil disables observability at zero cost — see
@@ -59,6 +66,7 @@ type Config struct {
 type Pool struct {
 	factory SystemFactory
 	cache   *resultCache
+	traces  *traceStore
 	hub     progressHub
 	start   time.Time
 	met     poolMetrics
@@ -101,6 +109,7 @@ func New(cfg Config) *Pool {
 	p := &Pool{
 		factory:   factory,
 		cache:     newResultCache(cfg.CacheDir, met.cacheMetrics()),
+		traces:    newTraceStore(cfg.TraceDir, met.traceMetrics()),
 		start:     time.Now(),
 		met:       met,
 		shared:    make(map[string]*core.System),
@@ -113,6 +122,9 @@ func New(cfg Config) *Pool {
 	p.met.workers.Set(float64(n))
 	cfg.Metrics.GaugeFunc("dssmem_cache_entries",
 		"In-memory result-cache entries.", func() float64 { return float64(p.cache.size()) })
+	cfg.Metrics.GaugeFunc("dssmem_trace_store_bytes",
+		"Bytes of trace blobs this process wrote to the trace store.",
+		func() float64 { return float64(p.traces.stats().Bytes) })
 	for i := 0; i < n; i++ {
 		w := &worker{id: i}
 		p.wg.Add(1)
@@ -168,6 +180,7 @@ func (p *Pool) SubmitAll(jobs []*Job) ([]JobID, error) {
 				return nil, fmt.Errorf("runner: job %q depends on itself", j.Name)
 			}
 			drec.dependents = append(drec.dependents, recs[i])
+			recs[i].deps = append(recs[i].deps, drec)
 		}
 	}
 
@@ -216,11 +229,14 @@ func (p *Pool) SubmitAll(jobs []*Job) ([]JobID, error) {
 		}
 	}
 
-	// Count unresolved dependencies and queue the ready ones.
+	// Count unresolved dependencies and queue the ready ones. Counts are
+	// recomputed from scratch: the settle cascades above already ran
+	// releaseDependentsLocked, whose decrements predate any count.
 	for i, rec := range recs {
 		if rec.state != Pending {
 			continue
 		}
+		rec.waiting = 0
 		for _, dep := range jobs[i].After {
 			if !byJob[dep].state.terminal() {
 				rec.waiting++
@@ -344,6 +360,12 @@ type Stats struct {
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheEntries int   `json:"cache_entries"`
 
+	// Trace-store tier (zero when no TraceDir is configured).
+	TraceHits   int64 `json:"trace_hits"`
+	TraceMisses int64 `json:"trace_misses"`
+	TraceWrites int64 `json:"trace_writes"`
+	TraceBytes  int64 `json:"trace_bytes"`
+
 	QueueDepth int `json:"queue_depth"` // ready + dependency-blocked jobs
 	Running    int `json:"running"`
 
@@ -371,15 +393,18 @@ func (p *Pool) Stats() Stats {
 		}
 	}
 	up := time.Since(p.start)
+	ts := p.traces.stats()
 	s := Stats{
 		Workers:   p.nworkers,
 		Submitted: p.submitted, Completed: p.completed,
 		Failed: p.failed, Skipped: p.skipped,
 		CacheHits: p.cacheHits, CacheMisses: p.cacheMisses,
 		CacheEntries: p.cache.size(),
-		QueueDepth:   len(p.ready) + pendingBlocked,
-		Running:      p.running,
-		BusySeconds:  p.busy.Seconds(), UptimeSeconds: up.Seconds(),
+		TraceHits:    ts.Hits, TraceMisses: ts.Misses,
+		TraceWrites: ts.Writes, TraceBytes: ts.Bytes,
+		QueueDepth:  len(p.ready) + pendingBlocked,
+		Running:     p.running,
+		BusySeconds: p.busy.Seconds(), UptimeSeconds: up.Seconds(),
 	}
 	if denom := float64(p.nworkers) * up.Seconds(); denom > 0 {
 		s.Utilization = s.BusySeconds / denom

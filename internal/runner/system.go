@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/machine"
 )
@@ -30,6 +32,45 @@ type Ctx struct {
 
 // Job returns the job being executed.
 func (c *Ctx) Job() *Job { return c.rec.job }
+
+// Key returns the job's content-addressed cache key ("" for NoCache
+// jobs) — the same key the result cache and trace store file under.
+func (c *Ctx) Key() string { return c.rec.key }
+
+// After returns the result of the job's i-th After dependency. By the
+// time a body runs every dependency has settled successfully (a failed
+// dependency fails the job before it starts), so this only errors on a
+// bad index or a dependency that finished without a result (an
+// Ephemeral job skipped because its other dependents were cached).
+func (c *Ctx) After(i int) (interface{}, error) {
+	if i < 0 || i >= len(c.rec.deps) {
+		return nil, fmt.Errorf("runner: job %q has %d dependencies, not %d",
+			c.rec.job.Name, len(c.rec.deps), i+1)
+	}
+	d := c.rec.deps[i]
+	c.pool.mu.Lock()
+	res, st := d.result, d.state
+	c.pool.mu.Unlock()
+	if st != Done && st != Cached {
+		return nil, fmt.Errorf("runner: dependency %q of %q settled %s with no result",
+			d.job.Name, c.rec.job.Name, st)
+	}
+	return res, nil
+}
+
+// TraceBlob returns the trace-store blob filed under this job's key, if
+// the pool has a trace directory and the file exists. Content integrity
+// is the decoder's job: a damaged blob fails to unmarshal, which
+// callers treat as a miss.
+func (c *Ctx) TraceBlob() ([]byte, bool) {
+	return c.pool.traces.get(c.rec.key)
+}
+
+// PutTraceBlob files a trace blob under this job's key in the trace
+// store (a no-op without a trace directory).
+func (c *Ctx) PutTraceBlob(b []byte) {
+	c.pool.traces.put(c.rec.key, b)
+}
 
 // System returns the simulated system for this job.
 //

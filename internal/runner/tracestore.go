@@ -1,0 +1,103 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// traceStore is the trace-blob cache tier: a directory of
+// content-addressed <job-key>.trace files holding captured
+// reference-trace blobs. It sits below the result cache — a capture job
+// whose result is gone but whose blob survives regenerates its report
+// by replaying the blob instead of re-executing — and unlike the result
+// cache it stores opaque bytes, so nothing needs gob registration and a
+// blob written by one build is readable by another. Integrity is the
+// blob's own concern (magic + checksum, see internal/trace): the store
+// returns whatever bytes it finds, and the decoder turns damage into a
+// miss. With no directory configured every lookup misses and every put
+// is dropped, uncounted.
+type traceStore struct {
+	dir string // "" = disabled
+	met traceMetrics
+
+	mu sync.Mutex
+	st TraceStats
+}
+
+// TraceStats is the store's accounting snapshot.
+type TraceStats struct {
+	Hits   int64
+	Misses int64
+	Writes int64
+	Bytes  int64 // bytes written by this process
+}
+
+func newTraceStore(dir string, met traceMetrics) *traceStore {
+	if dir != "" {
+		// Best effort, like the result cache's disk tier: an unusable
+		// directory degrades to disabled. Callers wanting a hard failure
+		// probe with ValidateCacheDir first.
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			dir = ""
+		}
+	}
+	return &traceStore{dir: dir, met: met}
+}
+
+func (s *traceStore) path(key string) string {
+	return filepath.Join(s.dir, key+".trace")
+}
+
+// get returns the stored blob for key. Unreadable or absent files are
+// misses; content validation is the caller's decode step.
+func (s *traceStore) get(key string) ([]byte, bool) {
+	if s.dir == "" || key == "" {
+		return nil, false
+	}
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.met.misses.Inc()
+		s.mu.Lock()
+		s.st.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.met.hits.Inc()
+	s.mu.Lock()
+	s.st.Hits++
+	s.mu.Unlock()
+	return b, true
+}
+
+// put stores a blob under key, atomically (temp file + rename) so a
+// concurrent reader never sees a partial write. Failures are silently
+// tolerated: the store is an optimization tier, never correctness.
+func (s *traceStore) put(key string, b []byte) {
+	if s.dir == "" || key == "" {
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, "trace-*")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	_, werr := tmp.Write(b)
+	if cerr := tmp.Close(); werr != nil || cerr != nil {
+		return
+	}
+	if os.Rename(tmp.Name(), s.path(key)) != nil {
+		return
+	}
+	s.met.writes.Inc()
+	s.mu.Lock()
+	s.st.Writes++
+	s.st.Bytes += int64(len(b))
+	s.mu.Unlock()
+}
+
+func (s *traceStore) stats() TraceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st
+}

@@ -59,11 +59,39 @@ type Engine struct {
 	// finished receives every processor that completes its body; Run
 	// counts completions and re-raises panics.
 	finished chan *Proc
+	// flat is set while RunReplay's single-goroutine driver owns the
+	// ring; flatCh is how a lock-op goroutine yields the baton back to
+	// it (see RunReplay).
+	flat   bool
+	flatCh chan *Proc
 
 	// Tracer, when set, observes every traced reference in issue order
 	// (the address-trace methodology of the paper's Section 4). It runs
 	// inside the simulation and must not touch simulated state.
 	Tracer func(proc int, a simm.Addr, size int, write bool)
+
+	// Recorder, when set, observes the engine-level events a trace
+	// capture needs to reproduce a run without the executor: data
+	// references, explicit busy time, and spinlock acquire/release
+	// boundaries (recorded as operations, not as their constituent
+	// probes, so a replay under a different memory configuration re-spins
+	// them live). Like Tracer it runs inside the simulation and must not
+	// touch simulated state.
+	Recorder Recorder
+}
+
+// Recorder receives the engine-level event stream of a recorded run.
+// Implementations must treat the calls as read-only observations.
+type Recorder interface {
+	// Ref observes one traced data reference.
+	Ref(proc int, a simm.Addr, size int, write bool)
+	// BusyEvent observes an explicit Busy(n) charge.
+	BusyEvent(proc int, n int64)
+	// SpinAcquire observes entry to a spinlock acquisition (before any
+	// spinning happens).
+	SpinAcquire(proc int, a simm.Addr)
+	// SpinRelease observes a spinlock release.
+	SpinRelease(proc int, a simm.Addr)
 }
 
 // New creates an engine with one processor per machine node.
@@ -196,6 +224,13 @@ func (p *Proc) reschedule() {
 		}
 		return
 	}
+	if e.flat {
+		// Flat replay: the driver owns scheduling. Hand it the baton;
+		// it resumes this processor once it is the minimum again.
+		e.flatCh <- p
+		<-p.park
+		return
+	}
 	e.wakeHead()
 	<-p.park
 }
@@ -266,6 +301,12 @@ type Proc struct {
 	done     bool
 	inSync   bool
 	panicVal interface{}
+
+	// Flat-replay driver state: mid-spin acquire progress and whether a
+	// lock-op goroutine is executing on this processor's behalf.
+	spinAddr simm.Addr
+	spinning bool
+	inOp     bool
 }
 
 // ID returns the processor (node) number.
@@ -307,6 +348,9 @@ func (p *Proc) read(a simm.Addr, size int) {
 	if t := p.eng.Tracer; t != nil {
 		t(p.id, a, size, false)
 	}
+	if r := p.eng.Recorder; r != nil {
+		r.Ref(p.id, a, size, false)
+	}
 	p.preAccess()
 	p.charge(p.eng.mach.Read(p.id, a, size, p.clock))
 	p.maybeYield()
@@ -318,6 +362,9 @@ func (p *Proc) readCat(a simm.Addr, size int, cat simm.Category) {
 	if t := p.eng.Tracer; t != nil {
 		t(p.id, a, size, false)
 	}
+	if r := p.eng.Recorder; r != nil {
+		r.Ref(p.id, a, size, false)
+	}
 	p.preAccess()
 	p.charge(p.eng.mach.ReadCat(p.id, a, size, p.clock, cat))
 	p.maybeYield()
@@ -326,6 +373,9 @@ func (p *Proc) readCat(a simm.Addr, size int, cat simm.Category) {
 func (p *Proc) write(a simm.Addr, size int) {
 	if t := p.eng.Tracer; t != nil {
 		t(p.id, a, size, true)
+	}
+	if r := p.eng.Recorder; r != nil {
+		r.Ref(p.id, a, size, true)
 	}
 	p.preAccess()
 	p.charge(p.eng.mach.Write(p.id, a, size, p.clock))
@@ -336,6 +386,9 @@ func (p *Proc) writeCat(a simm.Addr, size int, cat simm.Category) {
 	if t := p.eng.Tracer; t != nil {
 		t(p.id, a, size, true)
 	}
+	if r := p.eng.Recorder; r != nil {
+		r.Ref(p.id, a, size, true)
+	}
 	p.preAccess()
 	p.charge(p.eng.mach.WriteCat(p.id, a, size, p.clock, cat))
 	p.maybeYield()
@@ -343,9 +396,212 @@ func (p *Proc) writeCat(a simm.Addr, size int, cat simm.Category) {
 
 // Busy charges n cycles of pure computation.
 func (p *Proc) Busy(n int64) {
+	if r := p.eng.Recorder; r != nil {
+		r.BusyEvent(p.id, n)
+	}
 	p.bd.Busy += uint64(n)
 	p.clock += n
 	p.maybeYield()
+}
+
+// ReplayKind discriminates the events a replay source can produce.
+type ReplayKind uint8
+
+const (
+	// ReplayRef is one recorded data reference (Addr/Size/Write).
+	ReplayRef ReplayKind = iota
+	// ReplayBusy charges N cycles of pure computation.
+	ReplayBusy
+	// ReplaySpinAcquire re-executes a spinlock acquisition at Addr live.
+	ReplaySpinAcquire
+	// ReplaySpinRelease re-executes a spinlock release at Addr.
+	ReplaySpinRelease
+	// ReplayOp runs Op — arbitrary recorded synchronization (a
+	// lock-manager call) — on the processor via a real goroutine, since
+	// it may need to interleave with other processors mid-operation.
+	ReplayOp
+)
+
+// ReplayEvent is one event pulled from a replay source. Fields beyond
+// Kind are valid per kind.
+type ReplayEvent struct {
+	Kind  ReplayKind
+	Addr  simm.Addr
+	Size  int
+	Write bool
+	N     int64
+	Op    func(*Proc)
+}
+
+// RunReplay drives one recorded event source per processor through the
+// unchanged timing model on a single goroutine. Sources may be nil for
+// idle processors; a source returns false at end of stream.
+//
+// Execution needs a coroutine per processor because the database code's
+// control flow lives on real stacks, and every baton pass is a channel
+// handoff plus two goroutine switches. A recorded stream has no stack:
+// the driver below applies events from whichever processor is the
+// (clock, id) minimum, replicating the traced accessors' exact charge
+// sequences inline, so the handoff cost disappears. The scheduling rule
+// is identical — the running processor keeps the baton until its clock
+// strictly passes the second-smallest (reschedule's bubble, tie to the
+// holder), so every machine access happens at the same global timestamp
+// as under Run. The two live-synchronization cases keep their recorded
+// yield boundaries: a spin acquire advances one test-and-test-and-set
+// iteration per turn (Acquire's per-iteration yield point), and a
+// lock-manager op runs real code on a goroutine that hands the baton
+// back to the driver whenever it must yield mid-operation. Recorders
+// are not consulted during replay.
+func (e *Engine) RunReplay(srcs []func(*ReplayEvent) (bool, error)) error {
+	if len(srcs) != len(e.procs) {
+		panic(fmt.Sprintf("sched: %d replay sources for %d processors", len(srcs), len(e.procs)))
+	}
+	e.ring = e.ring[:0]
+	for i, src := range srcs {
+		if src == nil {
+			continue
+		}
+		p := e.procs[i]
+		p.done = false
+		p.started = true
+		p.panicVal = nil
+		p.spinning = false
+		p.inOp = false
+		e.ringInsert(p)
+	}
+	if len(e.ring) == 0 {
+		return nil
+	}
+	if e.flatCh == nil {
+		e.flatCh = make(chan *Proc)
+	}
+	e.flat = true
+	defer func() { e.flat = false }()
+	var ev ReplayEvent
+	for len(e.ring) > 0 {
+		p := e.ring[0]
+		// The horizon is the second-smallest runnable clock; it cannot
+		// change while p runs (only the head advances), so refreshing it
+		// every turn is equivalent to Run's refresh-on-reschedule.
+		if len(e.ring) > 1 {
+			p.horizon = e.ring[1].clock
+		} else {
+			p.horizon = horizonMax
+		}
+		switch {
+		case p.inOp:
+			// Resume the lock-op goroutine with the baton and wait for
+			// it to yield again (mid-op, via reschedule) or finish.
+			p.park <- struct{}{}
+			q := <-e.flatCh
+			if q.panicVal != nil {
+				panic(q.panicVal)
+			}
+			continue
+		case p.spinning:
+			if p.flatSpinStep() {
+				p.spinning = false
+			}
+		default:
+			ok, err := srcs[p.id](&ev)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				copy(e.ring, e.ring[1:])
+				e.ring = e.ring[:len(e.ring)-1]
+				continue
+			}
+			switch ev.Kind {
+			case ReplayRef:
+				p.flatRef(ev.Addr, ev.Size, ev.Write)
+			case ReplayBusy:
+				p.bd.Busy += uint64(ev.N)
+				p.clock += ev.N
+			case ReplaySpinAcquire:
+				// The first spin iteration runs immediately, like
+				// Acquire's loop entry.
+				p.spinning, p.spinAddr = true, ev.Addr
+				continue
+			case ReplaySpinRelease:
+				p.flatSpinRelease(ev.Addr)
+			case ReplayOp:
+				p.inOp = true
+				go func(p *Proc, op func(*Proc)) {
+					defer func() {
+						p.panicVal = recover()
+						p.inOp = false
+						e.flatCh <- p
+					}()
+					<-p.park
+					op(p)
+				}(p, ev.Op)
+				// Next turn dispatches the inOp branch: p is still the
+				// head, so the op starts before anyone else runs.
+				continue
+			}
+		}
+		// The traced accessors end in maybeYield; mirror it (reschedule's
+		// bubble, minus the parking — the driver simply picks the new
+		// head next turn).
+		if p.clock > p.horizon {
+			i := 0
+			for i+1 < len(e.ring) && less(e.ring[i+1], p) {
+				e.ring[i] = e.ring[i+1]
+				i++
+			}
+			e.ring[i] = p
+		}
+	}
+	return nil
+}
+
+// flatRef re-issues one recorded data reference on the driver's
+// goroutine: the traced accessors' exact busy charge, timing-model
+// access, and stall attribution, minus the yield (the driver re-sorts
+// after every event).
+func (p *Proc) flatRef(a simm.Addr, size int, write bool) {
+	if t := p.eng.Tracer; t != nil {
+		t(p.id, a, size, write)
+	}
+	p.preAccess()
+	if write {
+		p.charge(p.eng.mach.Write(p.id, a, size, p.clock))
+	} else {
+		p.charge(p.eng.mach.Read(p.id, a, size, p.clock))
+	}
+}
+
+// flatSpinStep performs one iteration of Acquire's test-and-test-and-
+// set loop — charge for charge — and reports whether the lock was
+// taken. One iteration per driver turn reproduces Acquire's
+// per-iteration yield point.
+func (p *Proc) flatSpinStep() bool {
+	a := p.spinAddr
+	mem := p.eng.mem
+	p.inSync = true
+	p.preAccess()
+	p.charge(p.eng.mach.Read(p.id, a, 4, p.clock))
+	if mem.Load32(a) == 0 {
+		p.charge(p.eng.mach.Sync(p.id, a, p.clock))
+		if mem.Load32(a) == 0 {
+			mem.Store32(a, 1)
+			p.inSync = false
+			return true
+		}
+	}
+	backoff := p.eng.cfg.SpinBackoff + int64(13*p.id)
+	p.clock += backoff
+	p.bd.MSync += uint64(backoff)
+	return false
+}
+
+// flatSpinRelease mirrors Release without the trailing yield.
+func (p *Proc) flatSpinRelease(a simm.Addr) {
+	p.inSync = true
+	p.charge(p.eng.mach.Sync(p.id, a, p.clock))
+	p.eng.mem.Store32(a, 0)
+	p.inSync = false
 }
 
 // Read8 performs a traced 1-byte load.
@@ -450,6 +706,9 @@ type SpinLock struct {
 // first probe to acquisition are MSync, the paper's metalock
 // synchronization bucket.
 func (p *Proc) Acquire(l SpinLock) {
+	if r := p.eng.Recorder; r != nil {
+		r.SpinAcquire(p.id, l.Addr)
+	}
 	p.inSync = true
 	mem := p.eng.mem
 	for {
@@ -481,6 +740,9 @@ func (p *Proc) Acquire(l SpinLock) {
 // Release stores zero with a synchronizing write, invalidating the
 // spinners' cached copies.
 func (p *Proc) Release(l SpinLock) {
+	if r := p.eng.Recorder; r != nil {
+		r.SpinRelease(p.id, l.Addr)
+	}
 	p.inSync = true
 	p.charge(p.eng.mach.Sync(p.id, l.Addr, p.clock))
 	p.eng.mem.Store32(l.Addr, 0)

@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/simm"
+)
+
+// Blob format: the self-contained on-disk / in-cache encoding of a
+// QueryTrace. An 8-byte magic and a CRC-32 over the payload make
+// corruption and truncation first-class decode errors — a damaged trace
+// file must read as a cache miss, never as a silently wrong replay.
+//
+//	magic   "DSSTRC01"
+//	crc32   IEEE, little-endian, over the payload
+//	payload version, header fields, layout, rows, streams (varints)
+const blobVersion = 1
+
+var blobMagic = [8]byte{'D', 'S', 'S', 'T', 'R', 'C', '0', '1'}
+
+type blobWriter struct{ b []byte }
+
+func (w *blobWriter) uvarint(v uint64) {
+	w.b = binary.AppendUvarint(w.b, v)
+}
+
+func (w *blobWriter) varint(v int64) {
+	w.b = binary.AppendVarint(w.b, v)
+}
+
+func (w *blobWriter) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+
+func (w *blobWriter) bytes(p []byte) {
+	w.uvarint(uint64(len(p)))
+	w.b = append(w.b, p...)
+}
+
+// Marshal encodes the trace as a blob.
+func (t *QueryTrace) Marshal() []byte {
+	var w blobWriter
+	w.b = make([]byte, 0, t.Bytes()+4096)
+	w.uvarint(blobVersion)
+	w.str(t.Query)
+	w.uvarint(math.Float64bits(t.Scale))
+	w.uvarint(t.Seed)
+	w.uvarint(uint64(t.Nodes))
+	w.varint(t.BusyPerAccess)
+	w.varint(t.SpinBackoff)
+	w.uvarint(t.LockCap)
+
+	w.uvarint(uint64(t.Layout.Nodes))
+	w.uvarint(uint64(len(t.Layout.Regions)))
+	for _, r := range t.Layout.Regions {
+		w.str(r.Name)
+		w.uvarint(r.Size)
+		w.b = append(w.b, byte(r.Cat))
+		w.varint(int64(r.Node))
+	}
+	w.uvarint(uint64(len(t.Layout.Cats)))
+	for _, c := range t.Layout.Cats {
+		w.uvarint(uint64(c.Pages))
+		w.b = append(w.b, byte(c.Cat))
+	}
+
+	w.uvarint(uint64(len(t.Rows)))
+	for _, n := range t.Rows {
+		w.varint(int64(n))
+	}
+	w.uvarint(uint64(len(t.Streams)))
+	for i := range t.Streams {
+		s := &t.Streams[i]
+		w.uvarint(s.Refs)
+		w.uvarint(s.Events)
+		w.uvarint(uint64(len(s.Chunks)))
+		for _, c := range s.Chunks {
+			w.bytes(c)
+		}
+	}
+
+	out := make([]byte, 0, len(w.b)+12)
+	out = append(out, blobMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(w.b))
+	return append(out, w.b...)
+}
+
+type blobReader struct {
+	b   []byte
+	off int
+}
+
+func (r *blobReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("trace: truncated blob")
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *blobReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("trace: truncated blob")
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *blobReader) take(n uint64) ([]byte, error) {
+	if n > uint64(len(r.b)-r.off) {
+		return nil, fmt.Errorf("trace: truncated blob")
+	}
+	p := r.b[r.off : r.off+int(n) : r.off+int(n)]
+	r.off += int(n)
+	return p, nil
+}
+
+func (r *blobReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	p, err := r.take(n)
+	return string(p), err
+}
+
+func (r *blobReader) byte() (byte, error) {
+	p, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return p[0], nil
+}
+
+// Unmarshal decodes a blob, verifying magic and checksum. The decoded
+// trace aliases b's stream chunks; callers must not mutate b afterwards.
+func Unmarshal(b []byte) (*QueryTrace, error) {
+	if len(b) < len(blobMagic)+4 {
+		return nil, fmt.Errorf("trace: blob too short (%d bytes)", len(b))
+	}
+	if string(b[:len(blobMagic)]) != string(blobMagic[:]) {
+		return nil, fmt.Errorf("trace: bad magic %q", b[:len(blobMagic)])
+	}
+	sum := binary.LittleEndian.Uint32(b[len(blobMagic):])
+	payload := b[len(blobMagic)+4:]
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("trace: checksum mismatch (corrupted blob)")
+	}
+	r := blobReader{b: payload}
+	ver, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != blobVersion {
+		return nil, fmt.Errorf("trace: unsupported blob version %d", ver)
+	}
+	t := &QueryTrace{}
+	if t.Query, err = r.str(); err != nil {
+		return nil, err
+	}
+	bits, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	t.Scale = math.Float64frombits(bits)
+	if t.Seed, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	nodes, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	t.Nodes = int(nodes)
+	if t.BusyPerAccess, err = r.varint(); err != nil {
+		return nil, err
+	}
+	if t.SpinBackoff, err = r.varint(); err != nil {
+		return nil, err
+	}
+	if t.LockCap, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+
+	ln, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	t.Layout.Nodes = int(ln)
+	nr, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nr; i++ {
+		var lr simm.LayoutRegion
+		if lr.Name, err = r.str(); err != nil {
+			return nil, err
+		}
+		if lr.Size, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		cat, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		lr.Cat = simm.Category(cat)
+		node, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		lr.Node = int(node)
+		t.Layout.Regions = append(t.Layout.Regions, lr)
+	}
+	nc, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nc; i++ {
+		pages, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		cat, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		t.Layout.Cats = append(t.Layout.Cats, simm.CatRun{Pages: uint32(pages), Cat: simm.Category(cat)})
+	}
+
+	nrows, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nrows; i++ {
+		v, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, int(v))
+	}
+	ns, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < ns; i++ {
+		var s Stream
+		if s.Refs, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if s.Events, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		nch, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < nch; j++ {
+			cn, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			c, err := r.take(cn)
+			if err != nil {
+				return nil, err
+			}
+			s.Chunks = append(s.Chunks, c)
+		}
+		t.Streams = append(t.Streams, s)
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("trace: %d trailing bytes after blob", len(payload)-r.off)
+	}
+	return t, nil
+}
