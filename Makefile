@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check cover bench bench-diff clean
+.PHONY: all build test race vet check cover bench bench-diff fuzz scenario-goldens clean
 
 all: build
 
@@ -24,7 +24,23 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet race test
+# The scenario-golden gate: render every preset through the declarative
+# spec path and diff byte-for-byte against the committed golden files.
+# This is the refactor-safety net — any change to the spec interpreter,
+# the runner's cache keys, or the renderers that alters published
+# output fails here first.
+scenario-goldens:
+	$(GO) test -run TestGoldenOutput -count=1 ./internal/experiments
+
+check: build vet race test scenario-goldens
+
+# Fuzz the scenario decoder: decode -> validate -> canonicalize ->
+# re-decode must round-trip or fail cleanly with a field-path error,
+# and never panic. CI runs a short smoke; crank FUZZTIME locally for a
+# real campaign.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzScenarioDecode -fuzztime $(FUZZTIME) ./internal/scenario
 
 # Coverage gate for the observability subsystem: internal/metrics is
 # the one package every other layer reports through, so its own tests

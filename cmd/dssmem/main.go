@@ -1,12 +1,20 @@
 // Command dssmem reproduces the paper's tables and figures.
 //
 //	dssmem -exp table1|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|all [-scale 0.01] [-seed N] [-jobs N]
+//	dssmem -scenario FILE    run one declarative scenario spec (JSON)
+//	dssmem -list             list the preset scenarios behind -exp
 //
 // Each experiment prints the same rows/series the paper reports, as
 // aligned text tables. Measurements run as jobs on a worker pool
 // (internal/runner): -jobs picks the worker count, and a
 // content-addressed result cache deduplicates repeated configurations,
 // so the output is byte-identical for any worker count.
+//
+// Every named experiment is a preset scenario (internal/scenario); a
+// -scenario file describes a custom machine + workload + sweep in the
+// same spec language and runs through the identical capture/replay
+// machinery, sharing cache entries with any preset that visits the
+// same configuration.
 //
 // With -metrics FILE the run is instrumented (internal/metrics) and a
 // JSON snapshot of every counter, gauge, and histogram is written after
@@ -18,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -28,12 +37,39 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
+
+// listPresets writes every preset scenario's name and one-line
+// description, one per row, in the order -exp all runs them.
+func listPresets(w io.Writer) {
+	for _, p := range scenario.Presets() {
+		fmt.Fprintf(w, "%-12s %s\n", p.Name, p.Description)
+	}
+}
+
+// loadScenario reads, decodes, and validates one spec file.
+func loadScenario(path string) (*scenario.Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := scenario.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return sc, nil
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dssmem: ")
 	exp := flag.String("exp", "all", "experiment: "+strings.Join(experiments.KnownExperiments, ", ")+", all")
+	scenarioFile := flag.String("scenario", "", "run one scenario spec file (JSON) instead of a named experiment")
+	list := flag.Bool("list", false, "list the preset scenarios and exit")
 	scale := flag.Float64("scale", 0.01, "TPC-D scale factor (paper: 0.01, i.e. the standard set scaled down 100x)")
 	seed := flag.Uint64("seed", 12345, "database generation seed")
 	queries := flag.String("queries", "Q3,Q6,Q12", "comma-separated traced queries")
@@ -49,6 +85,11 @@ func main() {
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
 		os.Exit(2)
+	}
+
+	if *list {
+		listPresets(os.Stdout)
+		return
 	}
 
 	if *cpuProfile != "" {
@@ -74,6 +115,14 @@ func main() {
 				log.Fatalf("-memprofile: %v", err)
 			}
 		}()
+	}
+
+	var spec *scenario.Scenario
+	if *scenarioFile != "" {
+		var err error
+		if spec, err = loadScenario(*scenarioFile); err != nil {
+			log.Fatalf("-scenario: %v", err)
+		}
 	}
 
 	names := experiments.KnownExperiments
@@ -138,14 +187,22 @@ func main() {
 		}()
 	}
 
-	for _, name := range names {
+	if spec != nil {
 		t0 := time.Now()
-		fmt.Printf("==== %s ====\n", name)
-		if err := e.Render(os.Stdout, name, o); err != nil {
-			log.Fatalf("%s: %v", name, err)
+		if err := e.RenderScenario(os.Stdout, *spec); err != nil {
+			log.Fatalf("-scenario: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(t0).Round(time.Millisecond))
-		fmt.Println()
+		fmt.Fprintf(os.Stderr, "[scenario done in %v]\n", time.Since(t0).Round(time.Millisecond))
+	} else {
+		for _, name := range names {
+			t0 := time.Now()
+			fmt.Printf("==== %s ====\n", name)
+			if err := e.Render(os.Stdout, name, o); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(t0).Round(time.Millisecond))
+			fmt.Println()
+		}
 	}
 
 	if reg != nil {

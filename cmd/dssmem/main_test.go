@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestListPresets pins the -list contract: one row per preset, name
+// first, with a non-empty description.
+func TestListPresets(t *testing.T) {
+	var sb strings.Builder
+	listPresets(&sb)
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	presets := scenario.Presets()
+	if len(lines) != len(presets) {
+		t.Fatalf("-list printed %d lines for %d presets:\n%s", len(lines), len(presets), sb.String())
+	}
+	for i, p := range presets {
+		if !strings.HasPrefix(lines[i], p.Name) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], p.Name)
+		}
+		if !strings.Contains(lines[i], p.Description) {
+			t.Errorf("line %d = %q, lacks description %q", i, lines[i], p.Description)
+		}
+	}
+}
+
+// TestExampleScenario keeps the shipped example spec honest: it must
+// decode, validate, and describe exactly the fig8 line-size sweep on
+// the paper's baseline machine — so running it hits the same cache
+// entries as `dssmem -exp fig8`.
+func TestExampleScenario(t *testing.T) {
+	sc, err := loadScenario("../../examples/scenario-linesweep.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Machine != scenario.DefaultMachine() {
+		t.Errorf("example machine diverges from the baseline:\n%+v\n%+v", sc.Machine, scenario.DefaultMachine())
+	}
+	want := scenario.Default()
+	want.Name = sc.Name
+	want.Sweep = scenario.Sweep{Axis: scenario.AxisLine, Points: scenario.LineSizes}
+	if sc.Hash() != want.Hash() {
+		t.Errorf("example spec is not the default workload + fig8 line sweep:\n%+v", sc)
+	}
+}
+
+// TestLoadScenario covers the -scenario file path: a good spec decodes
+// with defaults filled in, and both JSON and validation failures name
+// the file.
+func TestLoadScenario(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{
+		"name": "tiny",
+		"workload": {"queries": ["Q6"], "scale": 0.002},
+		"sweep": {"axis": "line", "points": [32, 64]}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := loadScenario(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "tiny" || sc.Machine.Processors != 4 || sc.Workload.Seed == 0 {
+		t.Errorf("loaded spec missing defaults: %+v", sc)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"machine": {"l2_line": 48}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadScenario(bad); err == nil || !strings.Contains(err.Error(), "machine.l2_line") {
+		t.Errorf("invalid spec error = %v, want machine.l2_line field path", err)
+	}
+	if _, err := loadScenario(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file did not error")
+	}
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, []byte(`{"nope": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadScenario(junk); err == nil || !strings.Contains(err.Error(), "junk.json") {
+		t.Errorf("decode error = %v, want the file named", err)
+	}
+}

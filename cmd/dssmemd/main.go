@@ -9,6 +9,9 @@
 //
 //	POST /v1/experiments      submit {"exp":"fig8","scale":0.01,...}; returns {"id":...}
 //	GET  /v1/experiments/{id} status; when done, the rendered report text
+//	POST /v1/scenarios        render one declarative scenario spec (JSON body);
+//	                          returns {"name","preset","hash","report"} synchronously
+//	GET  /v1/scenarios/presets the preset specs behind every named experiment
 //	GET  /v1/healthz          liveness
 //	GET  /v1/stats            JSON operational snapshot: uptime, requests, cache hit rate
 //	GET  /metrics             Prometheus text exposition (internal/metrics)
@@ -28,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -42,6 +46,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 // request is the POST /v1/experiments body. Zero-valued fields take the
@@ -89,6 +94,7 @@ type server struct {
 	expSubmitted *metrics.Counter
 	expDone      *metrics.Counter
 	expFailed    *metrics.Counter
+	scRendered   *metrics.CounterVec
 
 	mu     sync.Mutex
 	nextID int64
@@ -109,6 +115,9 @@ func newServer(exec *experiments.Exec, reg *metrics.Registry) *server {
 			"Submitted experiments that rendered successfully."),
 		expFailed: reg.Counter("dssmem_experiments_failed_total",
 			"Submitted experiments that failed to render."),
+		scRendered: reg.CounterVec("dssmem_scenarios_rendered_total",
+			"Scenario specs rendered by POST /v1/scenarios, by preset name (custom specs label \"custom\").",
+			"preset"),
 		nextID: 1,
 		runs:   make(map[int64]*experimentRun),
 	}
@@ -124,6 +133,8 @@ func (s *server) handler() http.Handler {
 	}
 	handle("POST /v1/experiments", "/v1/experiments", http.HandlerFunc(s.submit))
 	handle("GET /v1/experiments/{id}", "/v1/experiments/{id}", http.HandlerFunc(s.status))
+	handle("POST /v1/scenarios", "/v1/scenarios", http.HandlerFunc(s.submitScenario))
+	handle("GET /v1/scenarios/presets", "/v1/scenarios/presets", http.HandlerFunc(s.presets))
 	handle("GET /v1/healthz", "/v1/healthz", http.HandlerFunc(s.healthz))
 	handle("GET /v1/stats", "/v1/stats", http.HandlerFunc(s.stats))
 	handle("GET /metrics", "/metrics", s.reg.Handler())
@@ -211,6 +222,61 @@ func (s *server) status(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(run.snapshot())
+}
+
+// submitScenario renders one declarative spec synchronously: the body
+// is a scenario JSON (1 MB cap), the response carries the canonical
+// spec hash and the rendered report. Unlike /v1/experiments there is
+// no id/poll lifecycle — the runner's result cache makes repeated
+// specs cheap enough to answer inline, within the server's
+// WriteTimeout budget for small scales.
+func (s *server) submitScenario(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	sc, err := scenario.Decode(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := sc.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+
+	var buf strings.Builder
+	if err := s.exec.RenderScenario(&buf, *sc); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	label := experiments.ScenarioLabel(*sc)
+	s.scRendered.With(label).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]interface{}{
+		"name":   sc.Name,
+		"preset": label,
+		"hash":   sc.Hash(),
+		"report": buf.String(),
+	})
+}
+
+// presets returns every preset spec as JSON — the machine-readable
+// registry behind dssmem -list and the named experiments.
+func (s *server) presets(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(scenario.Presets())
 }
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {

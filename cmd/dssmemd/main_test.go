@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
@@ -57,6 +59,16 @@ func readAll(t *testing.T, resp *http.Response) string {
 	return sb.String()
 }
 
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, readAll(t, resp)
+}
+
 func TestRoutes(t *testing.T) {
 	_, ts := newTestServer(t)
 
@@ -78,6 +90,127 @@ func TestRoutes(t *testing.T) {
 	if resp.StatusCode != 400 {
 		t.Errorf("unknown experiment: got %d, want 400", resp.StatusCode)
 	}
+
+	if code, body := post(t, ts.URL+"/v1/scenarios", `not json`); code != 400 {
+		t.Errorf("bad scenario json: %d %q", code, body)
+	}
+	code, body := post(t, ts.URL+"/v1/scenarios", `{"machine":{"processors":0}}`)
+	if code != 400 || !strings.Contains(body, "machine.processors") {
+		t.Errorf("invalid scenario: %d %q, want 400 with the field path", code, body)
+	}
+}
+
+// TestPresetsEndpoint checks that GET /v1/scenarios/presets serves the
+// full preset registry as decodable scenario specs.
+func TestPresetsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/v1/scenarios/presets")
+	if code != 200 {
+		t.Fatalf("/v1/scenarios/presets: %d", code)
+	}
+	var presets []struct {
+		Name        string              `json:"Name"`
+		Description string              `json:"Description"`
+		Scenarios   []scenario.Scenario `json:"Scenarios"`
+	}
+	if err := json.Unmarshal([]byte(body), &presets); err != nil {
+		t.Fatalf("presets json: %v", err)
+	}
+	want := scenario.PresetNames()
+	if len(presets) != len(want) {
+		t.Fatalf("got %d presets, want %d", len(presets), len(want))
+	}
+	for i, p := range presets {
+		if p.Name != want[i] || p.Description == "" || len(p.Scenarios) == 0 {
+			t.Errorf("preset %d = %q (%d scenarios), want %q", i, p.Name, len(p.Scenarios), want[i])
+		}
+		for _, sc := range p.Scenarios {
+			if err := sc.Validate(); err != nil {
+				t.Errorf("preset %s serves invalid spec: %v", p.Name, err)
+			}
+		}
+	}
+}
+
+// TestScenarioSubmit is the acceptance path: a never-before-seen spec —
+// three processors, 256-byte secondary lines, a degree-2 prefetch sweep
+// on Q6 — POSTed to /v1/scenarios renders synchronously, and a repeat
+// POST of the same spec is answered from the runner's result cache,
+// with the hits visible on /metrics.
+func TestScenarioSubmit(t *testing.T) {
+	_, ts := newTestServer(t)
+	spec := `{
+		"name": "acceptance",
+		"machine": {"processors": 3, "l2_line": 256, "l1_line": 128},
+		"workload": {"queries": ["Q6"], "scale": 0.002},
+		"sweep": {"axis": "prefetch", "points": [0, 2]}
+	}`
+
+	code, body := post(t, ts.URL+"/v1/scenarios", spec)
+	if code != 200 {
+		t.Fatalf("first POST: %d %q", code, body)
+	}
+	var first struct {
+		Name, Preset, Hash, Report string
+	}
+	if err := json.Unmarshal([]byte(body), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Name != "acceptance" || first.Preset != "custom" {
+		t.Errorf("name/preset = %q/%q, want acceptance/custom", first.Name, first.Preset)
+	}
+	if !strings.HasPrefix(first.Hash, "s1-") {
+		t.Errorf("hash %q lacks the format-version prefix", first.Hash)
+	}
+	for _, want := range []string{"Scenario acceptance (s1-", "3 processors", "Sweep: prefetch over [0 2]"} {
+		if !strings.Contains(first.Report, want) {
+			t.Errorf("report lacks %q", want)
+		}
+	}
+
+	_, metricsBefore := get(t, ts.URL+"/metrics")
+	hitsBefore := counterValue(t, metricsBefore, `dssmem_cache_hits_total{tier="memory"}`)
+
+	code, body = post(t, ts.URL+"/v1/scenarios", spec)
+	if code != 200 {
+		t.Fatalf("second POST: %d %q", code, body)
+	}
+	var second struct {
+		Name, Preset, Hash, Report string
+	}
+	if err := json.Unmarshal([]byte(body), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Report != first.Report || second.Hash != first.Hash {
+		t.Error("repeat POST did not reproduce the first response")
+	}
+
+	code, metricsAfter := get(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	if hits := counterValue(t, metricsAfter, `dssmem_cache_hits_total{tier="memory"}`); hits <= hitsBefore {
+		t.Errorf("repeat POST not served from cache: memory hits %v -> %v", hitsBefore, hits)
+	}
+	if got := counterValue(t, metricsAfter, `dssmem_scenarios_rendered_total{preset="custom"}`); got != 2 {
+		t.Errorf(`dssmem_scenarios_rendered_total{preset="custom"} = %v, want 2`, got)
+	}
+}
+
+// counterValue pulls one sample's value out of a Prometheus text
+// exposition, 0 when the series is absent.
+func counterValue(t *testing.T, exposition, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("bad sample %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	return 0
 }
 
 // TestSubmitAndMetrics drives one tiny experiment end to end and then

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"repro/internal/scenario"
+	"repro/internal/tpcd"
+)
+
+// ScenarioConfig lowers a scenario spec into the system configuration
+// it describes. The spec's machine section carries both the cache
+// hierarchy and the scheduler cost model; the workload section carries
+// the database scale and the executor cost model.
+func ScenarioConfig(sc scenario.Scenario) Config {
+	return Config{
+		Machine: sc.Machine.MachineConfig(),
+		Sched:   sc.Machine.SchedConfig(),
+		DB: tpcd.Config{
+			ScaleFactor: sc.Workload.Scale,
+			Seed:        sc.Workload.Seed,
+		},
+		LockTableSlots:   sc.Workload.LockTableSlots,
+		PrivateHeapBytes: sc.Workload.PrivateHeapBytes,
+		OverheadTouches:  sc.Workload.OverheadTouches,
+		HotTouches:       sc.Workload.HotTouches,
+		TupleBusy:        sc.Workload.TupleBusy,
+		IndexTupleBusy:   sc.Workload.IndexTupleBusy,
+	}
+}
+
+// NewScenarioSystem builds a system from a (validated) scenario spec.
+func NewScenarioSystem(sc scenario.Scenario) (*System, error) {
+	return NewSystem(ScenarioConfig(sc))
+}
+
+// ReplaceScenarioMachine swaps in the machine a scenario.Machine
+// describes, including its scheduler cost model — unlike
+// ReplaceMachine, which leaves the cost model untouched. Sweep
+// interpreters use this so that swept specs with non-default
+// busy_per_access keep their cost model across points.
+func (s *System) ReplaceScenarioMachine(m scenario.Machine) error {
+	s.Cfg.Sched = m.SchedConfig()
+	return s.ReplaceMachine(m.MachineConfig())
+}

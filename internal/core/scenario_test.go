@@ -1,0 +1,17 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestScenarioConfigDefaults pins the agreement between the scenario
+// package's workload defaults and this package's DefaultConfig: the
+// empty spec must describe exactly the paper's baseline system. If
+// either side's cost-model literals drift, this fails.
+func TestScenarioConfigDefaults(t *testing.T) {
+	if got, want := ScenarioConfig(scenario.Default()), DefaultConfig(); got != want {
+		t.Errorf("ScenarioConfig(Default()) = %+v\nwant DefaultConfig() = %+v", got, want)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -14,7 +15,9 @@ import (
 // Ablations for the modeling decisions DESIGN.md calls out: how much
 // each mechanism matters to the headline results. Each sweep reuses one
 // loaded database and reports execution time and the affected stall
-// component.
+// component. The sweeps themselves are data: the "ablations" and
+// "topology" presets in internal/scenario carry the axes and points,
+// and this file interprets them.
 
 // AblationPoint is one configuration's measurement.
 type AblationPoint struct {
@@ -25,10 +28,34 @@ type AblationPoint struct {
 	Clock int64
 }
 
+// ablationPointName labels one swept configuration the way the
+// rendered tables historically named it.
+func ablationPointName(axis string, p int) string {
+	switch axis {
+	case scenario.AxisPrefetch:
+		if p == 0 {
+			return "off"
+		}
+		return "deg" + itoa(p)
+	case scenario.AxisWriteBuf:
+		return "wb" + itoa(p)
+	case scenario.AxisContention:
+		if p == 0 {
+			return "contention-off"
+		}
+		return "contention-on"
+	case scenario.AxisLine:
+		return "line" + itoa(p)
+	case scenario.AxisCache:
+		return "l2kb" + itoa(p)
+	}
+	return itoa(p)
+}
+
 // runConfigs runs one ablation sweep as a single job: the sweep's
 // configurations execute sequentially on one shared system (swapping
-// machines with ReplaceMachine), because the sweep's point is the
-// marginal effect of one knob along an axis — each point measured
+// machines with ReplaceScenarioMachine), because the sweep's point is
+// the marginal effect of one knob along an axis — each point measured
 // against the same system history. The whole sweep is the cacheable
 // unit; independent sweeps still run concurrently as separate jobs.
 //
@@ -39,30 +66,22 @@ type AblationPoint struct {
 // (prefetch depth, write-buffer depth) never change the steady-state
 // reference stream. Contention sweeps pass false: the paper's framing
 // keeps them execution-measured.
-func (e *Exec) runConfigs(o Options, query string, replay bool, cfgs []struct {
-	name string
-	cfg  machine.Config
-}) ([]AblationPoint, error) {
-	names := make([]string, len(cfgs))
-	for i, c := range cfgs {
-		names[i] = c.name
-	}
+func (e *Exec) runConfigs(sc scenario.Scenario, query string, replay bool,
+	names []string, machines []scenario.Machine) ([]AblationPoint, error) {
 	job := &runner.Job{
-		Name:    "ablate/" + query + "/" + names[0] + ".." + names[len(names)-1],
-		Mode:    "ablate",
-		Opts:    sysOpts(o),
-		Machine: cfgs[0].cfg,
-		Queries: []string{query},
-		Extra:   []string{"sweep=" + strings.Join(names, ",")},
+		Name:  "ablate/" + query + "/" + names[0] + ".." + names[len(names)-1],
+		Mode:  "ablate",
+		Spec:  pointSpec(sc, machines[0], query),
+		Extra: []string{"sweep=" + strings.Join(names, ",")},
 		Body: func(c *runner.Ctx) (interface{}, error) {
 			s, err := c.System()
 			if err != nil {
 				return nil, err
 			}
 			var warm *trace.QueryTrace
-			out := make([]AblationPoint, 0, len(cfgs))
-			for i, cc := range cfgs {
-				if err := s.ReplaceMachine(cc.cfg); err != nil {
+			out := make([]AblationPoint, 0, len(machines))
+			for i, m := range machines {
+				if err := s.ReplaceScenarioMachine(m); err != nil {
 					return nil, err
 				}
 				var rep *core.Report
@@ -79,7 +98,7 @@ func (e *Exec) runConfigs(o Options, query string, replay bool, cfgs []struct {
 					rep = s.RunCold(query)
 				}
 				out = append(out, AblationPoint{
-					Name: cc.name, Query: query,
+					Name: names[i], Query: query,
 					Bd: rep.Total(), Mach: rep.Machine, Clock: rep.MaxClock(),
 				})
 			}
@@ -93,8 +112,42 @@ func (e *Exec) runConfigs(o Options, query string, replay bool, cfgs []struct {
 	return res[0].([]AblationPoint), nil
 }
 
+// runAblation interprets one swept ablation spec: every sweep point
+// becomes a named configuration via ApplyAxis, and the axis decides the
+// measurement discipline — timing-only knobs (prefetch, write buffer)
+// replay one recording, contention stays execution-measured.
+func (e *Exec) runAblation(o Options, sc scenario.Scenario) ([]AblationPoint, error) {
+	sc = applyOptions(sc, o)
+	axis := sc.Sweep.Axis
+	replay := axis == scenario.AxisPrefetch || axis == scenario.AxisWriteBuf
+	query := sc.Workload.Queries[0]
+	names := make([]string, len(sc.Sweep.Points))
+	machines := make([]scenario.Machine, len(sc.Sweep.Points))
+	for i, p := range sc.Sweep.Points {
+		names[i] = ablationPointName(axis, p)
+		machines[i] = scenario.ApplyAxis(axis, sc.Machine, p)
+	}
+	return e.runConfigs(sc, query, replay, names, machines)
+}
+
+// ablationScenario pulls the ablations-preset spec for one axis,
+// pointed at the given query.
+func ablationScenario(axis, query string) scenario.Scenario {
+	p, ok := scenario.PresetByName("ablations")
+	if !ok {
+		panic("experiments: ablations preset missing")
+	}
+	for _, sc := range p.Scenarios {
+		if sc.Sweep.Axis == axis {
+			sc.Workload.Queries = []string{query}
+			return sc
+		}
+	}
+	panic("experiments: ablations preset has no " + axis + " sweep")
+}
+
 // PrefetchDegrees is the prefetch-depth ablation (the paper fixes 4).
-var PrefetchDegrees = []int{1, 2, 4, 8, 16}
+var PrefetchDegrees = scenario.PrefetchDegrees
 
 // AblatePrefetchDegree sweeps the sequential prefetcher's depth on a
 // Sequential query: deeper prefetching removes more Data stall until
@@ -105,24 +158,11 @@ func AblatePrefetchDegree(o Options, query string) ([]AblationPoint, error) {
 
 // AblatePrefetchDegree is the Exec-bound form of the package function.
 func (e *Exec) AblatePrefetchDegree(o Options, query string) ([]AblationPoint, error) {
-	cfgs := []struct {
-		name string
-		cfg  machine.Config
-	}{{"off", machine.Baseline()}}
-	for _, d := range PrefetchDegrees {
-		cfg := machine.Baseline()
-		cfg.PrefetchData = true
-		cfg.PrefetchDegree = d
-		cfgs = append(cfgs, struct {
-			name string
-			cfg  machine.Config
-		}{name: "deg" + itoa(d), cfg: cfg})
-	}
-	return e.runConfigs(o, query, true, cfgs)
+	return e.runAblation(o, ablationScenario(scenario.AxisPrefetch, query))
 }
 
 // WriteBufferDepths is the write-buffer ablation (the paper fixes 16).
-var WriteBufferDepths = []int{1, 2, 4, 8, 16, 32}
+var WriteBufferDepths = scenario.WriteBufferDepths
 
 // AblateWriteBuffer sweeps the coalescing write buffer's depth: shallow
 // buffers stall the processor on store bursts (tuple copies into
@@ -133,19 +173,7 @@ func AblateWriteBuffer(o Options, query string) ([]AblationPoint, error) {
 
 // AblateWriteBuffer is the Exec-bound form of the package function.
 func (e *Exec) AblateWriteBuffer(o Options, query string) ([]AblationPoint, error) {
-	var cfgs []struct {
-		name string
-		cfg  machine.Config
-	}
-	for _, d := range WriteBufferDepths {
-		cfg := machine.Baseline()
-		cfg.WriteBufEntries = d
-		cfgs = append(cfgs, struct {
-			name string
-			cfg  machine.Config
-		}{name: "wb" + itoa(d), cfg: cfg})
-	}
-	return e.runConfigs(o, query, true, cfgs)
+	return e.runAblation(o, ablationScenario(scenario.AxisWriteBuf, query))
 }
 
 // AblateContention toggles directory-occupancy queueing — the paper
@@ -157,13 +185,7 @@ func AblateContention(o Options, query string) ([]AblationPoint, error) {
 
 // AblateContention is the Exec-bound form of the package function.
 func (e *Exec) AblateContention(o Options, query string) ([]AblationPoint, error) {
-	on := machine.Baseline()
-	off := machine.Baseline()
-	off.DirOccupancy = 0
-	return e.runConfigs(o, query, false, []struct {
-		name string
-		cfg  machine.Config
-	}{{"contention-on", on}, {"contention-off", off}})
+	return e.runAblation(o, ablationScenario(scenario.AxisContention, query))
 }
 
 // CompareTopology runs each query on the paper's directory CC-NUMA and
@@ -171,34 +193,34 @@ func (e *Exec) AblateContention(o Options, query string) ([]AblationPoint, error
 // shared-memory organizations of the paper's era (its machine is the
 // NUMA; the Sequent systems it cites were buses). Streaming queries
 // saturate the single bus where the page-interleaved directories
-// spread the load.
+// spread the load. The two machines are the topology preset's specs.
 func CompareTopology(o Options) ([]AblationPoint, error) {
 	return Default().CompareTopology(o)
 }
 
 // CompareTopology is the Exec-bound form of the package function.
 func (e *Exec) CompareTopology(o Options) ([]AblationPoint, error) {
-	bus := machine.Baseline()
-	bus.SnoopingBus = true
-	tops := []struct {
-		name string
-		cfg  machine.Config
-	}{{"numa", machine.Baseline()}, {"bus", bus}}
+	p, ok := scenario.PresetByName("topology")
+	if !ok {
+		panic("experiments: topology preset missing")
+	}
+	base := scenario.DefaultMachine()
 	type coord struct {
 		q, name string
 	}
 	var coords []coord
 	var jobs []*runner.Job
 	for _, q := range o.Queries {
-		for _, top := range tops {
-			coords = append(coords, coord{q, top.name})
-			if top.cfg == machine.Baseline() {
+		for _, tsc := range p.Scenarios {
+			coords = append(coords, coord{q, tsc.Name})
+			sc := pointSpec(applyOptions(tsc, o), tsc.Machine, q)
+			if tsc.Machine == base {
 				// The NUMA point is the baseline cold run: submit it as
 				// the capture so it shares the Figure 6/7/sweep anchor's
 				// cache entry instead of re-simulating.
-				jobs = append(jobs, e.captureJob(o, top.cfg, q))
+				jobs = append(jobs, e.captureJob(sc, q))
 			} else {
-				jobs = append(jobs, coldJob(o, top.cfg, q))
+				jobs = append(jobs, coldJob(sc, q))
 			}
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -21,6 +22,12 @@ import (
 // (the baseline machine appears in Figures 6, 7, 8/9, and 13) simulate
 // once. Results are reassembled in submission order, which keeps every
 // rendered table byte-identical no matter the worker count.
+//
+// Every job's identity is a scenario spec (see internal/scenario): the
+// named experiments resolve to preset specs, custom specs arrive
+// through RunScenario, and both paths expand into the same
+// capture/replay jobs — so a custom spec that revisits a preset's
+// configuration resolves from the same cache entries.
 type Exec struct {
 	pool *runner.Pool
 	met  execMetrics
@@ -119,21 +126,50 @@ func init() {
 	gob.Register(&CaptureResult{})
 }
 
-func sysOpts(o Options) runner.SystemOptions {
-	return runner.SystemOptions{Scale: o.Scale, Seed: o.Seed}
+// presetScenario returns the first scenario of the named preset. The
+// figures this package reproduces are defined by these specs; an
+// unknown name is a programming error, not an input error.
+func presetScenario(name string) scenario.Scenario {
+	p, ok := scenario.PresetByName(name)
+	if !ok {
+		panic("experiments: unknown preset " + name)
+	}
+	return p.Scenarios[0]
 }
 
-// coldJob builds the workhorse job: cold caches, one instance of query
-// q per processor, on machine mcfg. Its result is the *core.Report.
-// Because the cache key is exactly (options, machine config, query),
-// every figure needing the same cold measurement shares one simulation.
-func coldJob(o Options, mcfg machine.Config, q string) *runner.Job {
+// applyOptions overlays the CLI-era options' scale and seed onto a
+// spec. Query lists are a per-experiment decision (sweeps take them
+// from the options, the fixed-query presets do not), so callers set
+// them explicitly.
+func applyOptions(sc scenario.Scenario, o Options) scenario.Scenario {
+	sc.Workload.Scale = o.Scale
+	sc.Workload.Seed = o.Seed
+	return sc
+}
+
+// pointSpec narrows a spec to one (machine, query) measurement — the
+// job identity of a single cold/capture/replay point. The sweep and
+// warm context are dropped so every experiment needing the same point
+// (the baseline machine appears in Figures 6, 7, 8/9, and 13) shares
+// one cache entry.
+func pointSpec(sc scenario.Scenario, m scenario.Machine, q string) scenario.Scenario {
+	sc.Name = ""
+	sc.Machine = m
+	sc.Workload.Queries = []string{q}
+	sc.Workload.Warm = ""
+	sc.Sweep = scenario.Sweep{}
+	return sc
+}
+
+// coldJob builds the workhorse job: cold caches, one instance of the
+// point spec's query per processor. Its result is the *core.Report.
+// Because the cache key is exactly the point spec, every figure needing
+// the same cold measurement shares one simulation.
+func coldJob(sc scenario.Scenario, q string) *runner.Job {
 	return &runner.Job{
-		Name:    "cold/" + q,
-		Mode:    "cold",
-		Opts:    sysOpts(o),
-		Machine: mcfg,
-		Queries: []string{q},
+		Name: "cold/" + q,
+		Mode: "cold",
+		Spec: sc,
 		Body: func(c *runner.Ctx) (interface{}, error) {
 			s, err := c.System()
 			if err != nil {
@@ -153,21 +189,21 @@ type CaptureResult struct {
 	Blob   []byte
 }
 
-// captureJob is coldJob with trace capture: it executes q cold on mcfg
-// while recording the per-processor reference streams. One capture per
-// (query, options) feeds the baseline figures and every sweep replay.
+// captureJob is coldJob with trace capture: it executes the point
+// spec's query cold while recording the per-processor reference
+// streams. One capture per (query, workload) feeds the baseline figures
+// and every sweep replay.
 //
 // The body consults the pool's trace store (-trace-dir) before
 // executing: a spilled blob regenerates the report by replaying at the
 // capture's own configuration — no executor work, no database build. A
 // damaged blob fails to decode and falls through to execution.
-func (e *Exec) captureJob(o Options, mcfg machine.Config, q string) *runner.Job {
+func (e *Exec) captureJob(sc scenario.Scenario, q string) *runner.Job {
+	mcfg := sc.Machine.MachineConfig()
 	return &runner.Job{
-		Name:    "capture/" + q,
-		Mode:    "capture",
-		Opts:    sysOpts(o),
-		Machine: mcfg,
-		Queries: []string{q},
+		Name: "capture/" + q,
+		Mode: "capture",
+		Spec: sc,
 		Body: func(c *runner.Ctx) (interface{}, error) {
 			if blob, ok := c.TraceBlob(); ok {
 				if tr, err := trace.Unmarshal(blob); err == nil {
@@ -191,20 +227,19 @@ func (e *Exec) captureJob(o Options, mcfg machine.Config, q string) *runner.Job 
 	}
 }
 
-// replayJob derives the cold report of (q, mcfg) by replaying capture's
-// recorded streams through the timing model — no executor work. Replay
-// is byte-identical to fresh execution (the reference stream is a pure
-// function of query, scale, and seed), so the job carries the cold
-// job's cache identity: a replayed result satisfies later cold
-// submissions of the same point and vice versa.
-func (e *Exec) replayJob(o Options, mcfg machine.Config, q string, capture *runner.Job) *runner.Job {
+// replayJob derives the cold report of the point spec by replaying
+// capture's recorded streams through the timing model — no executor
+// work. Replay is byte-identical to fresh execution (the reference
+// stream is a pure function of query, scale, and seed), so the job
+// carries the cold job's cache identity: a replayed result satisfies
+// later cold submissions of the same point and vice versa.
+func (e *Exec) replayJob(sc scenario.Scenario, q string, capture *runner.Job) *runner.Job {
+	mcfg := sc.Machine.MachineConfig()
 	return &runner.Job{
-		Name:    "replay/" + q,
-		Mode:    "cold",
-		Opts:    sysOpts(o),
-		Machine: mcfg,
-		Queries: []string{q},
-		After:   []*runner.Job{capture},
+		Name:  "replay/" + q,
+		Mode:  "cold",
+		Spec:  sc,
+		After: []*runner.Job{capture},
 		Body: func(c *runner.Ctx) (interface{}, error) {
 			dep, err := c.After(0)
 			if err != nil {
@@ -259,9 +294,11 @@ func (e *Exec) reports(jobs []*runner.Job) ([]*core.Report, error) {
 // replay), so an `-exp all` run simulates each query's baseline exactly
 // once, as the capture.
 func (e *Exec) RunCold(o Options, mcfg machine.Config) ([]QueryResult, error) {
+	sc := applyOptions(scenario.Default(), o)
+	m := scenario.FromMachineConfig(mcfg)
 	jobs := make([]*runner.Job, len(o.Queries))
 	for i, q := range o.Queries {
-		jobs[i] = e.captureJob(o, mcfg, q)
+		jobs[i] = e.captureJob(pointSpec(sc, m, q), q)
 	}
 	reps, err := e.reports(jobs)
 	if err != nil {
@@ -274,34 +311,35 @@ func (e *Exec) RunCold(o Options, mcfg machine.Config) ([]QueryResult, error) {
 	return out, nil
 }
 
-// sweep runs one capture job per query at the baseline configuration
-// and derives every other (query, parameter) point by replaying the
-// capture's recorded streams — the record-once/replay-many engine. The
-// replay points fan out as parallel jobs, each a pure decode-and-replay
-// with no executor work and no database build; the point whose
-// configuration is the baseline itself is the capture.
-func (e *Exec) sweep(o Options, params []int, mk func(machine.Config, int) machine.Config) ([]SweepPoint, error) {
-	base := machine.Baseline()
+// runSweep expands a swept spec through the record-once/replay-many
+// engine: one capture job per query at the spec's own machine, every
+// sweep point derived by replaying the capture's recorded streams under
+// ApplyAxis(axis, machine, point). The replay points fan out as
+// parallel jobs, each a pure decode-and-replay with no executor work
+// and no database build; the point whose configuration is the spec's
+// machine itself is the capture.
+func (e *Exec) runSweep(sc scenario.Scenario) ([]SweepPoint, error) {
+	base := sc.Machine
 	type coord struct {
-		q    string
-		prm  int
-		pad  bool // capture appended only to anchor replays, not a point
+		q   string
+		prm int
+		pad bool // capture appended only to anchor replays, not a point
 	}
 	var coords []coord
 	var jobs []*runner.Job
-	for _, q := range o.Queries {
-		capture := e.captureJob(o, base, q)
+	for _, q := range sc.Workload.Queries {
+		capture := e.captureJob(pointSpec(sc, base, q), q)
 		captureUsed := false
-		for _, prm := range params {
+		for _, prm := range sc.Sweep.Points {
 			coords = append(coords, coord{q: q, prm: prm})
-			if mcfg := mk(base, prm); mcfg == base && !captureUsed {
+			if m := scenario.ApplyAxis(sc.Sweep.Axis, base, prm); m == base && !captureUsed {
 				jobs = append(jobs, capture)
 				captureUsed = true
 			} else {
-				jobs = append(jobs, e.replayJob(o, mcfg, q, capture))
+				jobs = append(jobs, e.replayJob(pointSpec(sc, m, q), q, capture))
 			}
 		}
-		if !captureUsed { // no baseline point in params; submit the anchor anyway
+		if !captureUsed { // no baseline point in the sweep; submit the anchor anyway
 			coords = append(coords, coord{q: q, pad: true})
 			jobs = append(jobs, capture)
 		}
@@ -327,19 +365,23 @@ func (e *Exec) sweep(o Options, params []int, mk func(machine.Config, int) machi
 	return out, nil
 }
 
+// sweepFromPreset interprets a preset's swept spec under the options'
+// scale, seed, and query list.
+func (e *Exec) sweepFromPreset(name string, o Options) ([]SweepPoint, error) {
+	sc := applyOptions(presetScenario(name), o)
+	sc.Workload.Queries = o.Queries
+	return e.runSweep(sc)
+}
+
 // RunLineSweep measures every query at every line size (Figures 8-9).
 func (e *Exec) RunLineSweep(o Options) ([]SweepPoint, error) {
-	return e.sweep(o, LineSizes, func(c machine.Config, ls int) machine.Config {
-		return c.WithLineSize(ls)
-	})
+	return e.sweepFromPreset("fig8", o)
 }
 
 // RunCacheSweep measures every query at every cache size (Figures
 // 10-11).
 func (e *Exec) RunCacheSweep(o Options) ([]SweepPoint, error) {
-	return e.sweep(o, CacheSizes, func(c machine.Config, l2kb int) machine.Config {
-		return c.WithCacheSizes(l2kb*1024/32, l2kb*1024)
-	})
+	return e.sweepFromPreset("fig10", o)
 }
 
 // runVariants executes one query type on every processor, with variant
@@ -353,70 +395,80 @@ func runVariants(s *core.System, q string, base uint64) {
 	s.RunQueries(runs)
 }
 
-// RunWarmCache runs Figure 12 through the runner. Each scenario becomes
-// a shared-state pair: a warming job that cold-starts the scenario's
-// system and runs the warmer, and a measured job that depends on it,
-// resets the counters without flushing, runs the target, and reports
-// its misses. Cold scenarios are a single job. Warming jobs are
-// ephemeral and uncached — their effect is cache state — so a
+// runWarmPair submits one warm-cache spec (target query, optional
+// warmer, shared system) and returns the index of its measured job in
+// jobs. A spec with a warmer becomes a shared-state pair: a warming job
+// that cold-starts the system and runs the warmer, and a measured job
+// that depends on it, resets the counters without flushing, runs the
+// target, and reports its misses. Cold specs are a single job. Warming
+// jobs are ephemeral and uncached — their effect is cache state — so a
 // resubmission whose measured results are already cached skips the
-// warming entirely.
-func (e *Exec) RunWarmCache(o Options) ([]WarmResult, error) {
-	cfg := machine.Baseline().WithCacheSizes(1<<20, 32<<20)
-	var jobs []*runner.Job
-	targetIdx := make([]int, 0, len(Fig12Pairs))
-	for _, sc := range Fig12Pairs {
-		sc := sc
-		sk := "fig12/" + sc.Target + "<-" + sc.Warmer
-		var deps []*runner.Job
-		if sc.Warmer != "" {
-			warm := &runner.Job{
-				Name:      "warm/" + sc.Target + "<-" + sc.Warmer,
-				Opts:      sysOpts(o),
-				Machine:   cfg,
-				StateKey:  sk,
-				NoCache:   true,
-				Ephemeral: true,
-				Body: func(c *runner.Ctx) (interface{}, error) {
-					s, err := c.System()
-					if err != nil {
-						return nil, err
-					}
-					s.ColdStart()
-					runVariants(s, sc.Warmer, 0)
-					return nil, nil
-				},
-			}
-			jobs = append(jobs, warm)
-			deps = append(deps, warm)
-		}
-		target := &runner.Job{
-			Name:     "measure/" + sc.Target + "<-" + sc.Warmer,
-			Mode:     "warm",
-			Opts:     sysOpts(o),
-			Machine:  cfg,
-			Queries:  []string{sc.Target},
-			Extra:    []string{"warmer=" + sc.Warmer},
-			StateKey: sk,
-			After:    deps,
+// warming entirely. The measured job's identity is the spec itself: the
+// warmer rides in the spec's workload.warm field.
+func (e *Exec) runWarmPair(sc scenario.Scenario, jobs []*runner.Job) ([]*runner.Job, int) {
+	target, warmer := sc.Workload.Queries[0], sc.Workload.Warm
+	sc.Name = ""
+	sk := "fig12/" + target + "<-" + warmer
+	var deps []*runner.Job
+	if warmer != "" {
+		warm := &runner.Job{
+			Name:      "warm/" + target + "<-" + warmer,
+			Spec:      sc,
+			StateKey:  sk,
+			NoCache:   true,
+			Ephemeral: true,
 			Body: func(c *runner.Ctx) (interface{}, error) {
 				s, err := c.System()
 				if err != nil {
 					return nil, err
 				}
-				if sc.Warmer == "" {
-					s.ColdStart()
-				} else {
-					s.ResetMeasurement()
-				}
-				runVariants(s, sc.Target, 100) // measured run uses fresh parameters
-				res := sc
-				res.L2 = s.Mach.Stats().L2Misses.ByGroup()
-				return res, nil
+				s.ColdStart()
+				runVariants(s, warmer, 0)
+				return nil, nil
 			},
 		}
-		targetIdx = append(targetIdx, len(jobs))
-		jobs = append(jobs, target)
+		jobs = append(jobs, warm)
+		deps = append(deps, warm)
+	}
+	measure := &runner.Job{
+		Name:     "measure/" + target + "<-" + warmer,
+		Mode:     "warm",
+		Spec:     sc,
+		StateKey: sk,
+		After:    deps,
+		Body: func(c *runner.Ctx) (interface{}, error) {
+			s, err := c.System()
+			if err != nil {
+				return nil, err
+			}
+			if warmer == "" {
+				s.ColdStart()
+			} else {
+				s.ResetMeasurement()
+			}
+			runVariants(s, target, 100) // measured run uses fresh parameters
+			res := WarmResult{Target: target, Warmer: warmer}
+			res.L2 = s.Mach.Stats().L2Misses.ByGroup()
+			return res, nil
+		},
+	}
+	return append(jobs, measure), len(jobs)
+}
+
+// RunWarmCache runs Figure 12 through the runner: every spec of the
+// fig12 preset (each of Q3 and Q12 measured cold, after itself, and
+// after the other, on very large caches) becomes a warm pair.
+func (e *Exec) RunWarmCache(o Options) ([]WarmResult, error) {
+	p, ok := scenario.PresetByName("fig12")
+	if !ok {
+		panic("experiments: fig12 preset missing")
+	}
+	var jobs []*runner.Job
+	targetIdx := make([]int, 0, len(p.Scenarios))
+	for _, sc := range p.Scenarios {
+		var idx int
+		jobs, idx = e.runWarmPair(applyOptions(sc, o), jobs)
+		targetIdx = append(targetIdx, idx)
 	}
 	res, err := e.pool.RunAll(context.Background(), jobs)
 	if err != nil {
@@ -429,17 +481,19 @@ func (e *Exec) RunWarmCache(o Options) ([]WarmResult, error) {
 	return out, nil
 }
 
-// RunPrefetch runs Figure 13: per query, the baseline capture (its key
-// matches the Figure 6/7 baseline, so an `-exp all` run simulates it
-// once) and the prefetching architecture replayed from it — prefetching
-// changes timing, not the reference stream.
+// RunPrefetch runs Figure 13 from its preset spec: per query, the
+// baseline capture (its key matches the Figure 6/7 baseline, so an
+// `-exp all` run simulates it once) and the prefetching architecture —
+// the sweep's last point — replayed from it. Prefetching changes
+// timing, not the reference stream.
 func (e *Exec) RunPrefetch(o Options) ([]PrefetchResult, error) {
-	pf := machine.Baseline()
-	pf.PrefetchData = true
+	sc := applyOptions(presetScenario("fig13"), o)
+	base := sc.Machine
+	pf := scenario.ApplyAxis(sc.Sweep.Axis, base, sc.Sweep.Points[len(sc.Sweep.Points)-1])
 	var jobs []*runner.Job
 	for _, q := range o.Queries {
-		capture := e.captureJob(o, machine.Baseline(), q)
-		jobs = append(jobs, capture, e.replayJob(o, pf, q, capture))
+		capture := e.captureJob(pointSpec(sc, base, q), q)
+		jobs = append(jobs, capture, e.replayJob(pointSpec(sc, pf, q), q, capture))
 	}
 	reps, err := e.reports(jobs)
 	if err != nil {
@@ -465,11 +519,12 @@ func (e *Exec) Table1(o Options) (*stats.Table, error) {
 	if small.Scale > 0.002 {
 		small.Scale = 0.002
 	}
+	sc := applyOptions(presetScenario("table1"), small)
+	sc.Name = ""
 	job := &runner.Job{
-		Name:    "table1",
-		Mode:    "table1",
-		Opts:    sysOpts(small),
-		Machine: machine.Baseline(),
+		Name: "table1",
+		Mode: "table1",
+		Spec: sc,
 		Body: func(c *runner.Ctx) (interface{}, error) {
 			s, err := c.System()
 			if err != nil {

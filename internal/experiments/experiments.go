@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/scenario"
 	"repro/internal/simm"
 	"repro/internal/stats"
 	"repro/internal/tpcd"
@@ -151,8 +152,9 @@ func Fig7(r QueryResult) (l1, l2 *stats.Table, rates string) {
 // Figures 8 and 9: spatial locality (line size sweep)
 
 // LineSizes is the paper's secondary-cache line-size sweep; the primary
-// line is always half.
-var LineSizes = []int{16, 32, 64, 128, 256}
+// line is always half. The list lives in the scenario package (the fig8
+// preset's sweep points); this alias keeps the historical name.
+var LineSizes = scenario.LineSizes
 
 // BaselineL2Line is the baseline's secondary line size (the
 // normalization point of Figures 8 and 9).
@@ -265,8 +267,9 @@ func Fig9(points []SweepPoint, query string) *stats.Table {
 // Figures 10 and 11: temporal locality (cache size sweep)
 
 // CacheSizes is the paper's sweep: 4-KB/128-KB up to 256-KB/8-MB caches
-// (the L1:L2 ratio stays 1:32). Param is the secondary size in KB.
-var CacheSizes = []int{128, 256, 512, 1024, 2048, 4096, 8192}
+// (the L1:L2 ratio stays 1:32). Param is the secondary size in KB; the
+// list is the fig10 preset's sweep points.
+var CacheSizes = scenario.CacheSizesKB
 
 // BaselineL2KB is the baseline secondary cache size in KB.
 const BaselineL2KB = 128

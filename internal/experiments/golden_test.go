@@ -27,7 +27,8 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite golden experiment 
 // scorecard, which transitively runs the sweeps, warm-cache pairs, and
 // prefetch comparison.
 var goldenExperiments = []string{
-	"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations", "scorecard",
+	"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+	"ablations", "topology", "scorecard", "fig13",
 }
 
 func goldenOptions() Options {

@@ -6,17 +6,15 @@ import (
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/scenario"
 )
 
 // KnownExperiments is every experiment name dssmem accepts, in the
 // order `-exp all` runs them. The order matters: it is the published
 // output contract (goldens diff against it), and it front-loads the
-// cheap table before the sweeps.
-var KnownExperiments = []string{
-	"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-	"update", "ablations", "intraquery", "streams", "topology",
-	"scorecard", "fig13",
-}
+// cheap table before the sweeps. The list is the scenario package's
+// preset registry — every named experiment is a preset spec.
+var KnownExperiments = scenario.PresetNames()
 
 // IsKnown reports whether name is a valid experiment ("all" is not an
 // experiment; callers expand it over KnownExperiments).

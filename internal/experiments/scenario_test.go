@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestScenarioSweepMatchesLineSweep pins the spec interpreter to the
+// named experiment it generalizes: a hand-written spec mirroring the
+// fig8 preset produces the exact sweep points RunLineSweep computes —
+// and resolves them from the same cache entries (the second run does no
+// new simulation).
+func TestScenarioSweepMatchesLineSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates queries")
+	}
+	e := NewExec(2)
+	defer e.Close()
+	o := Options{Scale: 0.002, Seed: 12345, Queries: []string{"Q6"}}
+	direct, err := e.RunLineSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc := scenario.Default()
+	sc.Workload.Scale = 0.002
+	sc.Workload.Queries = []string{"Q6"}
+	sc.Sweep = scenario.Sweep{Axis: scenario.AxisLine, Points: scenario.LineSizes}
+	done := e.Pool().Stats().Completed
+	res, err := e.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Points, direct) {
+		t.Errorf("spec interpreter diverges from RunLineSweep:\n%+v\n%+v", res.Points, direct)
+	}
+	if ran := e.Pool().Stats().Completed - done; ran != 0 {
+		t.Errorf("custom spec re-simulated %d jobs the preset already cached", ran)
+	}
+	if !strings.HasPrefix(res.Hash, "s1-") {
+		t.Errorf("result hash %q lacks the format-version prefix", res.Hash)
+	}
+}
+
+// TestCustomScenario runs a configuration no preset describes — three
+// processors, 256-byte secondary lines, a degree-2 prefetch sweep on
+// Q6 — end to end from JSON, the acceptance shape for POST
+// /v1/scenarios.
+func TestCustomScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates queries")
+	}
+	sc, err := scenario.Decode([]byte(`{
+		"name": "my-sweep",
+		"machine": {"processors": 3, "l2_line": 256, "l1_line": 128},
+		"workload": {"queries": ["Q6"], "scale": 0.002},
+		"sweep": {"axis": "prefetch", "points": [0, 2]}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExec(2)
+	defer e.Close()
+	res, err := e.RunScenario(*sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || res.Points[0].Param != 0 || res.Points[1].Param != 2 {
+		t.Fatalf("sweep points = %+v, want prefetch 0 and 2", res.Points)
+	}
+	for _, p := range res.Points {
+		if p.Clock <= 0 || p.Bd.Total() == 0 {
+			t.Errorf("point %d has empty measurement: %+v", p.Param, p)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := e.RenderScenario(&buf, *sc); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Scenario my-sweep (s1-", "3 processors", "queries Q6",
+		"Sweep: prefetch over [0 2]", "Q6 execution time across the sweep",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered scenario lacks %q:\n%s", want, out)
+		}
+	}
+	if got := ScenarioLabel(*sc); got != "custom" {
+		t.Errorf("label = %q, want custom (name is no preset)", got)
+	}
+	fig8 := presetScenario("fig8")
+	if got := ScenarioLabel(fig8); got != "fig8" {
+		t.Errorf("preset label = %q, want fig8", got)
+	}
+}
+
+// TestScenarioWarmAndCold covers the interpreter's other two shapes on
+// one tiny workload: a plain cold spec and a warmed spec.
+func TestScenarioWarmAndCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates queries")
+	}
+	e := NewExec(2)
+	defer e.Close()
+
+	cold := scenario.Default()
+	cold.Workload.Scale = 0.002
+	cold.Workload.Queries = []string{"Q6"}
+	res, err := e.RunScenario(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cold) != 1 || res.Cold[0].Query != "Q6" || res.Cold[0].Report.MaxClock() <= 0 {
+		t.Fatalf("cold result = %+v", res.Cold)
+	}
+
+	warm := cold
+	warm.Workload.Warm = "Q6"
+	wres, err := e.RunScenario(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wres.Warm) != 2 {
+		t.Fatalf("warm spec produced %d results, want cold+warmed pair", len(wres.Warm))
+	}
+	if wres.Warm[0].Warmer != "" || wres.Warm[1].Warmer != "Q6" {
+		t.Fatalf("warm results = %+v, want cold then warmed", wres.Warm)
+	}
+}

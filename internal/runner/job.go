@@ -3,7 +3,7 @@ package runner
 import (
 	"time"
 
-	"repro/internal/machine"
+	"repro/internal/scenario"
 )
 
 // JobID identifies a submitted job within its Pool. IDs are assigned in
@@ -11,36 +11,25 @@ import (
 // ready queue, so equal-priority jobs execute FIFO.
 type JobID int64
 
-// SystemOptions identifies the simulated system a job runs against: the
-// database scale factor and generation seed. Together with the machine
-// configuration they fully determine a freshly built system, which is
-// why they are cache-key material.
-type SystemOptions struct {
-	Scale float64
-	Seed  uint64
-}
-
 // Job is one schedulable unit of simulation work.
 //
-// The Opts/Machine/Queries/Mode/Extra fields are the job's identity: the
-// pool derives the content-addressed cache key from them (see Key), so
-// they must fully determine the Body's result. Body receives a Ctx whose
-// System method lazily provides a *core.System built from Opts and
-// Machine; bodies that never call it never pay for database generation.
+// The Spec/Mode/Extra fields are the job's identity: the pool derives
+// the content-addressed cache key from them (see Key), so they must
+// fully determine the Body's result. Body receives a Ctx whose System
+// method lazily provides a *core.System built from Spec; bodies that
+// never call it never pay for database generation.
 type Job struct {
 	// Name labels the job in events, errors, and bookkeeping.
 	Name string
 	// Mode discriminates otherwise-identical cache keys between job
 	// families ("cold", "warm", "table1", ...).
 	Mode string
-	// Opts selects the simulated database.
-	Opts SystemOptions
-	// Machine is the machine configuration the job measures.
-	Machine machine.Config
-	// Queries is the measured query list (cache-key material).
-	Queries []string
+	// Spec is the scenario the job measures: machine, workload (scale,
+	// seed, query list), and — for sweep-expanding callers — the axis.
+	// Its canonical encoding is the bulk of the cache-key material.
+	Spec scenario.Scenario
 	// Extra is additional cache-key material for parameters not covered
-	// by the fields above.
+	// by the spec.
 	Extra []string
 
 	// Priority orders the ready queue: lower runs earlier; ties break by
@@ -52,7 +41,7 @@ type Job struct {
 	After []*Job
 	// StateKey names a shared mutable system. All jobs of one SubmitAll
 	// batch with the same non-empty StateKey run on one *core.System
-	// instance, created from the first job's Opts/Machine and never
+	// instance, created from the first job's Spec and never
 	// reconfigured, so cache contents survive from job to job. Callers
 	// must serialize such jobs through After edges; the pool frees the
 	// system when the last job naming it settles. Keys are scoped to

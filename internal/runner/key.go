@@ -2,68 +2,42 @@ package runner
 
 import (
 	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
-	"hash"
 	"io"
-	"reflect"
-	"strconv"
 	"strings"
+
+	"repro/internal/scenario"
 )
 
-// Key returns the job's content-addressed cache key: a hash of the
-// canonical encoding of (mode, system options, machine configuration,
-// query list, extra parameters). Jobs with equal keys must compute equal
-// results; the pool uses the key to satisfy repeated submissions from
-// the result cache instead of re-simulating. NoCache jobs have no key.
+// Key returns the job's content-addressed cache key: the scenario
+// format version followed by a hash of (mode, canonical spec encoding,
+// extra parameters). Jobs with equal keys must compute equal results;
+// the pool uses the key to satisfy repeated submissions from the result
+// cache instead of re-simulating, and the trace store files blobs under
+// it. The "s<version>-" prefix ties every persisted entry (disk cache
+// .gob files, trace .trace blobs) to the spec format that produced it:
+// bumping scenario.FormatVersion changes every key, so entries written
+// under an older format are never misread — they simply stop being
+// addressed. NoCache jobs have no key.
 func (j *Job) Key() string {
 	if j.NoCache {
 		return ""
 	}
+	return j.keyAt(scenario.FormatVersion)
+}
+
+// keyAt computes the key under an explicit format version, split out so
+// tests can prove that a version bump misses entries persisted under
+// the previous one.
+func (j *Job) keyAt(version int) string {
 	h := sha256.New()
 	put := func(s string) {
 		io.WriteString(h, s)
 		h.Write([]byte{0})
 	}
 	put("mode=" + j.Mode)
-	put("scale=" + strconv.FormatFloat(j.Opts.Scale, 'g', -1, 64))
-	put("seed=" + strconv.FormatUint(j.Opts.Seed, 10))
-	hashStruct(h, "machine", reflect.ValueOf(j.Machine))
-	put("queries=" + strings.Join(j.Queries, "\x1f"))
+	h.Write(j.Spec.Canonical())
+	h.Write([]byte{0})
 	put("extra=" + strings.Join(j.Extra, "\x1f"))
-	return hex.EncodeToString(h.Sum(nil))
-}
-
-// hashStruct writes a canonical name=value encoding of a flat
-// configuration struct. Field order follows the struct definition, and
-// every field participates, so any change to the machine configuration
-// changes the key. Unsupported field kinds panic: a config field the
-// encoder cannot canonicalize would silently alias distinct
-// configurations, which must surface at development time.
-func hashStruct(h hash.Hash, prefix string, v reflect.Value) {
-	t := v.Type()
-	for i := 0; i < v.NumField(); i++ {
-		name := prefix + "." + t.Field(i).Name
-		f := v.Field(i)
-		var enc string
-		switch f.Kind() {
-		case reflect.Bool:
-			enc = strconv.FormatBool(f.Bool())
-		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-			enc = strconv.FormatInt(f.Int(), 10)
-		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
-			enc = strconv.FormatUint(f.Uint(), 10)
-		case reflect.Float32, reflect.Float64:
-			enc = strconv.FormatFloat(f.Float(), 'g', -1, 64)
-		case reflect.String:
-			enc = f.String()
-		case reflect.Struct:
-			hashStruct(h, name, f)
-			continue
-		default:
-			panic(fmt.Sprintf("runner: cannot canonicalize field %s (kind %s)", name, f.Kind()))
-		}
-		io.WriteString(h, name+"="+enc)
-		h.Write([]byte{0})
-	}
+	return fmt.Sprintf("s%d-%x", version, h.Sum(nil))
 }

@@ -1,40 +1,47 @@
 package runner
 
 import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"strings"
 	"testing"
 
-	"repro/internal/machine"
+	"repro/internal/scenario"
 )
 
 // TestKeyCanonicalization checks the content-address: equal identity
 // fields hash equal, and every identity field perturbs the key.
 func TestKeyCanonicalization(t *testing.T) {
 	base := func() *Job {
-		return &Job{
-			Name: "whatever", Mode: "cold",
-			Opts:    SystemOptions{Scale: 0.01, Seed: 12345},
-			Machine: machine.Baseline(),
-			Queries: []string{"Q6"},
-		}
+		return &Job{Name: "whatever", Mode: "cold", Spec: specQ("Q6")}
 	}
 	k := base().Key()
 	if k == "" {
 		t.Fatal("cacheable job has empty key")
 	}
+	if want := fmt.Sprintf("s%d-", scenario.FormatVersion); !strings.HasPrefix(k, want) {
+		t.Fatalf("key %q lacks the %q format-version prefix", k, want)
+	}
 	same := base()
 	same.Name = "a different label" // Name is not identity
 	same.Priority = 3               // neither is scheduling metadata
 	same.Retries = 2
+	same.Spec.Name = "fig6" // nor the spec's display name
 	if same.Key() != k {
 		t.Error("key depends on non-identity fields")
 	}
 
 	perturb := map[string]func(*Job){
 		"mode":    func(j *Job) { j.Mode = "warm" },
-		"scale":   func(j *Job) { j.Opts.Scale = 0.002 },
-		"seed":    func(j *Job) { j.Opts.Seed = 999 },
-		"machine": func(j *Job) { j.Machine.L2Line *= 2 },
-		"queries": func(j *Job) { j.Queries = []string{"Q3"} },
+		"scale":   func(j *Job) { j.Spec.Workload.Scale = 0.002 },
+		"seed":    func(j *Job) { j.Spec.Workload.Seed = 999 },
+		"machine": func(j *Job) { j.Spec.Machine.L2Line *= 2 },
+		"sched":   func(j *Job) { j.Spec.Machine.BusyPerAccess = 5 },
+		"queries": func(j *Job) { j.Spec.Workload.Queries = []string{"Q3"} },
+		"warm":    func(j *Job) { j.Spec.Workload.Warm = "Q12" },
+		"sweep":   func(j *Job) { j.Spec.Sweep = scenario.Sweep{Axis: scenario.AxisLine, Points: []int{64}} },
 		"extra":   func(j *Job) { j.Extra = []string{"warmer=Q12"} },
 	}
 	for field, mutate := range perturb {
@@ -45,17 +52,50 @@ func TestKeyCanonicalization(t *testing.T) {
 		}
 	}
 
-	queries := base()
-	queries.Queries = []string{"Q6", "Q3"}
-	split := base()
-	split.Queries = []string{"Q6,Q3"} // separator must prevent collisions
-	if queries.Key() == split.Key() {
-		t.Error("query list encoding is ambiguous")
-	}
-
 	nc := base()
 	nc.NoCache = true
 	if nc.Key() != "" {
 		t.Error("NoCache job has a key")
+	}
+}
+
+// versionResult is the payload for the version-bump round trip.
+type versionResult struct{ N int }
+
+func init() { gob.Register(versionResult{}) }
+
+// TestVersionBumpMissesOldEntries proves the cache-invalidation story:
+// an entry persisted under today's spec format version is addressed by
+// an "s<v>-" key, and the key the next format version would compute
+// misses it in both tiers.
+func TestVersionBumpMissesOldEntries(t *testing.T) {
+	dir := t.TempDir()
+	f := &fakeFactory{}
+	p := New(Config{Workers: 1, CacheDir: dir, Factory: f.build})
+	defer p.Close()
+
+	j := &Job{Name: "versioned", Mode: "cold", Spec: specQ("Q6"),
+		Body: func(*Ctx) (interface{}, error) { return versionResult{N: 9}, nil }}
+	if _, err := p.RunAll(context.Background(), []*Job{j}); err != nil {
+		t.Fatal(err)
+	}
+
+	old := j.Key()
+	if _, err := os.Stat(p.cache.path(old)); err != nil {
+		t.Fatalf("no disk entry under the current key %q: %v", old, err)
+	}
+	if _, ok := p.cache.get(old); !ok {
+		t.Fatalf("current key %q misses its own entry", old)
+	}
+
+	next := j.keyAt(scenario.FormatVersion + 1)
+	if next == old {
+		t.Fatal("format-version bump does not change the key")
+	}
+	if !strings.HasPrefix(next, fmt.Sprintf("s%d-", scenario.FormatVersion+1)) {
+		t.Fatalf("bumped key %q carries the wrong version prefix", next)
+	}
+	if _, ok := p.cache.get(next); ok {
+		t.Error("bumped key hits an entry persisted under the old format")
 	}
 }

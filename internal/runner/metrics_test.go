@@ -47,7 +47,7 @@ func TestPoolMetrics(t *testing.T) {
 	p, reg := newMeteredPool(t, 2, "")
 
 	mk := func(q string) *Job {
-		return &Job{Name: "cold/" + q, Mode: "cold", Queries: []string{q},
+		return &Job{Name: "cold/" + q, Mode: "cold", Spec: specQ(q),
 			Body: func(*Ctx) (interface{}, error) { return q, nil }}
 	}
 	if _, err := p.RunAll(context.Background(), []*Job{mk("Q3"), mk("Q6")}); err != nil {
@@ -100,7 +100,7 @@ func TestPoolMetrics(t *testing.T) {
 func TestCacheTierMetrics(t *testing.T) {
 	dir := t.TempDir()
 	mk := func() *Job {
-		return &Job{Name: "cold/QD", Mode: "cold", Queries: []string{"QD"},
+		return &Job{Name: "cold/QD", Mode: "cold", Spec: specQ("QD"),
 			Body: func(*Ctx) (interface{}, error) { return "v", nil }}
 	}
 	p1, _ := newMeteredPool(t, 1, dir)

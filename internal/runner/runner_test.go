@@ -11,7 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/machine"
+	"repro/internal/scenario"
 )
 
 // fakeFactory stands in for system construction and counts calls; the
@@ -20,9 +20,17 @@ type fakeFactory struct {
 	calls int64
 }
 
-func (f *fakeFactory) build(SystemOptions, machine.Config) (*core.System, error) {
+func (f *fakeFactory) build(scenario.Scenario) (*core.System, error) {
 	atomic.AddInt64(&f.calls, 1)
 	return &core.System{}, nil
+}
+
+// specQ is the default scenario spec narrowed to the given query list —
+// the job-identity idiom the tests perturb.
+func specQ(qs ...string) scenario.Scenario {
+	sc := scenario.Default()
+	sc.Workload.Queries = qs
+	return sc
 }
 
 func newTestPool(t *testing.T, workers int) (*Pool, *fakeFactory) {
@@ -95,7 +103,7 @@ func TestCacheAccounting(t *testing.T) {
 	var runs int64
 	mk := func(q string) *Job {
 		return &Job{
-			Name: "cold/" + q, Mode: "cold", Queries: []string{q},
+			Name: "cold/" + q, Mode: "cold", Spec: specQ(q),
 			Body: func(*Ctx) (interface{}, error) {
 				atomic.AddInt64(&runs, 1)
 				return "result-" + q, nil
@@ -217,7 +225,7 @@ func TestEphemeralPruning(t *testing.T) {
 			},
 		}
 		measure := &Job{
-			Name: "measure", Mode: "warm", Queries: []string{"Q12"},
+			Name: "measure", Mode: "warm", Spec: specQ("Q12"),
 			StateKey: "pair", After: []*Job{warm},
 			Body: func(*Ctx) (interface{}, error) {
 				atomic.AddInt64(&measures, 1)
@@ -424,7 +432,7 @@ func TestDiskCache(t *testing.T) {
 	dir := t.TempDir()
 	f := &fakeFactory{}
 	mk := func() *Job {
-		return &Job{Name: "persisted", Mode: "cold", Queries: []string{"Q6"},
+		return &Job{Name: "persisted", Mode: "cold", Spec: specQ("Q6"),
 			Body: func(*Ctx) (interface{}, error) { return diskResult{N: 7}, nil }}
 	}
 	p1 := New(Config{Workers: 1, CacheDir: dir, Factory: f.build})

@@ -4,21 +4,17 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/machine"
+	"repro/internal/scenario"
 )
 
 // SystemFactory builds a simulated system for a job. The default factory
 // assembles the paper's core.System; tests substitute lightweight fakes.
-type SystemFactory func(SystemOptions, machine.Config) (*core.System, error)
+type SystemFactory func(scenario.Scenario) (*core.System, error)
 
-// defaultFactory builds the real thing: the paper's default
-// configuration with the job's database scale/seed and machine model.
-func defaultFactory(o SystemOptions, m machine.Config) (*core.System, error) {
-	cfg := core.DefaultConfig()
-	cfg.DB.ScaleFactor = o.Scale
-	cfg.DB.Seed = o.Seed
-	cfg.Machine = m
-	return core.NewSystem(cfg)
+// defaultFactory builds the real thing: the system the job's scenario
+// spec describes.
+func defaultFactory(sc scenario.Scenario) (*core.System, error) {
+	return core.NewScenarioSystem(sc)
 }
 
 // Ctx is the execution context handed to a job Body. Its System method
@@ -84,15 +80,14 @@ func (c *Ctx) PutTraceBlob(b []byte) {
 // deduplicate and lets any worker count produce byte-identical output.
 //
 // StateKey jobs receive the shared system registered under that key,
-// creating it from this job's Opts/Machine on first use; its caches and
+// creating it from this job's Spec on first use; its caches and
 // measurement state carry over between the jobs that share it, which
 // are serialized by their dependency edges.
 func (c *Ctx) System() (*core.System, error) {
 	if c.rec.stateKey != "" {
 		return c.pool.sharedSystem(c.rec)
 	}
-	j := c.rec.job
-	return c.pool.factory(j.Opts, j.Machine)
+	return c.pool.factory(c.rec.job.Spec)
 }
 
 // worker is one pool worker.
@@ -113,8 +108,7 @@ func (p *Pool) sharedSystem(rec *jobRec) (*core.System, error) {
 	if ok {
 		return s, nil
 	}
-	j := rec.job
-	s, err := p.factory(j.Opts, j.Machine)
+	s, err := p.factory(rec.job.Spec)
 	if err != nil {
 		return nil, err
 	}

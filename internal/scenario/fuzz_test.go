@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScenarioDecode fuzzes the spec parser end to end:
+// decode -> validate -> canonicalize -> re-decode must either fail
+// cleanly at the first two stages or round-trip exactly — and never
+// panic. This is the safety contract for POST /v1/scenarios, which
+// feeds attacker-controlled bytes into this exact pipeline.
+func FuzzScenarioDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name": "mine", "machine": {"processors": 3, "l2_line": 256, "l1_line": 128}}`))
+	f.Add([]byte(`{"workload": {"queries": ["Q6"], "scale": 0.001}, "sweep": {"axis": "line", "points": [16, 256]}}`))
+	f.Add([]byte(`{"machine": {"dir_occupancy": 0, "snooping_bus": true}}`))
+	f.Add([]byte(`{"workload": {"warm": "Q3"}}`))
+	f.Add([]byte(`{"sweep": {"axis": "cache", "points": [128, 8192]}}`))
+	f.Add([]byte(`{"machine": {"l1_bytes": 0}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"machine": {"processors": -1}} trailing`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		sc, err := Decode(data)
+		if err != nil {
+			return // clean rejection
+		}
+		if err := sc.Validate(); err != nil {
+			if _, ok := err.(*FieldError); !ok {
+				t.Fatalf("validation error %T is not a FieldError: %v", err, err)
+			}
+			return // clean rejection with a field path
+		}
+		c1 := sc.Canonical()
+		re, err := Decode(c1)
+		if err != nil {
+			t.Fatalf("canonical bytes of a valid spec do not decode: %v\n%s", err, c1)
+		}
+		if err := re.Validate(); err != nil {
+			t.Fatalf("canonical re-decode of a valid spec fails validation: %v\n%s", err, c1)
+		}
+		c2 := re.Canonical()
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonicalization is not a fixed point:\n%s\n%s", c1, c2)
+		}
+		if sc.Hash() != re.Hash() {
+			t.Fatal("round-tripped spec hashes differently")
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPresetRegistry checks the catalog: the published order, unique
+// names, descriptions, and that every preset spec validates.
+func TestPresetRegistry(t *testing.T) {
+	want := []string{
+		"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"update", "ablations", "intraquery", "streams", "topology",
+		"scorecard", "fig13",
+	}
+	if got := PresetNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("preset order = %v\nwant %v", got, want)
+	}
+	seen := map[string]bool{}
+	for _, p := range Presets() {
+		if seen[p.Name] {
+			t.Errorf("duplicate preset %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Description == "" {
+			t.Errorf("preset %q has no description", p.Name)
+		}
+		if len(p.Scenarios) == 0 {
+			t.Errorf("preset %q has no scenarios", p.Name)
+		}
+		for i, sc := range p.Scenarios {
+			if err := sc.Validate(); err != nil {
+				t.Errorf("preset %q scenario %d invalid: %v", p.Name, i, err)
+			}
+		}
+	}
+}
+
+// TestPresetByName checks lookup, including the miss path.
+func TestPresetByName(t *testing.T) {
+	p, ok := PresetByName("fig8")
+	if !ok || p.Name != "fig8" {
+		t.Fatalf("fig8 lookup = %+v, %v", p, ok)
+	}
+	sw := p.Scenarios[0].Sweep
+	if sw.Axis != AxisLine || !reflect.DeepEqual(sw.Points, LineSizes) {
+		t.Errorf("fig8 sweep = %+v, want the paper's line sizes", sw)
+	}
+	if _, ok := PresetByName("fig99"); ok {
+		t.Error("unknown preset resolved")
+	}
+}
+
+// TestPresetSpecsMatchPaper pins the preset data against the paper's
+// experiment definitions.
+func TestPresetSpecsMatchPaper(t *testing.T) {
+	fig12, _ := PresetByName("fig12")
+	if len(fig12.Scenarios) != 6 {
+		t.Fatalf("fig12 has %d scenarios, want 6 warm pairs", len(fig12.Scenarios))
+	}
+	for _, sc := range fig12.Scenarios {
+		if sc.Machine.L1Bytes != 1<<20 || sc.Machine.L2Bytes != 32<<20 {
+			t.Errorf("fig12 caches = %d/%d, want 1MB/32MB", sc.Machine.L1Bytes, sc.Machine.L2Bytes)
+		}
+	}
+	cold := fig12.Scenarios[0]
+	if !reflect.DeepEqual(cold.Workload.Queries, []string{"Q3"}) || cold.Workload.Warm != "" {
+		t.Errorf("fig12 first pair = %v<-%q, want cold Q3", cold.Workload.Queries, cold.Workload.Warm)
+	}
+
+	abl, _ := PresetByName("ablations")
+	if len(abl.Scenarios) != 3 {
+		t.Fatalf("ablations has %d scenarios, want prefetch/writebuf/contention", len(abl.Scenarios))
+	}
+	if ax := abl.Scenarios[0].Sweep; ax.Axis != AxisPrefetch ||
+		!reflect.DeepEqual(ax.Points, append([]int{0}, PrefetchDegrees...)) {
+		t.Errorf("prefetch ablation sweep = %+v", ax)
+	}
+	if ax := abl.Scenarios[1].Sweep; ax.Axis != AxisWriteBuf ||
+		!reflect.DeepEqual(ax.Points, WriteBufferDepths) {
+		t.Errorf("write-buffer ablation sweep = %+v", ax)
+	}
+	if ax := abl.Scenarios[2].Sweep; ax.Axis != AxisContention {
+		t.Errorf("contention ablation sweep = %+v", ax)
+	}
+
+	top, _ := PresetByName("topology")
+	if len(top.Scenarios) != 2 || top.Scenarios[0].Machine.SnoopingBus ||
+		!top.Scenarios[1].Machine.SnoopingBus {
+		t.Errorf("topology scenarios = %+v, want numa then bus", top.Scenarios)
+	}
+
+	fig13, _ := PresetByName("fig13")
+	if sw := fig13.Scenarios[0].Sweep; sw.Axis != AxisPrefetch || !reflect.DeepEqual(sw.Points, []int{0, 4}) {
+		t.Errorf("fig13 sweep = %+v, want prefetch off vs degree 4", sw)
+	}
+}
+
+// TestPresetsAreCopies checks that mutating a returned preset cannot
+// corrupt the registry.
+func TestPresetsAreCopies(t *testing.T) {
+	p, _ := PresetByName("fig8")
+	p.Scenarios[0].Sweep.Points[0] = 9999
+	p.Scenarios[0].Machine.Processors = 1
+	fresh, _ := PresetByName("fig8")
+	if fresh.Scenarios[0].Sweep.Points[0] != LineSizes[0] || fresh.Scenarios[0].Machine.Processors != 4 {
+		t.Error("preset mutation leaked into the registry")
+	}
+}
