@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check cover bench bench-diff fuzz scenario-goldens clean
+.PHONY: all build test race vet check cover bench bench-diff fuzz scenario-goldens cluster-smoke clean
 
 all: build
 
@@ -33,6 +33,15 @@ scenario-goldens:
 	$(GO) test -run TestGoldenOutput -count=1 ./internal/experiments
 
 check: build vet race test scenario-goldens
+
+# The cluster gate: one coordinator plus two in-process workers run a
+# fig8-style sweep through the async job API. Passing means the
+# distributed report is byte-identical to a serial render, every task
+# settled done, and at least one blob crossed peers (a capture computed
+# on one worker, replayed from the shared store by the other — asserted
+# via the peer-fetch metrics).
+cluster-smoke:
+	$(GO) test -run 'TestClusterEndToEnd|TestWorkerDrainReleases' -count=1 -v ./internal/cluster
 
 # Fuzz the scenario decoder: decode -> validate -> canonicalize ->
 # re-decode must round-trip or fail cleanly with a field-path error,

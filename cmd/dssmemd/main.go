@@ -43,6 +43,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/blobstore"
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/runner"
@@ -86,10 +88,17 @@ func (r *experimentRun) snapshot() experimentRun {
 // /v1/stats reads them back, so the JSON view and /metrics can never
 // disagree.
 type server struct {
-	exec  *experiments.Exec
-	reg   *metrics.Registry
-	httpm *metrics.HTTPMetrics
-	start time.Time
+	exec    *experiments.Exec
+	reg     *metrics.Registry
+	httpm   *metrics.HTTPMetrics
+	start   time.Time
+	store   blobstore.Store // local blob store served at /v1/blobs
+	coord   *cluster.Coordinator
+	manager *cluster.Manager
+	// renderTimeout bounds POST /v1/scenarios server-side; 0 = no bound
+	// (the render still completes and caches after a 504, so a retry of
+	// the same spec is cheap).
+	renderTimeout time.Duration
 
 	expSubmitted *metrics.Counter
 	expDone      *metrics.Counter
@@ -103,12 +112,21 @@ type server struct {
 	closed bool
 }
 
-func newServer(exec *experiments.Exec, reg *metrics.Registry) *server {
+func newServer(exec *experiments.Exec, reg *metrics.Registry, store blobstore.Store, renderTimeout time.Duration) *server {
+	if store == nil {
+		store = blobstore.NewMem()
+	}
+	cmet := cluster.NewMetrics(reg)
+	coord := cluster.NewCoordinator(cmet, cluster.Options{})
 	return &server{
-		exec:  exec,
-		reg:   reg,
-		httpm: metrics.NewHTTPMetrics(reg),
-		start: time.Now(),
+		exec:          exec,
+		reg:           reg,
+		httpm:         metrics.NewHTTPMetrics(reg),
+		start:         time.Now(),
+		store:         store,
+		coord:         coord,
+		manager:       cluster.NewManager(exec, coord, cmet),
+		renderTimeout: renderTimeout,
 		expSubmitted: reg.Counter("dssmem_experiments_submitted_total",
 			"Experiment requests accepted by POST /v1/experiments."),
 		expDone: reg.Counter("dssmem_experiments_done_total",
@@ -135,6 +153,18 @@ func (s *server) handler() http.Handler {
 	handle("GET /v1/experiments/{id}", "/v1/experiments/{id}", http.HandlerFunc(s.status))
 	handle("POST /v1/scenarios", "/v1/scenarios", http.HandlerFunc(s.submitScenario))
 	handle("GET /v1/scenarios/presets", "/v1/scenarios/presets", http.HandlerFunc(s.presets))
+	// Async job API: submit, poll, stream progress, fetch the report.
+	handle("POST /v1/jobs", "/v1/jobs", http.HandlerFunc(s.manager.HandleSubmit))
+	handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", http.HandlerFunc(s.manager.HandleStatus))
+	handle("GET /v1/jobs/{id}/events", "/v1/jobs/{id}/events", http.HandlerFunc(s.manager.HandleEvents))
+	handle("GET /v1/jobs/{id}/report", "/v1/jobs/{id}/report", http.HandlerFunc(s.manager.HandleReport))
+	// Cluster fabric: the coordinator protocol workers drive, and the
+	// local blob store peers read through (never the fan — a peer's GET
+	// must not recurse into further peer fetches).
+	clusterH := s.coord.Handler()
+	handle("/v1/cluster", "/v1/cluster", clusterH)
+	handle("/v1/cluster/", "/v1/cluster", clusterH)
+	handle(blobstore.PathPrefix+"/", "/v1/blobs", blobstore.Handler(s.store))
 	handle("GET /v1/healthz", "/v1/healthz", http.HandlerFunc(s.healthz))
 	handle("GET /v1/stats", "/v1/stats", http.HandlerFunc(s.stats))
 	handle("GET /metrics", "/metrics", s.reg.Handler())
@@ -254,11 +284,33 @@ func (s *server) submitScenario(w http.ResponseWriter, r *http.Request) {
 	}
 	s.wg.Add(1)
 	s.mu.Unlock()
-	defer s.wg.Done()
 
+	// The render runs detached so a server-side timeout can answer 504
+	// without abandoning the work: the pool finishes and caches the
+	// result either way, making a retry of the same spec cheap. The
+	// drain path waits on s.wg, so shutdown still sees it through.
 	var buf strings.Builder
-	if err := s.exec.RenderScenario(&buf, *sc); err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+	done := make(chan error, 1)
+	go func() {
+		defer s.wg.Done()
+		done <- s.exec.RenderScenario(&buf, *sc)
+	}()
+	var timeout <-chan time.Time
+	if s.renderTimeout > 0 {
+		t := time.NewTimer(s.renderTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	case <-timeout:
+		httpError(w, http.StatusGatewayTimeout, fmt.Sprintf(
+			"render exceeded %s; the computation continues and will be cached — retry, or submit via POST /v1/jobs",
+			s.renderTimeout))
 		return
 	}
 	label := experiments.ScenarioLabel(*sc)
@@ -297,6 +349,16 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	// Cluster fabric view: worker/job/task states plus the peer blob
+	// traffic, summed from the same samples /metrics exposes.
+	peerFetch := map[string]float64{}
+	for _, f := range s.reg.Snapshot() {
+		if f.Name == "dssmem_blob_peer_fetch_total" {
+			for _, smp := range f.Samples {
+				peerFetch[smp.Labels["result"]] += smp.Value
+			}
+		}
+	}
 	resp := map[string]interface{}{
 		"pool":                  ps,
 		"cache_hit_rate":        ps.HitRate(),
@@ -305,17 +367,26 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		"experiments_submitted": s.expSubmitted.Value(),
 		"experiments_done":      s.expDone.Value(),
 		"experiments_failed":    s.expFailed.Value(),
+		"cluster": map[string]interface{}{
+			"workers":    s.coord.Workers(),
+			"jobs":       s.manager.Counts(),
+			"tasks":      s.coord.Status().Tasks,
+			"peer_fetch": peerFetch,
+		},
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
 
-// drain stops accepting submissions and waits for in-flight experiments.
+// drain stops accepting submissions, waits for in-flight experiments
+// and async jobs, then stops the cluster machinery.
 func (s *server) drain() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.manager.Close()
+	s.coord.Close()
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {
@@ -331,6 +402,9 @@ func main() {
 	jobs := flag.Int("jobs", 0, "concurrent experiment workers (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent result cache (empty = in-memory only)")
 	traceDir := flag.String("trace-dir", "", "directory for captured reference-trace blobs (empty = traces stay in the result cache)")
+	join := flag.String("join", "", "coordinator URL to join as a worker (e.g. http://coord:8080)")
+	advertise := flag.String("advertise", "", "URL this daemon is reachable at, reported to the coordinator")
+	renderTimeout := flag.Duration("render-timeout", 0, "server-side bound on POST /v1/scenarios renders; exceeded renders answer 504 and finish into the cache (0 = unbounded)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "unexpected arguments:", flag.Args())
@@ -354,8 +428,61 @@ func main() {
 
 	reg := metrics.New()
 	reg.CollectGoRuntime()
-	exec := experiments.NewExecConfig(runner.Config{Workers: *jobs, CacheDir: *cacheDir, TraceDir: *traceDir, Metrics: reg})
-	s := newServer(exec, reg)
+
+	// The blob store unifies the cache tiers with the cluster fabric:
+	// the configured dirs keep their legacy on-disk layout; with no dirs
+	// an in-memory store still lets this daemon coordinate peers. The
+	// pool reads through a fan — local first, then the joined
+	// coordinator — while /v1/blobs always serves the local store only.
+	var store blobstore.Store
+	ld := blobstore.NewLocalDir()
+	mounted := false
+	if *cacheDir != "" {
+		if err := ld.Mount(blobstore.NSResult, *cacheDir, ".gob"); err != nil {
+			log.Printf("disk cache disabled: %v", err)
+		} else {
+			mounted = true
+		}
+	}
+	if *traceDir != "" {
+		if err := ld.Mount(blobstore.NSTrace, *traceDir, ".trace"); err != nil {
+			log.Printf("trace store disabled: %v", err)
+		} else {
+			mounted = true
+		}
+	}
+	if mounted {
+		store = ld
+	} else {
+		store = blobstore.NewMem()
+	}
+	var peers func() []string
+	if *join != "" {
+		peer := strings.TrimRight(*join, "/")
+		peers = func() []string { return []string{peer} }
+	}
+	fan := blobstore.NewFan(store, peers, reg)
+
+	exec := experiments.NewExecConfig(runner.Config{Workers: *jobs, Blobs: fan, Metrics: reg})
+	s := newServer(exec, reg, store, *renderTimeout)
+
+	var worker *cluster.Worker
+	if *join != "" {
+		name, _ := os.Hostname()
+		w, err := cluster.StartWorker(cluster.WorkerConfig{
+			Coordinator: strings.TrimRight(*join, "/"),
+			Name:        name,
+			Advertise:   *advertise,
+			Exec:        exec,
+			Blobs:       store,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("join %s: %v", *join, err)
+		}
+		worker = w
+		log.Printf("joined coordinator %s", *join)
+	}
 
 	srv := &http.Server{
 		Addr:    *addr,
@@ -381,9 +508,15 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, let in-flight experiments
-	// finish, then drain the pool's workers.
+	// Graceful shutdown. The cluster worker drains first — it releases
+	// any claimed-but-unfinished task back to the coordinator so the
+	// work is reassigned immediately — then the HTTP server stops
+	// accepting, in-flight experiments and jobs finish, and the pool's
+	// workers drain.
 	log.Print("shutting down: draining in-flight experiments")
+	if worker != nil {
+		worker.Close()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/blobstore"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/runner"
@@ -17,11 +18,16 @@ import (
 )
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	return newTestServerTimeout(t, 0)
+}
+
+func newTestServerTimeout(t *testing.T, renderTimeout time.Duration) (*server, *httptest.Server) {
 	t.Helper()
 	reg := metrics.New()
 	reg.CollectGoRuntime()
-	exec := experiments.NewExecConfig(runner.Config{Workers: 2, Metrics: reg})
-	s := newServer(exec, reg)
+	store := blobstore.NewMem()
+	exec := experiments.NewExecConfig(runner.Config{Workers: 2, Blobs: store, Metrics: reg})
+	s := newServer(exec, reg, store, renderTimeout)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -304,5 +310,125 @@ func TestSubmitAndMetrics(t *testing.T) {
 	}
 	if stats.Pool == nil {
 		t.Error("stats missing pool snapshot")
+	}
+}
+
+// TestJobsAPI drives the async job lifecycle end to end: accepted with
+// an id, progress streamed over SSE, and a final report byte-identical
+// to what the synchronous /v1/scenarios endpoint returns for the same
+// spec.
+func TestJobsAPI(t *testing.T) {
+	_, ts := newTestServer(t)
+	spec := `{
+		"name": "async",
+		"machine": {"processors": 2},
+		"workload": {"queries": ["Q6"], "scale": 0.001},
+		"sweep": {"axis": "prefetch", "points": [0, 2]}
+	}`
+
+	code, body := post(t, ts.URL+"/v1/jobs", spec)
+	if code != 202 {
+		t.Fatalf("submit: %d %q", code, body)
+	}
+	var sub struct {
+		JobID string `json:"job_id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal([]byte(body), &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.JobID == "" || sub.State != "queued" {
+		t.Fatalf("submit response = %+v", sub)
+	}
+
+	// The SSE stream ends when the job reaches a terminal state; its
+	// replay semantics mean subscribing at any point sees every event.
+	code, events := get(t, ts.URL+"/v1/jobs/"+sub.JobID+"/events")
+	if code != 200 {
+		t.Fatalf("events: %d", code)
+	}
+	if !strings.Contains(events, "event: progress") {
+		t.Fatalf("SSE stream has no progress event:\n%s", events)
+	}
+	if !strings.Contains(events, "event: state") || !strings.Contains(events, `"state":"done"`) {
+		t.Fatalf("SSE stream has no terminal done event:\n%s", events)
+	}
+
+	code, body = get(t, ts.URL+"/v1/jobs/"+sub.JobID)
+	if code != 200 {
+		t.Fatalf("status: %d %q", code, body)
+	}
+	var st struct {
+		State    string `json:"state"`
+		Progress struct {
+			Done  int `json:"done"`
+			Total int `json:"total"`
+		} `json:"progress"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || st.Progress.Done != 2 || st.Progress.Total != 2 {
+		t.Fatalf("status = %+v, want done 2/2 (capture + one replay)", st)
+	}
+
+	code, asyncReport := get(t, ts.URL+"/v1/jobs/"+sub.JobID+"/report")
+	if code != 200 {
+		t.Fatalf("report: %d %q", code, asyncReport)
+	}
+	code, syncReport := post(t, ts.URL+"/v1/scenarios", spec)
+	if code != 200 {
+		t.Fatalf("sync render: %d", code)
+	}
+	if asyncReport != syncReport {
+		t.Fatalf("async report differs from synchronous render:\n--- async ---\n%s\n--- sync ---\n%s",
+			asyncReport, syncReport)
+	}
+
+	if code, _ := get(t, ts.URL+"/v1/jobs/nosuchjob"); code != 404 {
+		t.Errorf("unknown job: got %d, want 404", code)
+	}
+
+	// The fabric is visible on /v1/stats even with no peers joined.
+	code, body = get(t, ts.URL+"/v1/stats")
+	if code != 200 {
+		t.Fatalf("/v1/stats: %d", code)
+	}
+	var stats struct {
+		Cluster struct {
+			Workers   int                `json:"workers"`
+			Jobs      map[string]int     `json:"jobs"`
+			Tasks     map[string]int     `json:"tasks"`
+			PeerFetch map[string]float64 `json:"peer_fetch"`
+		} `json:"cluster"`
+	}
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatalf("stats json: %v\n%s", err, body)
+	}
+	if stats.Cluster.Workers != 0 || stats.Cluster.Jobs["done"] < 1 {
+		t.Errorf("cluster stats = %+v, want 0 workers and >=1 done job", stats.Cluster)
+	}
+	if stats.Cluster.PeerFetch == nil {
+		t.Error("cluster stats missing peer_fetch")
+	}
+
+	// And the gauges behind it are on /metrics.
+	_, exposition := get(t, ts.URL+"/metrics")
+	if got := counterValue(t, exposition, `dssmem_cluster_jobs{state="done"}`); got < 1 {
+		t.Errorf(`dssmem_cluster_jobs{state="done"} = %v, want >= 1`, got)
+	}
+	if !strings.Contains(exposition, "dssmem_cluster_workers") {
+		t.Error("/metrics missing dssmem_cluster_workers")
+	}
+}
+
+// TestRenderTimeout: with -render-timeout set, a synchronous render
+// that exceeds it answers 504 instead of holding the connection.
+func TestRenderTimeout(t *testing.T) {
+	_, ts := newTestServerTimeout(t, time.Nanosecond)
+	code, body := post(t, ts.URL+"/v1/scenarios",
+		`{"machine": {"processors": 2}, "workload": {"queries": ["Q6"], "scale": 0.001}}`)
+	if code != 504 || !strings.Contains(body, "render exceeded") {
+		t.Fatalf("got %d %q, want 504 with the timeout notice", code, body)
 	}
 }

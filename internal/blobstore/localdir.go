@@ -1,0 +1,162 @@
+package blobstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// LocalDir serves namespaces from local directories, one mount per
+// namespace, preserving the runner's historical on-disk layout: a
+// blob is a single file named <key><ext> (results are <key>.gob,
+// traces <key>.trace), so a cache directory written by a pre-cluster
+// daemon reads back unchanged through the store and vice versa.
+//
+// Writes are atomic (temp file + rename within the mount directory),
+// which also makes concurrent Puts of one key safe: every writer
+// renames a complete file into place, one of them lands last, and
+// since values under a key are immutable any winner is correct.
+type LocalDir struct {
+	mu     sync.RWMutex
+	mounts map[string]localMount
+}
+
+type localMount struct {
+	dir string
+	ext string // file extension including the dot; may be ""
+}
+
+// NewLocalDir returns a store with no mounts; operations on an
+// unmounted namespace fail until Mount adds it.
+func NewLocalDir() *LocalDir {
+	return &LocalDir{mounts: make(map[string]localMount)}
+}
+
+// Mount serves namespace ns from dir, storing each blob as
+// <dir>/<key><ext>. The directory is created if missing; an unusable
+// directory is reported (callers decide whether to degrade).
+func (l *LocalDir) Mount(ns, dir, ext string) error {
+	if err := CheckNS(ns); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("blobstore: mount %s: %w", ns, err)
+	}
+	l.mu.Lock()
+	l.mounts[ns] = localMount{dir: dir, ext: ext}
+	l.mu.Unlock()
+	return nil
+}
+
+func (l *LocalDir) mount(ns string) (localMount, error) {
+	l.mu.RLock()
+	m, ok := l.mounts[ns]
+	l.mu.RUnlock()
+	if !ok {
+		return localMount{}, fmt.Errorf("blobstore: namespace %q not mounted", ns)
+	}
+	return m, nil
+}
+
+func (m localMount) path(key string) string {
+	return filepath.Join(m.dir, key+m.ext)
+}
+
+// Get returns the blob's bytes, ErrNotExist when absent.
+func (l *LocalDir) Get(ns, key string) ([]byte, error) {
+	m, err := l.mount(ns)
+	if err != nil {
+		return nil, err
+	}
+	if err := CheckKey(key); err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(m.path(key))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%s/%s: %w", ns, key, ErrNotExist)
+	}
+	return b, err
+}
+
+// Put stores the blob atomically.
+func (l *LocalDir) Put(ns, key string, b []byte) error {
+	m, err := l.mount(ns)
+	if err != nil {
+		return err
+	}
+	if err := CheckKey(key); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(m.dir, "put-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	_, werr := tmp.Write(b)
+	if cerr := tmp.Close(); werr != nil || cerr != nil {
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return os.Rename(tmp.Name(), m.path(key))
+}
+
+// Stat reports the blob's size, ErrNotExist when absent.
+func (l *LocalDir) Stat(ns, key string) (Info, error) {
+	m, err := l.mount(ns)
+	if err != nil {
+		return Info{}, err
+	}
+	if err := CheckKey(key); err != nil {
+		return Info{}, err
+	}
+	fi, err := os.Stat(m.path(key))
+	if os.IsNotExist(err) {
+		return Info{}, fmt.Errorf("%s/%s: %w", ns, key, ErrNotExist)
+	}
+	if err != nil {
+		return Info{}, err
+	}
+	return Info{Key: key, Size: fi.Size()}, nil
+}
+
+// List pages through the namespace in ascending key order, skipping
+// files that do not carry the mount's extension (temp files from
+// in-flight Puts never look like blobs).
+func (l *LocalDir) List(ns, after string, limit int) ([]Info, error) {
+	m, err := l.mount(ns)
+	if err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(m.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Info
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		key, ok := strings.CutSuffix(e.Name(), m.ext)
+		if !ok || CheckKey(key) != nil {
+			continue
+		}
+		if key <= after {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue // deleted between ReadDir and Info
+		}
+		out = append(out, Info{Key: key, Size: fi.Size()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}

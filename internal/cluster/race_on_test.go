@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster
+
+// raceEnabled gates the heavyweight end-to-end test: under -race the
+// full sweep is too slow for CI, and the protocol tests already cover
+// the concurrency.
+const raceEnabled = true

@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/blobstore"
+	"repro/internal/experiments"
+)
+
+// WorkerConfig configures one claim-execute-push loop against a
+// coordinator daemon.
+type WorkerConfig struct {
+	// Coordinator is the base URL of the coordinator daemon, e.g.
+	// "http://host:8080". Required.
+	Coordinator string
+	// Name labels this worker in coordinator status output.
+	Name string
+	// Advertise is the URL peers could reach this daemon at (reported
+	// to the coordinator; informational).
+	Advertise string
+	// Exec computes claimed tasks. Required. For cross-peer cache reuse
+	// its pool should be backed by a blobstore.Fan over the
+	// coordinator's shared store.
+	Exec *experiments.Exec
+	// Blobs is the local store produced blobs are read back from before
+	// being pushed to the coordinator. Required for blob push; nil
+	// skips pushing (the coordinator then recomputes).
+	Blobs blobstore.Store
+	// Client is the HTTP client for coordinator calls (default: 30s
+	// timeout).
+	Client *http.Client
+	// Poll is the idle sleep between claim attempts when the queue is
+	// empty (default 200ms).
+	Poll time.Duration
+	// Logf, when set, receives worker lifecycle lines.
+	Logf func(format string, args ...interface{})
+}
+
+// Worker is a running claim loop. Close drains it: the in-flight
+// lease, if any, is released back to the coordinator so the task is
+// reassigned immediately rather than waiting out its lease.
+type Worker struct {
+	cfg  WorkerConfig
+	stop chan struct{}
+	done chan struct{}
+
+	mu       sync.Mutex
+	id       string
+	ttl      time.Duration
+	holding  string // task id currently leased, "" when idle
+	stopping bool
+}
+
+// StartWorker launches the worker loop. It returns immediately;
+// registration (with retry) happens inside the loop.
+func StartWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, errors.New("cluster: worker needs a coordinator URL")
+	}
+	if cfg.Exec == nil {
+		return nil, errors.New("cluster: worker needs an Exec")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 200 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+	w := &Worker{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	go w.run()
+	return w, nil
+}
+
+// Close stops the loop and synchronously hands back any held lease
+// (Release) and deregisters (Leave), so a draining daemon's tasks are
+// requeued immediately. Safe to call more than once.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	if w.stopping {
+		w.mu.Unlock()
+		w.Wait(10 * time.Second)
+		return
+	}
+	w.stopping = true
+	id, holding := w.id, w.holding
+	w.mu.Unlock()
+	close(w.stop)
+	if id != "" {
+		if holding != "" {
+			// The abandoned computation may still finish locally; its
+			// Complete will get 409 and be ignored.
+			_ = w.post("/v1/cluster/release", releaseRequest{WorkerID: id, TaskID: holding}, nil)
+		}
+		_ = w.post("/v1/cluster/leave", leaveRequest{WorkerID: id}, nil)
+	}
+	w.Wait(10 * time.Second)
+}
+
+// Wait blocks until the loop exits or the timeout lapses.
+func (w *Worker) Wait(timeout time.Duration) bool {
+	select {
+	case <-w.done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+func (w *Worker) run() {
+	defer close(w.done)
+	for !w.register() {
+		if !w.sleep(time.Second) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+		task, err := w.claim()
+		switch {
+		case errors.Is(err, ErrUnknownWorker):
+			// Coordinator restarted or reaped us; start over.
+			w.cfg.Logf("cluster worker: re-registering: %v", err)
+			if !w.register() && !w.sleep(time.Second) {
+				return
+			}
+			continue
+		case err != nil:
+			w.cfg.Logf("cluster worker: claim: %v", err)
+			if !w.sleep(w.cfg.Poll) {
+				return
+			}
+			continue
+		case task == nil:
+			if !w.sleep(w.cfg.Poll) {
+				return
+			}
+			continue
+		}
+		w.execute(task)
+	}
+}
+
+// sleep waits d, returning false when the worker is stopping.
+func (w *Worker) sleep(d time.Duration) bool {
+	select {
+	case <-w.stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+func (w *Worker) register() bool {
+	var resp registerResponse
+	req := registerRequest{Name: w.cfg.Name, URL: w.cfg.Advertise}
+	if err := w.post("/v1/cluster/register", req, &resp); err != nil {
+		w.cfg.Logf("cluster worker: register: %v", err)
+		return false
+	}
+	w.mu.Lock()
+	w.id = resp.WorkerID
+	w.ttl = time.Duration(resp.LeaseTTLMillis) * time.Millisecond
+	w.mu.Unlock()
+	w.cfg.Logf("cluster worker: registered as %s (lease %s)", resp.WorkerID, w.ttl)
+	return true
+}
+
+func (w *Worker) claim() (*Task, error) {
+	w.mu.Lock()
+	id := w.id
+	w.mu.Unlock()
+	var resp claimResponse
+	err := w.post("/v1/cluster/claim", claimRequest{WorkerID: id}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Task, nil
+}
+
+// execute runs one claimed task: renew the lease while computing, push
+// the produced blobs, report completion. Errors are reported to the
+// coordinator, which retries the task elsewhere.
+func (w *Worker) execute(task *Task) {
+	w.mu.Lock()
+	id, ttl := w.id, w.ttl
+	w.holding = task.ID
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.holding = ""
+		w.mu.Unlock()
+	}()
+
+	renewEvery := ttl / 3
+	if renewEvery <= 0 {
+		renewEvery = time.Second
+	}
+	renewStop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(renewEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-renewStop:
+				return
+			case <-t.C:
+				_ = w.post("/v1/cluster/renew", renewRequest{WorkerID: id, TaskID: task.ID}, nil)
+			}
+		}
+	}()
+
+	w.cfg.Logf("cluster worker %s: computing task %s (%s %s)", id, task.ID, task.Plan.Query, task.Plan.ResultKey())
+	err := w.cfg.Exec.ComputePoint(task.Plan)
+	close(renewStop)
+	if err == nil {
+		w.pushBlobs(task.Blobs)
+	}
+	errText := ""
+	if err != nil {
+		errText = err.Error()
+		w.cfg.Logf("cluster worker %s: task %s failed: %v", id, task.ID, err)
+	}
+	req := completeRequest{WorkerID: id, TaskID: task.ID, Error: errText}
+	if cerr := w.post("/v1/cluster/complete", req, nil); cerr != nil {
+		// ErrNotHolder: the lease expired or was released under us — the
+		// coordinator already rerouted the task; our result still warmed
+		// the shared store, so nothing is lost.
+		w.cfg.Logf("cluster worker %s: complete task %s: %v", id, task.ID, cerr)
+	}
+}
+
+// pushBlobs uploads the task's produced blobs to the coordinator's
+// shared store. Blobs missing locally are skipped: a replay answered
+// by a peer's trace never materializes the capture locally, and the
+// coordinator side can recompute anything absent.
+func (w *Worker) pushBlobs(refs []experiments.BlobRef) {
+	if w.cfg.Blobs == nil {
+		return
+	}
+	for _, ref := range refs {
+		b, err := w.cfg.Blobs.Get(ref.NS, ref.Key)
+		if err != nil {
+			continue
+		}
+		url := w.cfg.Coordinator + blobstore.PathPrefix + "/" + ref.NS + "/" + ref.Key
+		req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(b))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := w.cfg.Client.Do(req)
+		if err != nil {
+			w.cfg.Logf("cluster worker: push %s/%s: %v", ref.NS, ref.Key, err)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			w.cfg.Logf("cluster worker: push %s/%s: HTTP %d", ref.NS, ref.Key, resp.StatusCode)
+		}
+	}
+}
+
+// post round-trips one JSON request against the coordinator, mapping
+// the protocol status codes back to the sentinel errors.
+func (w *Worker) post(path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := w.cfg.Client.Post(w.cfg.Coordinator+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if out != nil {
+			return json.NewDecoder(resp.Body).Decode(out)
+		}
+		return nil
+	case http.StatusNoContent:
+		return nil
+	case http.StatusGone:
+		return ErrUnknownWorker
+	case http.StatusConflict:
+		return ErrNotHolder
+	default:
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: %s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(b))
+	}
+}

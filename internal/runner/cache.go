@@ -1,11 +1,13 @@
 package runner
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sync"
+
+	"repro/internal/blobstore"
 )
 
 // ValidateCacheDir reports whether dir can back the disk cache tier: it
@@ -28,46 +30,38 @@ func ValidateCacheDir(dir string) error {
 }
 
 // resultCache is the content-addressed result store: an always-on
-// in-memory map, optionally backed by a directory of gob files so cached
-// results survive process restarts. Values stored under a key are
-// treated as immutable — a hit returns the stored value itself, shared
-// by every requester — and concrete result types must be registered with
-// encoding/gob for the disk tier to accept them (the experiments package
-// registers its result types; unregistered values simply stay
-// memory-only).
+// in-memory map, optionally backed by a blob store (NSResult namespace,
+// gob-encoded entries) so cached results survive process restarts —
+// and, when the store is shared or fans out to peers, cross the process
+// boundary entirely. Values stored under a key are treated as immutable
+// — a hit returns the stored value itself, shared by every requester —
+// and concrete result types must be registered with encoding/gob for
+// the blob tier to accept them (the experiments package registers its
+// result types; unregistered values simply stay memory-only).
 type resultCache struct {
-	mu  sync.RWMutex
-	mem map[string]interface{}
-	dir string // "" = memory-only
-	met cacheMetrics
+	mu    sync.RWMutex
+	mem   map[string]interface{}
+	store blobstore.Store // nil = memory-only
+	met   cacheMetrics
 }
 
-// diskEntry wraps a cached value so gob can encode the interface.
+// diskEntry wraps a cached value so gob can encode the interface. The
+// name (and wire shape) predate the blob store: entries written by the
+// old directory tier decode unchanged.
 type diskEntry struct {
 	V interface{}
 }
 
-func newResultCache(dir string, met cacheMetrics) *resultCache {
-	if dir != "" {
-		// Best effort: an unusable directory degrades to memory-only.
-		// Callers that want a hard failure instead probe with
-		// ValidateCacheDir before building the pool.
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			dir = ""
-		}
-	}
-	return &resultCache{mem: make(map[string]interface{}), dir: dir, met: met}
-}
-
-func (c *resultCache) path(key string) string {
-	return filepath.Join(c.dir, key+".gob")
+func newResultCache(store blobstore.Store, met cacheMetrics) *resultCache {
+	return &resultCache{mem: make(map[string]interface{}), store: store, met: met}
 }
 
 // get returns the cached value for key, checking memory first and then
-// the disk tier; disk hits are promoted to memory. Each tier consulted
+// the blob tier; blob hits are promoted to memory. Each tier consulted
 // counts one lookup outcome, so the hit counters attribute where an
 // answer came from the same way the simulator attributes a miss to a
-// cache level.
+// cache level. Undecodable blobs (damage, unregistered types) are
+// misses: the tier is an optimization, never an authority.
 func (c *resultCache) get(key string) (interface{}, bool) {
 	c.mu.RLock()
 	v, ok := c.mem[key]
@@ -77,17 +71,16 @@ func (c *resultCache) get(key string) (interface{}, bool) {
 		return v, true
 	}
 	c.met.missMem.Inc()
-	if c.dir == "" {
+	if c.store == nil {
 		return nil, false
 	}
-	f, err := os.Open(c.path(key))
+	b, err := c.store.Get(blobstore.NSResult, key)
 	if err != nil {
 		c.met.missDisk.Inc()
 		return nil, false
 	}
-	defer f.Close()
 	var e diskEntry
-	if err := gob.NewDecoder(f).Decode(&e); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&e); err != nil {
 		c.met.missDisk.Inc()
 		return nil, false
 	}
@@ -98,25 +91,21 @@ func (c *resultCache) get(key string) (interface{}, bool) {
 	return e.V, true
 }
 
-// put stores a value in memory and, when configured, on disk. Disk
-// failures (unregistered gob types, full disk) are silently tolerated:
-// the memory tier alone preserves correctness.
+// put stores a value in memory and, when configured, in the blob tier.
+// Blob failures (unregistered gob types, full disk, unreachable store)
+// are silently tolerated: the memory tier alone preserves correctness.
 func (c *resultCache) put(key string, v interface{}) {
 	c.mu.Lock()
 	c.mem[key] = v
 	c.mu.Unlock()
-	if c.dir == "" {
+	if c.store == nil {
 		return
 	}
-	tmp, err := os.CreateTemp(c.dir, "put-*")
-	if err != nil {
+	var buf bytes.Buffer
+	if gob.NewEncoder(&buf).Encode(&diskEntry{V: v}) != nil {
 		return
 	}
-	defer os.Remove(tmp.Name())
-	err = gob.NewEncoder(tmp).Encode(&diskEntry{V: v})
-	if cerr := tmp.Close(); err == nil && cerr == nil {
-		os.Rename(tmp.Name(), c.path(key))
-	}
+	c.store.Put(blobstore.NSResult, key, buf.Bytes())
 }
 
 // size returns the number of in-memory entries.

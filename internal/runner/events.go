@@ -37,6 +37,12 @@ type Event struct {
 	CacheHit bool
 	Elapsed  time.Duration
 	Err      string
+	// Key is the job's content-addressed cache key ("" for NoCache
+	// jobs). It is the cross-process identity of the measurement, so a
+	// listener tracking a scenario's progress can match events against
+	// the keys the scenario plans to — no matter which submission, or
+	// which peer's completion, settles them.
+	Key string
 }
 
 // progressHub fans events out to subscribers. Sends never block: a
@@ -93,5 +99,6 @@ func (p *Pool) publishFinished(rec *jobRec) {
 		Kind: JobFinished, Job: rec.id, Name: rec.job.Name,
 		State: rec.state, Attempt: rec.attempts, CacheHit: rec.cacheHit,
 		Elapsed: rec.finished.Sub(rec.submitted), Err: errText,
+		Key: rec.key,
 	})
 }

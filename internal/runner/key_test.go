@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -81,7 +82,7 @@ func TestVersionBumpMissesOldEntries(t *testing.T) {
 	}
 
 	old := j.Key()
-	if _, err := os.Stat(p.cache.path(old)); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, old+".gob")); err != nil {
 		t.Fatalf("no disk entry under the current key %q: %v", old, err)
 	}
 	if _, ok := p.cache.get(old); !ok {

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/blobstore"
 	"repro/internal/core"
 	"repro/internal/metrics"
 )
@@ -53,6 +54,14 @@ type Config struct {
 	// re-executing. Blobs carry their own checksum, so damaged files
 	// read as misses.
 	TraceDir string
+	// Blobs, when non-nil, backs both persistent tiers (the result
+	// cache's disk tier under blobstore.NSResult, the trace store under
+	// blobstore.NSTrace) with the given store instead of CacheDir /
+	// TraceDir, which are then ignored. This is how a pool joins a
+	// shared cache namespace: hand every peer's pool the same store (or
+	// a blobstore.Fan over peers) and their content-addressed keys
+	// resolve across processes.
+	Blobs blobstore.Store
 	// Metrics, when non-nil, receives the pool's instrumentation
 	// (job/queue/cache-tier families under dssmem_runner_* and
 	// dssmem_cache_*). Nil disables observability at zero cost — see
@@ -106,10 +115,30 @@ func New(cfg Config) *Pool {
 		factory = defaultFactory
 	}
 	met := newPoolMetrics(cfg.Metrics)
+	rstore, tstore := cfg.Blobs, cfg.Blobs
+	if cfg.Blobs == nil {
+		// Legacy directory configuration: each tier becomes its own
+		// LocalDir mount with the historical layout. A directory that
+		// cannot be created degrades that tier to disabled, exactly as
+		// before; callers wanting a hard failure probe with
+		// ValidateCacheDir first.
+		if cfg.CacheDir != "" {
+			ld := blobstore.NewLocalDir()
+			if ld.Mount(blobstore.NSResult, cfg.CacheDir, ".gob") == nil {
+				rstore = ld
+			}
+		}
+		if cfg.TraceDir != "" {
+			ld := blobstore.NewLocalDir()
+			if ld.Mount(blobstore.NSTrace, cfg.TraceDir, ".trace") == nil {
+				tstore = ld
+			}
+		}
+	}
 	p := &Pool{
 		factory:   factory,
-		cache:     newResultCache(cfg.CacheDir, met.cacheMetrics()),
-		traces:    newTraceStore(cfg.TraceDir, met.traceMetrics()),
+		cache:     newResultCache(rstore, met.cacheMetrics()),
+		traces:    newTraceStore(tstore, met.traceMetrics()),
 		start:     time.Now(),
 		met:       met,
 		shared:    make(map[string]*core.System),
@@ -419,7 +448,7 @@ func (p *Pool) Stats() Stats {
 func (p *Pool) enqueueLocked(rec *jobRec) {
 	rec.state = Ready
 	heap.Push(&p.ready, rec)
-	p.publish(Event{Kind: JobQueued, Job: rec.id, Name: rec.job.Name, State: Ready})
+	p.publish(Event{Kind: JobQueued, Job: rec.id, Name: rec.job.Name, State: Ready, Key: rec.key})
 }
 
 // settleLocked moves a job to a terminal state reached without running
@@ -489,7 +518,7 @@ func (p *Pool) runWorker(w *worker) {
 		p.met.jobsStarted.Inc()
 		p.mu.Unlock()
 
-		p.publish(Event{Kind: JobStarted, Job: rec.id, Name: rec.job.Name, State: Running})
+		p.publish(Event{Kind: JobStarted, Job: rec.id, Name: rec.job.Name, State: Running, Key: rec.key})
 		p.execute(w, rec)
 	}
 }

@@ -1,25 +1,26 @@
 package runner
 
 import (
-	"os"
-	"path/filepath"
 	"sync"
+
+	"repro/internal/blobstore"
 )
 
-// traceStore is the trace-blob cache tier: a directory of
-// content-addressed <job-key>.trace files holding captured
-// reference-trace blobs. It sits below the result cache — a capture job
+// traceStore is the trace-blob cache tier: content-addressed
+// <job-key> blobs in the store's NSTrace namespace (the legacy
+// directory layout files them as <key>.trace) holding captured
+// reference traces. It sits below the result cache — a capture job
 // whose result is gone but whose blob survives regenerates its report
 // by replaying the blob instead of re-executing — and unlike the result
 // cache it stores opaque bytes, so nothing needs gob registration and a
-// blob written by one build is readable by another. Integrity is the
-// blob's own concern (magic + checksum, see internal/trace): the store
-// returns whatever bytes it finds, and the decoder turns damage into a
-// miss. With no directory configured every lookup misses and every put
-// is dropped, uncounted.
+// blob written by one build (or one peer daemon) is readable by
+// another. Integrity is the blob's own concern (magic + checksum, see
+// internal/trace): the store returns whatever bytes it finds, and the
+// decoder turns damage into a miss. With no store configured every
+// lookup misses and every put is dropped, uncounted.
 type traceStore struct {
-	dir string // "" = disabled
-	met traceMetrics
+	store blobstore.Store // nil = disabled
+	met   traceMetrics
 
 	mu sync.Mutex
 	st TraceStats
@@ -33,29 +34,17 @@ type TraceStats struct {
 	Bytes  int64 // bytes written by this process
 }
 
-func newTraceStore(dir string, met traceMetrics) *traceStore {
-	if dir != "" {
-		// Best effort, like the result cache's disk tier: an unusable
-		// directory degrades to disabled. Callers wanting a hard failure
-		// probe with ValidateCacheDir first.
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			dir = ""
-		}
-	}
-	return &traceStore{dir: dir, met: met}
+func newTraceStore(store blobstore.Store, met traceMetrics) *traceStore {
+	return &traceStore{store: store, met: met}
 }
 
-func (s *traceStore) path(key string) string {
-	return filepath.Join(s.dir, key+".trace")
-}
-
-// get returns the stored blob for key. Unreadable or absent files are
+// get returns the stored blob for key. Unreadable or absent blobs are
 // misses; content validation is the caller's decode step.
 func (s *traceStore) get(key string) ([]byte, bool) {
-	if s.dir == "" || key == "" {
+	if s.store == nil || key == "" {
 		return nil, false
 	}
-	b, err := os.ReadFile(s.path(key))
+	b, err := s.store.Get(blobstore.NSTrace, key)
 	if err != nil {
 		s.met.misses.Inc()
 		s.mu.Lock()
@@ -70,23 +59,14 @@ func (s *traceStore) get(key string) ([]byte, bool) {
 	return b, true
 }
 
-// put stores a blob under key, atomically (temp file + rename) so a
-// concurrent reader never sees a partial write. Failures are silently
+// put stores a blob under key. The backends write atomically, so a
+// concurrent reader never sees a partial blob. Failures are silently
 // tolerated: the store is an optimization tier, never correctness.
 func (s *traceStore) put(key string, b []byte) {
-	if s.dir == "" || key == "" {
+	if s.store == nil || key == "" {
 		return
 	}
-	tmp, err := os.CreateTemp(s.dir, "trace-*")
-	if err != nil {
-		return
-	}
-	defer os.Remove(tmp.Name())
-	_, werr := tmp.Write(b)
-	if cerr := tmp.Close(); werr != nil || cerr != nil {
-		return
-	}
-	if os.Rename(tmp.Name(), s.path(key)) != nil {
+	if s.store.Put(blobstore.NSTrace, key, b) != nil {
 		return
 	}
 	s.met.writes.Inc()
