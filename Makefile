@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check cover bench bench-diff fuzz scenario-goldens cluster-smoke clean
+.PHONY: all build test race vet check cover bench bench-diff bench-diff-replay fuzz scenario-goldens cluster-smoke clean
 
 all: build
 
@@ -43,13 +43,16 @@ check: build vet race test scenario-goldens
 cluster-smoke:
 	$(GO) test -run 'TestClusterEndToEnd|TestWorkerDrainReleases' -count=1 -v ./internal/cluster
 
-# Fuzz the scenario decoder: decode -> validate -> canonicalize ->
-# re-decode must round-trip or fail cleanly with a field-path error,
-# and never panic. CI runs a short smoke; crank FUZZTIME locally for a
-# real campaign.
+# Fuzz the input decoders: the scenario decoder (decode -> validate ->
+# canonicalize -> re-decode must round-trip or fail cleanly with a
+# field-path error) and the trace decoder (per-event, batched, and
+# streamed decode must accept the same inputs, yield the same events,
+# and never panic or silently short-replay a damaged blob). CI runs a
+# short smoke; crank FUZZTIME locally for a real campaign.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzScenarioDecode -fuzztime $(FUZZTIME) ./internal/scenario
+	$(GO) test -run NONE -fuzz FuzzTraceChunkDecode -fuzztime $(FUZZTIME) ./internal/trace
 
 # Coverage gate for the observability subsystem: internal/metrics is
 # the one package every other layer reports through, so its own tests
@@ -66,10 +69,11 @@ cover:
 # iteration each — the runner's result cache would otherwise serve
 # repeats and measure nothing) plus the per-reference hot-path
 # microbenchmarks, folded into a committed JSON file for cross-PR diffs.
-BENCH_JSON ?= BENCH_pr4.json
+BENCH_JSON ?= BENCH_pr7.json
 bench:
 	$(GO) test -run NONE -bench . -benchmem -benchtime 1x . > bench_output.txt
 	$(GO) test -run NONE -bench . -benchmem ./internal/machine ./internal/sched >> bench_output.txt
+	$(GO) test -run NONE -bench 'BenchmarkReplay' -benchmem -benchtime 5x . >> bench_output.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) bench_output.txt
 	@echo "wrote $(BENCH_JSON)"
 
@@ -77,12 +81,22 @@ bench:
 # committed baseline snapshot, failing on any >10% ns/op regression.
 # Single-iteration experiment benchmarks are noisy, so CI runs this as
 # a non-blocking job — a red result is a prompt to look, not a gate.
-BENCH_BASELINE ?= BENCH_pr2.json
+BENCH_BASELINE ?= BENCH_pr7.json
 bench-diff:
 	$(GO) test -run NONE -bench . -benchmem -benchtime 1x . > bench_output.txt
 	$(GO) test -run NONE -bench . -benchmem ./internal/machine ./internal/sched >> bench_output.txt
 	$(GO) run ./cmd/benchjson -diff $(BENCH_BASELINE) bench_output.txt
 
+# The replay gate: the BenchmarkReplay* family measures the replay fast
+# path this repo's sweeps live on, runs multiple iterations, and is
+# stable enough to block CI on. A >10% ns/op regression against the
+# committed snapshot fails the build; everything else stays advisory in
+# bench-diff above.
+REPLAY_BASELINE ?= BENCH_pr7.json
+bench-diff-replay:
+	$(GO) test -run NONE -bench 'BenchmarkReplay' -benchmem -benchtime 5x . > bench_replay_output.txt
+	$(GO) run ./cmd/benchjson -diff $(REPLAY_BASELINE) -only '^BenchmarkReplay' bench_replay_output.txt
+
 clean:
 	$(GO) clean ./...
-	rm -f bench_output.txt cover.out
+	rm -f bench_output.txt bench_replay_output.txt cover.out

@@ -16,7 +16,9 @@
 // delta, and the exit status is 1 when any delta exceeds -max-regress
 // percent (default 10). Benchmarks only on one side are listed but
 // never fail the comparison, so adding or retiring a benchmark doesn't
-// break the gate.
+// break the gate. -only RE restricts both sides to benchmark names
+// matching the regexp, so a subset of benchmarks (say, the replay fast
+// path) can be gated strictly while the rest stay advisory.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -83,6 +86,27 @@ func parse(r io.Reader) ([]result, error) {
 	return out, sc.Err()
 }
 
+// filter keeps only results whose name matches re (nil keeps all) and
+// collapses duplicate names to the last occurrence — when a run
+// re-measures a benchmark family at a higher iteration count, the
+// re-measurement wins.
+func filter(rs []result, re *regexp.Regexp) []result {
+	var out []result
+	idx := make(map[string]int, len(rs))
+	for _, r := range rs {
+		if re != nil && !re.MatchString(r.Name) {
+			continue
+		}
+		if i, ok := idx[r.Name]; ok {
+			out[i] = r
+			continue
+		}
+		idx[r.Name] = len(out)
+		out = append(out, r)
+	}
+	return out
+}
+
 // snapshot is the file format this tool writes and -diff reads back.
 type snapshot struct {
 	Benchmarks []result `json:"benchmarks"`
@@ -132,7 +156,16 @@ func main() {
 	outPath := flag.String("o", "", "output file (default stdout)")
 	diffPath := flag.String("diff", "", "compare against this baseline snapshot instead of emitting JSON")
 	maxRegress := flag.Float64("max-regress", 10, "with -diff, fail when ns/op regresses by more than this percent")
+	only := flag.String("only", "", "restrict to benchmark names matching this regexp (applies to both sides of -diff)")
 	flag.Parse()
+
+	var keep *regexp.Regexp
+	if *only != "" {
+		var err error
+		if keep, err = regexp.Compile(*only); err != nil {
+			log.Fatalf("-only: %v", err)
+		}
+	}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {
@@ -152,6 +185,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	results = filter(results, keep)
 	if len(results) == 0 {
 		log.Fatal("no benchmark lines found in input")
 	}
@@ -171,7 +205,7 @@ func main() {
 		if err := json.Unmarshal(raw, &snap); err != nil {
 			log.Fatalf("%s: %v", *diffPath, err)
 		}
-		failed := diff(os.Stdout, snap.Benchmarks, results, *maxRegress)
+		failed := diff(os.Stdout, filter(snap.Benchmarks, keep), results, *maxRegress)
 		if len(failed) > 0 {
 			log.Fatalf("%d benchmark(s) regressed more than %.0f%% vs %s: %s",
 				len(failed), *maxRegress, *diffPath, strings.Join(failed, ", "))

@@ -45,15 +45,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	var tr *trace.QueryTrace
+	var src trace.Source
 	if *replay != "" {
-		blob, err := os.ReadFile(*replay)
+		// Stream the saved blob: header and CRC verified up front, the
+		// chunk bytes read on demand during the replay below.
+		f, err := os.Open(*replay)
 		if err != nil {
 			log.Fatalf("-replay: %v", err)
 		}
-		if tr, err = trace.Unmarshal(blob); err != nil {
+		defer f.Close()
+		fi, err := f.Stat()
+		if err != nil {
+			log.Fatalf("-replay: %v", err)
+		}
+		rd, err := trace.OpenBlob(f, fi.Size())
+		if err != nil {
 			log.Fatalf("-replay %s: %v", *replay, err)
 		}
+		src = rd
 	} else {
 		cfg := core.DefaultConfig()
 		cfg.DB.ScaleFactor = *scale
@@ -61,25 +70,27 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		_, tr = s.RunColdRecorded(*query)
+		_, tr := s.RunColdRecorded(*query)
 		if *record != "" {
 			if err := os.WriteFile(*record, tr.Marshal(), 0o644); err != nil {
 				log.Fatalf("-record: %v", err)
 			}
 		}
+		src = tr
 	}
 
+	meta := src.Meta()
 	mcfg := machine.Baseline()
-	mcfg.Nodes = tr.Nodes
+	mcfg.Nodes = meta.Nodes
 	var an *trace.Analyzer
-	if _, err := core.ReplayTraceWith(tr, mcfg, func(eng *sched.Engine, mem *simm.Memory) {
+	if _, err := core.ReplayTraceWith(src, mcfg, func(eng *sched.Engine, mem *simm.Memory) {
 		an = trace.NewAnalyzer(mem)
 		eng.Tracer = an.Hook()
 	}); err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%s: %d traced references\n\n", tr.Query, an.TotalRefs())
+	fmt.Printf("%s: %d traced references\n\n", meta.Query, an.TotalRefs())
 	fmt.Print(an.Table())
 
 	data := an.Profile(simm.CatData)

@@ -21,8 +21,10 @@
 package blobstore
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"io"
 )
 
 // The blob namespaces used by the runner's cache tiers.
@@ -63,6 +65,43 @@ type Store interface {
 	Stat(ns, key string) (Info, error)
 	List(ns, after string, limit int) ([]Info, error)
 }
+
+// Reader is random access over one blob: what a chunk-granular
+// consumer (the trace streamer) needs to read 64KB sections on demand
+// instead of materializing the whole blob. Implementations must allow
+// concurrent ReadAt calls (os.File and bytes.Reader both do).
+type Reader interface {
+	io.ReaderAt
+	io.Closer
+	Size() int64
+}
+
+// Streamer is the optional Store extension for chunk-granular reads.
+// Backends that can serve sections without buffering the whole blob
+// (the local directory's files) implement it; OpenReader falls back to
+// Get for the rest.
+type Streamer interface {
+	GetReader(ns, key string) (Reader, error)
+}
+
+// OpenReader opens a blob for random access: through the backend's
+// Streamer implementation when it has one, else by materializing Get's
+// bytes once. Misses are ErrNotExist either way.
+func OpenReader(s Store, ns, key string) (Reader, error) {
+	if st, ok := s.(Streamer); ok {
+		return st.GetReader(ns, key)
+	}
+	b, err := s.Get(ns, key)
+	if err != nil {
+		return nil, err
+	}
+	return bytesReader{bytes.NewReader(b)}, nil
+}
+
+// bytesReader adapts an in-memory blob to the Reader interface.
+type bytesReader struct{ *bytes.Reader }
+
+func (bytesReader) Close() error { return nil }
 
 // CheckKey validates a key for use as a file name and URL path
 // segment: ASCII letters, digits, '.', '_', '-', not starting with a

@@ -1,6 +1,7 @@
 package blobstore
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -83,6 +84,39 @@ func (f *Fan) Get(ns, key string) ([]byte, error) {
 		// lookup another peer round trip.
 		f.local.Put(ns, key, b)
 		return b, nil
+	}
+	return nil, err
+}
+
+// GetReader opens the blob for sectioned reads, local first. A peer
+// hit is written through to the local store (as in Get) and then
+// re-opened locally, so subsequent chunk reads stream from local disk,
+// not across the network. Falls back to an in-memory reader when the
+// write-through fails.
+func (f *Fan) GetReader(ns, key string) (Reader, error) {
+	r, err := OpenReader(f.local, ns, key)
+	if err == nil {
+		return r, nil
+	}
+	if CheckNS(ns) != nil || CheckKey(key) != nil {
+		return nil, err
+	}
+	var urls []string
+	if f.peers != nil {
+		urls = f.peers()
+	}
+	for _, peer := range urls {
+		b, ok := f.fetch(peer, ns, key)
+		if !ok {
+			continue
+		}
+		f.fetchHit.Inc()
+		if f.local.Put(ns, key, b) == nil {
+			if r, lerr := OpenReader(f.local, ns, key); lerr == nil {
+				return r, nil
+			}
+		}
+		return bytesReader{bytes.NewReader(b)}, nil
 	}
 	return nil, err
 }

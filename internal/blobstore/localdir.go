@@ -81,6 +81,40 @@ func (l *LocalDir) Get(ns, key string) ([]byte, error) {
 	return b, err
 }
 
+// GetReader opens the blob's file for sectioned reads — the streaming
+// fast path: a trace replay reads 64KB chunks on demand instead of the
+// whole file. ErrNotExist when absent.
+func (l *LocalDir) GetReader(ns, key string) (Reader, error) {
+	m, err := l.mount(ns)
+	if err != nil {
+		return nil, err
+	}
+	if err := CheckKey(key); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(m.path(key))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%s/%s: %w", ns, key, ErrNotExist)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fileReader{File: f, size: fi.Size()}, nil
+}
+
+// fileReader adapts an open blob file to the Reader interface.
+type fileReader struct {
+	*os.File
+	size int64
+}
+
+func (f fileReader) Size() int64 { return f.size }
+
 // Put stores the blob atomically.
 func (l *LocalDir) Put(ns, key string, b []byte) error {
 	m, err := l.mount(ns)

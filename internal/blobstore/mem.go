@@ -1,6 +1,7 @@
 package blobstore
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -27,6 +28,19 @@ func (s *Mem) Get(ns, key string) ([]byte, error) {
 		return nil, fmt.Errorf("%s/%s: %w", ns, key, ErrNotExist)
 	}
 	return b, nil
+}
+
+// GetReader returns random access over the stored blob without
+// copying it — safe because Put stores a private copy and blobs are
+// immutable. ErrNotExist when absent.
+func (s *Mem) GetReader(ns, key string) (Reader, error) {
+	s.mu.RLock()
+	b, ok := s.m[ns][key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%s/%s: %w", ns, key, ErrNotExist)
+	}
+	return bytesReader{bytes.NewReader(b)}, nil
 }
 
 // Put stores a copy of the blob.

@@ -184,8 +184,19 @@ func (s *System) RunQueries(runs []QueryRun) *Report {
 	if len(runs) != s.Mem.Nodes() {
 		panic(fmt.Sprintf("core: %d runs for %d processors", len(runs), s.Mem.Nodes()))
 	}
-	bodies := make([]func(*sched.Proc), len(runs))
+	if s.replayable(runs) {
+		return s.runViaReplay(runs)
+	}
 	rep := &Report{Rows: make([]int, len(runs))}
+	s.Eng.Run(s.queryBodies(runs, rep))
+	s.finishReport(rep)
+	return rep
+}
+
+// queryBodies builds one executor body per non-empty run, filling
+// rep.Queries and (when the bodies execute) rep.Rows.
+func (s *System) queryBodies(runs []QueryRun, rep *Report) []func(*sched.Proc) {
+	bodies := make([]func(*sched.Proc), len(runs))
 	for i, run := range runs {
 		if run.Query == "" {
 			rep.Queries = append(rep.Queries, "")
@@ -214,13 +225,17 @@ func (s *System) RunQueries(runs []QueryRun) *Report {
 			}
 		}
 	}
-	s.Eng.Run(bodies)
+	return bodies
+}
+
+// finishReport snapshots the per-processor and machine state into rep
+// after a run (live or replayed) completes.
+func (s *System) finishReport(rep *Report) {
 	for _, p := range s.Eng.Procs() {
 		rep.PerProc = append(rep.PerProc, p.Breakdown())
 		rep.Clocks = append(rep.Clocks, p.Clock())
 	}
 	rep.Machine = *s.Mach.Stats()
-	return rep
 }
 
 // CollectRows runs one query instance on processor 0 and returns its

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
 	"repro/internal/machine"
 	"repro/internal/pg/lockmgr"
@@ -28,17 +30,148 @@ func (t lockTracer) BeginOp(p *sched.Proc, acquire bool, tag lockmgr.Tag, mode l
 
 func (t lockTracer) EndOp(p *sched.Proc) { t.rec.EndLockOp(p.ID()) }
 
+// replayable reports whether runs can take the record-pure capture +
+// flat-replay path: every non-empty run must be a read-only query
+// (updates mutate shared state, so their reference streams depend on
+// the interleaving), and no external observer may be attached (a
+// Tracer or Recorder expects to see the live run).
+func (s *System) replayable(runs []QueryRun) bool {
+	if s.Eng.Tracer != nil || s.Eng.Recorder != nil || s.LockMgr.Tracer != nil {
+		return false
+	}
+	any := false
+	for _, r := range runs {
+		switch r.Query {
+		case "":
+		case "UF1", "UF2":
+			return false
+		default:
+			any = true
+		}
+	}
+	return any
+}
+
+// lockStateSnapshot holds the raw bytes of the lock-manager regions.
+// A record-pure capture executes lock operations for real, and the
+// open-addressing tables' byte layout is history-dependent (tombstone
+// placement), so the capture pass is rolled back before the replay
+// re-executes the same operations — the replay must mutate exactly the
+// state a live run would have, or the *next* run's probe traffic
+// diverges.
+type lockStateSnapshot struct {
+	regions []*simm.Region
+	bytes   [][]byte
+}
+
+var lockRegionNames = []string{"LockHash", "XidHash", "LockMgrLock"}
+
+func (s *System) snapshotLockState() lockStateSnapshot {
+	var snap lockStateSnapshot
+	for _, name := range lockRegionNames {
+		r := s.Mem.RegionByName(name)
+		if r == nil {
+			continue
+		}
+		buf := s.Mem.LoadBytes(r.Base, make([]byte, r.Size), int(r.Size))
+		snap.regions = append(snap.regions, r)
+		snap.bytes = append(snap.bytes, buf)
+	}
+	return snap
+}
+
+func (snap *lockStateSnapshot) restore(mem *simm.Memory) {
+	for i, r := range snap.regions {
+		mem.StoreBytes(r.Base, snap.bytes[i])
+	}
+}
+
+// recordPure captures runs' reference streams without timing: with the
+// engine in record-pure mode clocks never advance, so the sorted-ring
+// scheduler degenerates to sequential execution with zero goroutine
+// handoffs, and the accessors skip the timing model entirely. The
+// streams are what a live recording would produce — for replayable
+// (read-only) workloads the reference stream is interleaving-invariant,
+// the contract the sweep equivalence tests pin down.
+func (s *System) recordPure(runs []QueryRun, rep *Report) *trace.Recorder {
+	bodies := s.queryBodies(runs, rep)
+	rec := trace.NewRecorder(s.Mem.Nodes())
+	s.Eng.Recorder, s.Eng.RecordPure = rec, true
+	s.LockMgr.Tracer = lockTracer{rec: rec}
+	defer func() {
+		s.Eng.Recorder, s.Eng.RecordPure = nil, false
+		s.LockMgr.Tracer = nil
+	}()
+	s.Eng.Run(bodies)
+	return rec
+}
+
+// replayStreams drives a flat replay of src's streams on the system's
+// own engine and lock manager, continuing from the current clocks and
+// machine state.
+func (s *System) replayStreams(src trace.Source) error {
+	done := make(chan struct{})
+	defer close(done)
+	srcs := batchSources(src, s.LockMgr, s.Mem.Nodes(), done)
+	return s.Eng.RunReplay(srcs)
+}
+
+// runViaReplay executes runs as a record-pure capture followed by a
+// flat replay of the captured streams on the system's own state. The
+// report is identical to live execution's, but the simulation runs on
+// one goroutine: the live path spends a large share of its time on
+// min-clock baton handoffs between processor goroutines, which the
+// flat replay driver replaces with an in-loop ring re-sort.
+func (s *System) runViaReplay(runs []QueryRun) *Report {
+	rep := &Report{Rows: make([]int, len(runs))}
+	snap := s.snapshotLockState()
+	rec := s.recordPure(runs, rep)
+	snap.restore(s.Mem)
+	src := &trace.QueryTrace{Nodes: s.Mem.Nodes(), Streams: rec.Streams()}
+	if err := s.replayStreams(src); err != nil {
+		panic(fmt.Sprintf("core: replaying just-captured streams: %v", err))
+	}
+	// The capture is dead: on the success path every decode goroutine
+	// has already exited (EOF closes its batch channel before the driver
+	// observes it), so no cursor still references the chunks and they
+	// can recycle into the next recording.
+	trace.ReleaseStreams(src.Streams)
+	s.finishReport(rep)
+	return rep
+}
+
 // RunColdRecorded is RunCold with trace capture: it returns the run's
 // report (byte-identical to an unrecorded run — observation does not
-// perturb the simulation) plus the recorded trace.
+// perturb the simulation) plus the recorded trace. Read-only queries
+// are captured record-pure and the report derived by one replay;
+// updates record during a live run.
 func (s *System) RunColdRecorded(query string) (*Report, *trace.QueryTrace) {
+	runs := s.SameQueryAllProcs(query)
+	if s.replayable(runs) {
+		rep := &Report{Rows: make([]int, len(runs))}
+		snap := s.snapshotLockState()
+		rec := s.recordPure(runs, rep)
+		snap.restore(s.Mem)
+		tr := s.queryTrace(query, rep.Rows, rec)
+		s.ColdStart()
+		if err := s.replayStreams(tr); err != nil {
+			panic(fmt.Sprintf("core: replaying just-captured %s: %v", query, err))
+		}
+		s.finishReport(rep)
+		return rep, tr
+	}
 	rec := trace.NewRecorder(s.Mem.Nodes())
 	s.Eng.Recorder = rec
 	s.LockMgr.Tracer = lockTracer{rec: rec}
 	rep := s.RunCold(query)
 	s.Eng.Recorder = nil
 	s.LockMgr.Tracer = nil
-	tr := &trace.QueryTrace{
+	return rep, s.queryTrace(query, rep.Rows, rec)
+}
+
+// queryTrace assembles the portable trace for a just-recorded run.
+func (s *System) queryTrace(query string, rows []int, rec *trace.Recorder) *trace.QueryTrace {
+	return &trace.QueryTrace{
 		Query: query,
 		Scale: s.Cfg.DB.ScaleFactor,
 		Seed:  s.Cfg.DB.Seed,
@@ -49,62 +182,197 @@ func (s *System) RunColdRecorded(query string) (*Report, *trace.QueryTrace) {
 		LockCap:       s.LockMgr.TableCap(),
 
 		Layout:  s.Mem.Layout(),
-		Rows:    append([]int(nil), rep.Rows...),
+		Rows:    append([]int(nil), rows...),
 		Streams: rec.Streams(),
 	}
-	return rep, tr
 }
 
-// replaySource adapts one recorded stream to the engine's flat replay
-// driver: data references and busy time translate directly, spin
-// acquire/release stay symbolic (the driver re-spins them live), and
-// lock-manager operations become closures the driver runs as real code
-// against the replay's lock state.
-func replaySource(st *trace.Stream, lm *lockmgr.Manager) func(*sched.ReplayEvent) (bool, error) {
-	cur := st.Cursor()
-	return func(out *sched.ReplayEvent) (bool, error) {
-		var ev trace.Event
-		ok, err := cur.Next(&ev)
-		if !ok || err != nil {
-			return ok, err
+// DecodeAhead is the replay decode pipeline's depth in batches per
+// processor stream: decode goroutines run up to this many replayBatch-
+// sized batches ahead of the timing-model turn loop. Decode is a pure
+// function of the stream bytes, so running it off the driver goroutine
+// cannot perturb the simulation — only the *application* of events
+// stays on the single driver. Zero (or negative) disables the pipeline
+// and decodes synchronously inline, which is bitwise-equivalent.
+//
+// The default is adaptive: on a host with a single schedulable CPU
+// there is no core for the decode goroutines to overlap onto, and the
+// channel handoffs become pure overhead, so the pipeline defaults off
+// there. Setting DecodeAhead explicitly always wins.
+var DecodeAhead = defaultDecodeAhead()
+
+func defaultDecodeAhead() int {
+	if runtime.GOMAXPROCS(0) < 2 {
+		return 0
+	}
+	return 3
+}
+
+// replayBatch is the pipeline's unit of work: events per decoded batch.
+// A 64KB chunk of typical 2-3-byte ref events decodes to ~2.5 batches.
+const replayBatch = 8192
+
+// Replay pipeline counters (package-wide, atomic): pipeline stalls —
+// turns where the driver wanted a batch that was not decoded yet — and
+// skeleton-arena reuse, surfaced as gauges by the experiments layer.
+var (
+	decodeStalls atomic.Uint64
+	arenaHits    atomic.Uint64
+	arenaMisses  atomic.Uint64
+)
+
+// ReplayStats is a snapshot of the replay pipeline counters.
+type ReplayStats struct {
+	DecodeStalls uint64
+	ArenaHits    uint64
+	ArenaMisses  uint64
+}
+
+// ReadReplayStats returns the process-wide replay pipeline counters.
+func ReadReplayStats() ReplayStats {
+	return ReplayStats{
+		DecodeStalls: decodeStalls.Load(),
+		ArenaHits:    arenaHits.Load(),
+		ArenaMisses:  arenaMisses.Load(),
+	}
+}
+
+// decodeInto fills out with the cursor's next batch in the engine's
+// replay form: data references and busy time decode directly (the
+// fused fast path inside DecodeReplayBatch), spin acquire/release stay
+// symbolic (the driver re-spins them live), and lock-manager operations
+// become closures the driver runs as real code against the replay's
+// lock state.
+func decodeInto(cur *trace.Cursor, lm *lockmgr.Manager, out []sched.ReplayEvent) (int, error) {
+	return cur.DecodeReplayBatch(out, func(acquire bool, relID uint32, level uint8, page uint32, mode uint8) func(*sched.Proc) {
+		tag := lockmgr.Tag{RelID: relID, Level: lockmgr.Level(level), Page: page}
+		m := lockmgr.Mode(mode)
+		if acquire {
+			return func(p *sched.Proc) { lm.Acquire(p, p.ID(), tag, m) }
 		}
-		switch ev.Kind {
-		case trace.EvRef:
-			out.Kind, out.Addr, out.Size, out.Write = sched.ReplayRef, ev.Addr, ev.Size, ev.Write
-		case trace.EvBusy:
-			out.Kind, out.N = sched.ReplayBusy, ev.N
-		case trace.EvSpinAcquire:
-			out.Kind, out.Addr = sched.ReplaySpinAcquire, ev.Addr
-		case trace.EvSpinRelease:
-			out.Kind, out.Addr = sched.ReplaySpinRelease, ev.Addr
-		case trace.EvLockOp:
-			tag := lockmgr.Tag{RelID: ev.RelID, Level: lockmgr.Level(ev.Level), Page: ev.Page}
-			mode := lockmgr.Mode(ev.Mode)
-			acquire := ev.Acquire
-			out.Kind = sched.ReplayOp
-			out.Op = func(p *sched.Proc) {
-				if acquire {
-					lm.Acquire(p, p.ID(), tag, mode)
-				} else {
-					lm.Release(p, p.ID(), tag, mode)
-				}
+		return func(p *sched.Proc) { lm.Release(p, p.ID(), tag, m) }
+	})
+}
+
+// syncSource decodes inline on the driver goroutine (DecodeAhead <= 0),
+// still batch-at-a-time into one reused buffer.
+func syncSource(cur *trace.Cursor, lm *lockmgr.Manager) sched.ReplaySource {
+	out := make([]sched.ReplayEvent, replayBatch)
+	var perr error
+	return func() ([]sched.ReplayEvent, error) {
+		if perr != nil {
+			return nil, perr
+		}
+		n, err := decodeInto(cur, lm, out)
+		if n == 0 {
+			return nil, err
+		}
+		perr = err // deliver the decoded prefix first, surface err next call
+		return out[:n], nil
+	}
+}
+
+type replayBatchMsg struct {
+	evs []sched.ReplayEvent
+	err error
+}
+
+// pipelineSource runs the decoder on its own goroutine, up to depth
+// batches ahead of the driver, recycling depth+1 buffers through a free
+// list (the +1 is the batch the driver is applying). done tears the
+// goroutine down when the replay exits early (error or panic unwind).
+func pipelineSource(cur *trace.Cursor, lm *lockmgr.Manager, depth int, done <-chan struct{}) sched.ReplaySource {
+	ch := make(chan replayBatchMsg, depth)
+	free := make(chan []sched.ReplayEvent, depth+1)
+	for i := 0; i < depth+1; i++ {
+		free <- make([]sched.ReplayEvent, replayBatch)
+	}
+	go func() {
+		defer close(ch)
+		for {
+			var out []sched.ReplayEvent
+			select {
+			case out = <-free:
+			case <-done:
+				return
+			}
+			n, err := decodeInto(cur, lm, out)
+			if n == 0 && err == nil {
+				return
+			}
+			select {
+			case ch <- replayBatchMsg{evs: out[:n], err: err}:
+			case <-done:
+				return
+			}
+			if err != nil {
+				return
 			}
 		}
-		return true, nil
+	}()
+	var prev []sched.ReplayEvent
+	var perr error
+	return func() ([]sched.ReplayEvent, error) {
+		if prev != nil {
+			free <- prev[:replayBatch]
+			prev = nil
+		}
+		if perr != nil {
+			return nil, perr
+		}
+		var m replayBatchMsg
+		var ok bool
+		select {
+		case m, ok = <-ch:
+		default:
+			// The decoder has not produced the next batch yet: a
+			// pipeline stall. Block for it.
+			decodeStalls.Add(1)
+			m, ok = <-ch
+		}
+		if !ok {
+			return nil, nil
+		}
+		if m.err != nil {
+			perr = m.err
+			if len(m.evs) == 0 {
+				return nil, perr
+			}
+		}
+		prev = m.evs
+		return m.evs, nil
 	}
+}
+
+// batchSources builds one replay source per processor over src's
+// streams, pipelined when DecodeAhead > 0.
+func batchSources(src trace.Source, lm *lockmgr.Manager, nodes int, done <-chan struct{}) []sched.ReplaySource {
+	depth := DecodeAhead
+	srcs := make([]sched.ReplaySource, nodes)
+	for i := 0; i < nodes; i++ {
+		cur := src.StreamCursor(i)
+		if depth <= 0 {
+			srcs[i] = syncSource(cur, lm)
+		} else {
+			srcs[i] = pipelineSource(cur, lm, depth, done)
+		}
+	}
+	return srcs
 }
 
 // replayOn drives a full replay on an engine whose machine and memory
 // are already prepared (cold caches, zeroed/quiesced lock state).
-func replayOn(eng *sched.Engine, lm *lockmgr.Manager, tr *trace.QueryTrace) (*Report, error) {
-	rep := &Report{Rows: append([]int(nil), tr.Rows...)}
-	srcs := make([]func(*sched.ReplayEvent) (bool, error), tr.Nodes)
-	for i := range srcs {
-		rep.Queries = append(rep.Queries, tr.Query)
-		srcs[i] = replaySource(&tr.Streams[i], lm)
+func replayOn(eng *sched.Engine, lm *lockmgr.Manager, src trace.Source) (*Report, error) {
+	meta := src.Meta()
+	rep := &Report{Rows: append([]int(nil), meta.Rows...)}
+	for i := 0; i < meta.Nodes; i++ {
+		rep.Queries = append(rep.Queries, meta.Query)
 	}
+	done := make(chan struct{})
+	defer close(done)
+	srcs := batchSources(src, lm, meta.Nodes, done)
 	if err := eng.RunReplay(srcs); err != nil {
-		return nil, fmt.Errorf("core: replaying %s: %w", tr.Query, err)
+		return nil, fmt.Errorf("core: replaying %s: %w", meta.Query, err)
 	}
 	for _, p := range eng.Procs() {
 		rep.PerProc = append(rep.PerProc, p.Breakdown())
@@ -115,49 +383,58 @@ func replayOn(eng *sched.Engine, lm *lockmgr.Manager, tr *trace.QueryTrace) (*Re
 }
 
 // ReplayTrace replays a recorded query under the given machine
-// configuration on a freshly reconstructed skeleton system — the
-// layout's regions and page categories without any data contents — and
-// returns the report a fresh execution of that configuration would
-// produce. The replayed streams must come from the same (query, scale,
-// seed); the configuration may vary in any way that leaves the
-// reference stream invariant (cache geometry, prefetching, write
-// buffering — not node count).
-func ReplayTrace(tr *trace.QueryTrace, mcfg machine.Config) (*Report, error) {
-	return ReplayTraceWith(tr, mcfg, nil)
+// configuration on a reconstructed skeleton system — the layout's
+// regions and page categories without any data contents — and returns
+// the report a fresh execution of that configuration would produce.
+// The replayed streams must come from the same (query, scale, seed);
+// the configuration may vary in any way that leaves the reference
+// stream invariant (cache geometry, prefetching, write buffering — not
+// node count). src may be a decoded *trace.QueryTrace or a streaming
+// *trace.Reader; skeleton systems are arena-pooled and reset between
+// replays of the same layout.
+func ReplayTrace(src trace.Source, mcfg machine.Config) (*Report, error) {
+	return ReplayTraceWith(src, mcfg, nil)
 }
 
 // ReplayTraceWith is ReplayTrace with an attachment hook called after
 // the skeleton is assembled and before the replay runs — the locality
 // analyzer installs its Tracer this way to analyze a saved trace
 // without re-running the executor.
-func ReplayTraceWith(tr *trace.QueryTrace, mcfg machine.Config, attach func(*sched.Engine, *simm.Memory)) (*Report, error) {
+func ReplayTraceWith(src trace.Source, mcfg machine.Config, attach func(*sched.Engine, *simm.Memory)) (*Report, error) {
+	meta := src.Meta()
 	if err := mcfg.Validate(); err != nil {
 		return nil, err
 	}
-	if mcfg.Nodes != tr.Nodes {
-		return nil, fmt.Errorf("core: trace recorded on %d nodes, config has %d", tr.Nodes, mcfg.Nodes)
+	if mcfg.Nodes != meta.Nodes {
+		return nil, fmt.Errorf("core: trace recorded on %d nodes, config has %d", meta.Nodes, mcfg.Nodes)
 	}
-	if len(tr.Streams) != tr.Nodes {
-		return nil, fmt.Errorf("core: trace has %d streams for %d nodes", len(tr.Streams), tr.Nodes)
+	if len(meta.Streams) != meta.Nodes {
+		return nil, fmt.Errorf("core: trace has %d streams for %d nodes", len(meta.Streams), meta.Nodes)
 	}
-	mem, err := simm.NewFromLayout(tr.Layout)
+	sk, err := acquireSkeleton(meta.Layout)
 	if err != nil {
 		return nil, err
 	}
-	mach, err := machine.New(mcfg, mem)
+	mach, err := machine.NewReusing(mcfg, sk.mem, sk.mach)
 	if err != nil {
 		return nil, err
 	}
-	scfg := sched.Config{BusyPerAccess: tr.BusyPerAccess, SpinBackoff: tr.SpinBackoff}
-	eng := sched.New(scfg, mem, mach)
-	lm, err := lockmgr.Attach(mem, tr.LockCap)
+	sk.mach = mach
+	scfg := sched.Config{BusyPerAccess: meta.BusyPerAccess, SpinBackoff: meta.SpinBackoff}
+	eng := sched.New(scfg, sk.mem, mach)
+	lm, err := lockmgr.Attach(sk.mem, meta.LockCap)
 	if err != nil {
 		return nil, err
 	}
 	if attach != nil {
-		attach(eng, mem)
+		attach(eng, sk.mem)
 	}
-	return replayOn(eng, lm, tr)
+	rep, err := replayOn(eng, lm, src)
+	if err != nil {
+		return nil, err
+	}
+	releaseSkeleton(sk)
+	return rep, nil
 }
 
 // ReplayCold replays a recorded query on this system's current machine

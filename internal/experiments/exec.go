@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/blobstore"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -54,6 +55,20 @@ type execMetrics struct {
 var experimentBuckets = []float64{.05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600}
 
 func newExecMetrics(r *metrics.Registry) execMetrics {
+	// Replay pipeline gauges: process-wide counters maintained by
+	// internal/core and internal/trace, sampled at gather time.
+	r.GaugeFunc("dssmem_trace_streamed_bytes",
+		"Trace chunk bytes read on demand by streaming replay cursors.",
+		func() float64 { return float64(trace.StreamedBytes()) })
+	r.GaugeFunc("dssmem_replay_decode_stalls_total",
+		"Replay driver turns that waited on the decode-ahead pipeline.",
+		func() float64 { return float64(core.ReadReplayStats().DecodeStalls) })
+	r.GaugeFunc("dssmem_replay_arena_hits_total",
+		"Replay skeleton systems served from the reuse arena.",
+		func() float64 { return float64(core.ReadReplayStats().ArenaHits) })
+	r.GaugeFunc("dssmem_replay_arena_misses_total",
+		"Replay skeleton systems built fresh (arena miss).",
+		func() float64 { return float64(core.ReadReplayStats().ArenaMisses) })
 	return execMetrics{
 		seconds: r.HistogramVec("dssmem_experiment_seconds",
 			"Host wall-clock per rendered experiment.", experimentBuckets, "exp"),
@@ -182,11 +197,15 @@ func coldJob(sc scenario.Scenario, q string) *runner.Job {
 
 // CaptureResult is a capture job's result: the baseline cold report
 // (byte-identical to an unrecorded run) plus the recorded reference
-// trace, encoded — everything replay jobs need to re-derive the same
-// query's report under other machine configurations.
+// trace. When the pool has a trace store, the encoded blob is spilled
+// there under the capture's key and Blob stays nil — replay jobs stream
+// it chunk by chunk instead of holding whole traces in the result
+// cache, which is what keeps resident memory flat as scale grows. Blob
+// carries the bytes inline only when no store took them.
 type CaptureResult struct {
-	Report *core.Report
-	Blob   []byte
+	Report  *core.Report
+	Blob    []byte
+	Spilled bool // blob lives in the trace store under the capture key
 }
 
 // captureJob is coldJob with trace capture: it executes the point
@@ -205,13 +224,15 @@ func (e *Exec) captureJob(sc scenario.Scenario, q string) *runner.Job {
 		Mode: "capture",
 		Spec: sc,
 		Body: func(c *runner.Ctx) (interface{}, error) {
-			if blob, ok := c.TraceBlob(); ok {
-				if tr, err := trace.Unmarshal(blob); err == nil {
-					if rep, err := core.ReplayTrace(tr, mcfg); err == nil {
-						e.met.replays.Inc()
-						return &CaptureResult{Report: rep, Blob: blob}, nil
-					}
+			if rd, ok := c.TraceReader(); ok {
+				rep, err := replayStored(rd, mcfg)
+				rd.Close()
+				if err == nil {
+					e.met.replays.Inc()
+					return &CaptureResult{Report: rep, Spilled: true}, nil
 				}
+				// Damaged or unreadable blob: fall through to executing,
+				// which re-records and re-spills a good one.
 			}
 			s, err := c.System()
 			if err != nil {
@@ -219,9 +240,11 @@ func (e *Exec) captureJob(sc scenario.Scenario, q string) *runner.Job {
 			}
 			rep, tr := s.RunColdRecorded(q)
 			blob := tr.Marshal()
-			c.PutTraceBlob(blob)
 			e.met.captures.Inc()
 			e.met.traceBytes.Add(float64(len(blob)))
+			if c.PutTraceBlob(blob) {
+				return &CaptureResult{Report: rep, Spilled: true}, nil
+			}
 			return &CaptureResult{Report: rep, Blob: blob}, nil
 		},
 	}
@@ -249,18 +272,49 @@ func (e *Exec) replayJob(sc scenario.Scenario, q string, capture *runner.Job) *r
 			if !ok {
 				return nil, fmt.Errorf("experiments: replay of %s: dependency returned %T, not a capture", q, dep)
 			}
-			tr, err := trace.Unmarshal(cr.Blob)
+			if len(cr.Blob) > 0 {
+				tr, err := trace.Unmarshal(cr.Blob)
+				if err != nil {
+					return nil, err
+				}
+				rep, err := core.ReplayTrace(tr, mcfg)
+				if err != nil {
+					return nil, err
+				}
+				e.met.replays.Inc()
+				return rep, nil
+			}
+			// Spilled capture: stream the blob from the trace store
+			// chunk by chunk instead of materializing it.
+			if rd, ok := c.TraceReaderFor(capture.Key()); ok {
+				rep, err := replayStored(rd, mcfg)
+				rd.Close()
+				if err == nil {
+					e.met.replays.Inc()
+					return rep, nil
+				}
+			}
+			// The spilled blob vanished or went bad between capture and
+			// replay: execute this point fresh — replay is byte-identical
+			// to execution, so the fallback preserves every output.
+			s, err := c.System()
 			if err != nil {
 				return nil, err
 			}
-			rep, err := core.ReplayTrace(tr, mcfg)
-			if err != nil {
-				return nil, err
-			}
-			e.met.replays.Inc()
-			return rep, nil
+			return s.RunCold(q), nil
 		},
 	}
+}
+
+// replayStored replays a trace-store blob through a streaming reader:
+// header and CRC verified up front, chunks read on demand during the
+// replay. The caller closes rd.
+func replayStored(rd blobstore.Reader, mcfg machine.Config) (*core.Report, error) {
+	src, err := trace.OpenBlob(rd, rd.Size())
+	if err != nil {
+		return nil, err
+	}
+	return core.ReplayTrace(src, mcfg)
 }
 
 // asReport unwraps a job result that is a report either way.

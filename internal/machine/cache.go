@@ -112,7 +112,15 @@ const (
 )
 
 // l2Cache is the set-associative secondary cache; its lines carry the
-// MSI coherence state.
+// MSI coherence state. Recency is a per-set rank permutation (one byte
+// per way) rather than a global timestamp array: rank 0 is the LRU
+// way, ways-1 the MRU. This is exactly equivalent to timestamp LRU
+// with first-lowest-index tie-breaking — the victim scan only runs
+// when every way is valid (invalid ways are claimed by the free-slot
+// scan first), and among filled ways ranks order exactly as unique
+// timestamps would — while costing 1 byte per line instead of 8, which
+// is what keeps the warm-cache experiments' 32MB-L2 machines cheap to
+// construct.
 type l2Cache struct {
 	lineSize  uint64
 	lineShift uint
@@ -121,8 +129,7 @@ type l2Cache struct {
 	ways      int
 	tags      []uint64 // sets*ways; 0 = invalid
 	state     []uint8
-	lastUse   []uint64
-	tick      uint64
+	order     []uint8 // recency rank within the set: 0 = LRU, ways-1 = MRU
 	seen      *seenTab
 }
 
@@ -136,13 +143,39 @@ func newL2(bytes, line, ways int) *l2Cache {
 		ways:      ways,
 		tags:      make([]uint64, n),
 		state:     make([]uint8, n),
-		lastUse:   make([]uint64, n),
+		order:     make([]uint8, n),
 		seen:      newSeenTab(uint64(line)),
 	}
+	c.resetOrder()
 	if sets&(sets-1) == 0 {
 		c.setMask = sets - 1
 	}
 	return c
+}
+
+// resetOrder restores the identity ranking in every set, the flush
+// state: untouched ways are evicted lowest-index-first, matching the
+// timestamp scan's tie-break over all-zero timestamps.
+func (c *l2Cache) resetOrder() {
+	for i := range c.order {
+		c.order[i] = uint8(i % c.ways)
+	}
+}
+
+// touch marks slot i most recently used within its set (base is the
+// set's first slot): ranks above its old rank slide down one,
+// preserving their relative order.
+func (c *l2Cache) touch(base, i int) {
+	r := c.order[i]
+	if int(r) == c.ways-1 {
+		return // already MRU; ranks are unchanged
+	}
+	for w := 0; w < c.ways; w++ {
+		if c.order[base+w] > r {
+			c.order[base+w]--
+		}
+	}
+	c.order[i] = uint8(c.ways - 1)
 }
 
 func (c *l2Cache) lineOf(a uint64) uint64 { return a &^ (c.lineSize - 1) }
@@ -165,8 +198,7 @@ func (c *l2Cache) find(line uint64) int {
 // line's state (stInvalid on miss).
 func (c *l2Cache) lookup(line uint64) uint8 {
 	if i := c.find(line); i >= 0 {
-		c.tick++
-		c.lastUse[i] = c.tick
+		c.touch(i-i%c.ways, i)
 		return c.state[i]
 	}
 	return stInvalid
@@ -184,19 +216,18 @@ func (c *l2Cache) fill(line uint64, st uint8) (victim uint64, victimState uint8)
 		}
 	}
 	if slot < 0 {
-		slot = base
-		for w := 1; w < c.ways; w++ {
-			if c.lastUse[base+w] < c.lastUse[slot] {
+		for w := 0; w < c.ways; w++ {
+			if c.order[base+w] == 0 {
 				slot = base + w
+				break
 			}
 		}
 		victim, victimState = c.tags[slot], c.state[slot]
 		c.seen.set(victim, absentReplaced)
 	}
-	c.tick++
 	c.tags[slot] = line
 	c.state[slot] = st
-	c.lastUse[slot] = c.tick
+	c.touch(base, slot)
 	c.seen.set(line, present)
 	return victim, victimState
 }
@@ -222,7 +253,7 @@ func (c *l2Cache) flush() {
 	for i := range c.tags {
 		c.tags[i] = 0
 		c.state[i] = stInvalid
-		c.lastUse[i] = 0
 	}
+	c.resetOrder()
 	c.seen.reset()
 }

@@ -31,6 +31,43 @@ type node struct {
 	// It is empty unless prefetching is enabled, and the hot path gates
 	// on its length before probing.
 	pfReady *timeTab
+	// pfQueue holds outstanding prefetches in issue order, backing
+	// pfReady's expiry: a node is probed only by its own processor,
+	// whose clock never decreases, so once now passes an entry's
+	// arrival time the entry can never stall anyone again and can be
+	// purged. This keeps pfReady at in-flight size (its probes stay in
+	// the host's cache) and re-enables the L1 fast path between scans —
+	// both charge-identical, since an arrived entry's probe outcome is
+	// exactly an absent entry's.
+	pfQueue []pfEntry
+	pfHead  int
+}
+
+type pfEntry struct {
+	line  uint64
+	ready int64
+}
+
+// expirePrefetches purges prefetches that have arrived by now. Issue
+// order is only approximately arrival order (fetch latency varies), so
+// the scan stops at the first still-outstanding entry; stragglers
+// behind it expire on a later call.
+func (nd *node) expirePrefetches(now int64) {
+	for nd.pfHead < len(nd.pfQueue) {
+		e := nd.pfQueue[nd.pfHead]
+		if e.ready > now {
+			return
+		}
+		nd.pfHead++
+		// Delete only if the table still holds this issue's arrival
+		// time: a demand probe may have deleted the entry already, or a
+		// re-prefetch superseded it.
+		if v, ok := nd.pfReady.get(e.line); ok && v == e.ready {
+			nd.pfReady.del(e.line)
+		}
+	}
+	nd.pfQueue = nd.pfQueue[:0]
+	nd.pfHead = 0
 }
 
 // AccessResult reports the outcome of one processor memory reference:
@@ -93,6 +130,46 @@ func New(cfg Config, mem *simm.Memory) (*Machine, error) {
 	return m, nil
 }
 
+// NewReusing is New with allocation reuse from a retired machine over
+// the same memory. When the configuration matches exactly, the donor
+// itself is flushed back to a cold start and returned; otherwise a new
+// machine adopts the donor's grown directory, prefetch tables, and
+// (geometry permitting) cache arrays after resetting them. Either way
+// the result is behaviorally identical to New: flush/reset restore the
+// exact cold state every table starts from, they just keep capacity.
+func NewReusing(cfg Config, mem *simm.Memory, donor *Machine) (*Machine, error) {
+	if donor == nil || donor.mem != mem {
+		return New(cfg, mem)
+	}
+	if donor.cfg == cfg {
+		donor.Flush()
+		donor.ResetStats()
+		return donor, nil
+	}
+	m, err := New(cfg, mem)
+	if err != nil {
+		return nil, err
+	}
+	donor.dir.reset()
+	m.dir = donor.dir
+	if len(m.nodes) == len(donor.nodes) {
+		for i, nd := range m.nodes {
+			d := donor.nodes[i]
+			d.pfReady.reset()
+			nd.pfReady = d.pfReady
+			if cfg.L1Bytes == donor.cfg.L1Bytes && cfg.L1Line == donor.cfg.L1Line {
+				d.l1.flush()
+				nd.l1 = d.l1
+			}
+			if cfg.L2Bytes == donor.cfg.L2Bytes && cfg.L2Line == donor.cfg.L2Line && cfg.L2Ways == donor.cfg.L2Ways {
+				d.l2.flush()
+				nd.l2 = d.l2
+			}
+		}
+	}
+	return m, nil
+}
+
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
@@ -112,6 +189,8 @@ func (m *Machine) Flush() {
 		n.l2.flush()
 		n.wb = nil
 		n.pfReady.reset()
+		n.pfQueue = n.pfQueue[:0]
+		n.pfHead = 0
 	}
 	m.dir.reset()
 	for i := range m.dirFreeAt {
@@ -263,6 +342,9 @@ func (m *Machine) Read(n int, a simm.Addr, size int, now int64) AccessResult {
 func (m *Machine) ReadCat(n int, a simm.Addr, size int, now int64, firstCat simm.Category) AccessResult {
 	nd := m.nodes[n]
 	addr := uint64(a)
+	if nd.pfReady.len() > 0 {
+		nd.expirePrefetches(now)
+	}
 	// Fast path for the overwhelmingly common reference: a single-line
 	// access that hits the primary cache while the write buffer is
 	// drained and no prefetch is outstanding. It touches only the L1
@@ -454,6 +536,7 @@ func (m *Machine) prefetch(n int, l1line uint64, now int64) {
 		}
 		nd.l1.fill(pa)
 		nd.pfReady.set(pa, now+lat)
+		nd.pfQueue = append(nd.pfQueue, pfEntry{line: pa, ready: now + lat})
 	}
 }
 

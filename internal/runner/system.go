@@ -3,6 +3,7 @@ package runner
 import (
 	"fmt"
 
+	"repro/internal/blobstore"
 	"repro/internal/core"
 	"repro/internal/scenario"
 )
@@ -62,10 +63,26 @@ func (c *Ctx) TraceBlob() ([]byte, bool) {
 	return c.pool.traces.get(c.rec.key)
 }
 
+// TraceReader opens the trace-store blob filed under this job's key for
+// chunk-granular streaming — the memory-flat counterpart of TraceBlob.
+// The caller owns the reader and must Close it. Content integrity is
+// still the decoder's job: a damaged blob fails to open as a trace,
+// which callers treat as a miss.
+func (c *Ctx) TraceReader() (blobstore.Reader, bool) {
+	return c.pool.traces.getReader(c.rec.key)
+}
+
+// TraceReaderFor opens the trace-store blob filed under another job's
+// key — replay jobs stream their capture dependency's blob this way.
+func (c *Ctx) TraceReaderFor(key string) (blobstore.Reader, bool) {
+	return c.pool.traces.getReader(key)
+}
+
 // PutTraceBlob files a trace blob under this job's key in the trace
-// store (a no-op without a trace directory).
-func (c *Ctx) PutTraceBlob(b []byte) {
-	c.pool.traces.put(c.rec.key, b)
+// store and reports whether it landed (false without a trace
+// directory, or on a write failure).
+func (c *Ctx) PutTraceBlob(b []byte) bool {
+	return c.pool.traces.put(c.rec.key, b)
 }
 
 // System returns the simulated system for this job.

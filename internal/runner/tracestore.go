@@ -59,21 +59,48 @@ func (s *traceStore) get(key string) ([]byte, bool) {
 	return b, true
 }
 
-// put stores a blob under key. The backends write atomically, so a
-// concurrent reader never sees a partial blob. Failures are silently
-// tolerated: the store is an optimization tier, never correctness.
-func (s *traceStore) put(key string, b []byte) {
+// getReader opens the stored blob for chunk-granular reads — the
+// streaming counterpart of get, with identical hit/miss accounting.
+// An openable blob counts as a hit even if its content later fails the
+// decoder's checksum: the tier served bytes, the decode turns damage
+// into a fallback, exactly as with get.
+func (s *traceStore) getReader(key string) (blobstore.Reader, bool) {
 	if s.store == nil || key == "" {
-		return
+		return nil, false
+	}
+	r, err := blobstore.OpenReader(s.store, blobstore.NSTrace, key)
+	if err != nil {
+		s.met.misses.Inc()
+		s.mu.Lock()
+		s.st.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.met.hits.Inc()
+	s.mu.Lock()
+	s.st.Hits++
+	s.mu.Unlock()
+	return r, true
+}
+
+// put stores a blob under key and reports whether it landed. The
+// backends write atomically, so a concurrent reader never sees a
+// partial blob. Failures are silently tolerated: the store is an
+// optimization tier, never correctness — but the caller learns whether
+// the blob is retrievable (and can drop its own copy when it is).
+func (s *traceStore) put(key string, b []byte) bool {
+	if s.store == nil || key == "" {
+		return false
 	}
 	if s.store.Put(blobstore.NSTrace, key, b) != nil {
-		return
+		return false
 	}
 	s.met.writes.Inc()
 	s.mu.Lock()
 	s.st.Writes++
 	s.st.Bytes += int64(len(b))
 	s.mu.Unlock()
+	return true
 }
 
 func (s *traceStore) stats() TraceStats {

@@ -78,6 +78,21 @@ type Engine struct {
 	// them live). Like Tracer it runs inside the simulation and must not
 	// touch simulated state.
 	Recorder Recorder
+
+	// RecordPure, set together with Recorder, turns a run into a pure
+	// capture: every traced accessor records its event and returns
+	// before touching the timing model — no busy charge, no machine
+	// access, no clock advance, no yield. With clocks frozen the sorted
+	// ring degenerates to sequential execution (the head never passes
+	// its horizon), so a record-pure Run costs zero goroutine handoffs;
+	// spinlocks reduce to their uncontended store (correct because
+	// execution is serial) and lock-manager operations still execute
+	// their real code. The captured streams equal a live recording's —
+	// reference streams are interleaving-invariant for the replayable
+	// workloads — and the run's report is then derived by replaying
+	// them. The flag is consulted only inside the Recorder != nil
+	// branches, so unrecorded runs pay nothing for it.
+	RecordPure bool
 }
 
 // Recorder receives the engine-level event stream of a recorded run.
@@ -350,6 +365,9 @@ func (p *Proc) read(a simm.Addr, size int) {
 	}
 	if r := p.eng.Recorder; r != nil {
 		r.Ref(p.id, a, size, false)
+		if p.eng.RecordPure {
+			return
+		}
 	}
 	p.preAccess()
 	p.charge(p.eng.mach.Read(p.id, a, size, p.clock))
@@ -364,6 +382,9 @@ func (p *Proc) readCat(a simm.Addr, size int, cat simm.Category) {
 	}
 	if r := p.eng.Recorder; r != nil {
 		r.Ref(p.id, a, size, false)
+		if p.eng.RecordPure {
+			return
+		}
 	}
 	p.preAccess()
 	p.charge(p.eng.mach.ReadCat(p.id, a, size, p.clock, cat))
@@ -376,6 +397,9 @@ func (p *Proc) write(a simm.Addr, size int) {
 	}
 	if r := p.eng.Recorder; r != nil {
 		r.Ref(p.id, a, size, true)
+		if p.eng.RecordPure {
+			return
+		}
 	}
 	p.preAccess()
 	p.charge(p.eng.mach.Write(p.id, a, size, p.clock))
@@ -388,6 +412,9 @@ func (p *Proc) writeCat(a simm.Addr, size int, cat simm.Category) {
 	}
 	if r := p.eng.Recorder; r != nil {
 		r.Ref(p.id, a, size, true)
+		if p.eng.RecordPure {
+			return
+		}
 	}
 	p.preAccess()
 	p.charge(p.eng.mach.WriteCat(p.id, a, size, p.clock, cat))
@@ -398,6 +425,9 @@ func (p *Proc) writeCat(a simm.Addr, size int, cat simm.Category) {
 func (p *Proc) Busy(n int64) {
 	if r := p.eng.Recorder; r != nil {
 		r.BusyEvent(p.id, n)
+		if p.eng.RecordPure {
+			return
+		}
 	}
 	p.bd.Busy += uint64(n)
 	p.clock += n
@@ -433,9 +463,17 @@ type ReplayEvent struct {
 	Op    func(*Proc)
 }
 
+// ReplaySource supplies one processor's recorded events in batches. A
+// call returns the next batch in stream order; an empty batch means end
+// of stream. The driver fully consumes a returned batch before calling
+// again, so sources may reuse the backing array — that is what lets a
+// decode pipeline run ahead on other goroutines while recycling a fixed
+// set of buffers.
+type ReplaySource func() ([]ReplayEvent, error)
+
 // RunReplay drives one recorded event source per processor through the
 // unchanged timing model on a single goroutine. Sources may be nil for
-// idle processors; a source returns false at end of stream.
+// idle processors.
 //
 // Execution needs a coroutine per processor because the database code's
 // control flow lives on real stacks, and every baton pass is a channel
@@ -452,10 +490,16 @@ type ReplayEvent struct {
 // lock-manager op runs real code on a goroutine that hands the baton
 // back to the driver whenever it must yield mid-operation. Recorders
 // are not consulted during replay.
-func (e *Engine) RunReplay(srcs []func(*ReplayEvent) (bool, error)) error {
+func (e *Engine) RunReplay(srcs []ReplaySource) error {
 	if len(srcs) != len(e.procs) {
 		panic(fmt.Sprintf("sched: %d replay sources for %d processors", len(srcs), len(e.procs)))
 	}
+	// One batch in flight per processor; idx walks it event by event.
+	type batchState struct {
+		evs []ReplayEvent
+		idx int
+	}
+	batches := make([]batchState, len(e.procs))
 	e.ring = e.ring[:0]
 	for i, src := range srcs {
 		if src == nil {
@@ -477,7 +521,7 @@ func (e *Engine) RunReplay(srcs []func(*ReplayEvent) (bool, error)) error {
 	}
 	e.flat = true
 	defer func() { e.flat = false }()
-	var ev ReplayEvent
+outer:
 	for len(e.ring) > 0 {
 		p := e.ring[0]
 		// The horizon is the second-smallest runnable clock; it cannot
@@ -503,42 +547,59 @@ func (e *Engine) RunReplay(srcs []func(*ReplayEvent) (bool, error)) error {
 				p.spinning = false
 			}
 		default:
-			ok, err := srcs[p.id](&ev)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				copy(e.ring, e.ring[1:])
-				e.ring = e.ring[:len(e.ring)-1]
-				continue
-			}
-			switch ev.Kind {
-			case ReplayRef:
-				p.flatRef(ev.Addr, ev.Size, ev.Write)
-			case ReplayBusy:
-				p.bd.Busy += uint64(ev.N)
-				p.clock += ev.N
-			case ReplaySpinAcquire:
-				// The first spin iteration runs immediately, like
-				// Acquire's loop entry.
-				p.spinning, p.spinAddr = true, ev.Addr
-				continue
-			case ReplaySpinRelease:
-				p.flatSpinRelease(ev.Addr)
-			case ReplayOp:
-				p.inOp = true
-				go func(p *Proc, op func(*Proc)) {
-					defer func() {
-						p.panicVal = recover()
-						p.inOp = false
-						e.flatCh <- p
-					}()
-					<-p.park
-					op(p)
-				}(p, ev.Op)
-				// Next turn dispatches the inOp branch: p is still the
-				// head, so the op starts before anyone else runs.
-				continue
+			// Apply events in a tight loop while p stays the head
+			// (p.clock <= p.horizon): the ring cannot change while p
+			// runs, so re-selecting the head and refreshing the horizon
+			// per event — what the pre-batch driver did by falling back
+			// to the outer loop — is a per-event no-op this loop skips.
+			bs := &batches[p.id]
+			for {
+				if bs.idx >= len(bs.evs) {
+					evs, err := srcs[p.id]()
+					if err != nil {
+						return err
+					}
+					if len(evs) == 0 {
+						copy(e.ring, e.ring[1:])
+						e.ring = e.ring[:len(e.ring)-1]
+						continue outer
+					}
+					bs.evs, bs.idx = evs, 0
+				}
+				ev := &bs.evs[bs.idx]
+				bs.idx++
+				switch ev.Kind {
+				case ReplayRef:
+					p.flatRef(ev.Addr, ev.Size, ev.Write)
+				case ReplayBusy:
+					p.bd.Busy += uint64(ev.N)
+					p.clock += ev.N
+				case ReplaySpinAcquire:
+					// The first spin iteration runs immediately, like
+					// Acquire's loop entry.
+					p.spinning, p.spinAddr = true, ev.Addr
+					continue outer
+				case ReplaySpinRelease:
+					p.flatSpinRelease(ev.Addr)
+				case ReplayOp:
+					p.inOp = true
+					go func(p *Proc, op func(*Proc)) {
+						defer func() {
+							p.panicVal = recover()
+							p.inOp = false
+							e.flatCh <- p
+						}()
+						<-p.park
+						op(p)
+					}(p, ev.Op)
+					// Next turn dispatches the inOp branch: p is still
+					// the head, so the op starts before anyone else
+					// runs.
+					continue outer
+				}
+				if p.clock > p.horizon {
+					break
+				}
 			}
 		}
 		// The traced accessors end in maybeYield; mirror it (reschedule's
@@ -708,6 +769,12 @@ type SpinLock struct {
 func (p *Proc) Acquire(l SpinLock) {
 	if r := p.eng.Recorder; r != nil {
 		r.SpinAcquire(p.id, l.Addr)
+		if p.eng.RecordPure {
+			// Serial execution: the lock is free by construction, so
+			// the acquisition is just the winning store.
+			p.eng.mem.Store32(l.Addr, 1)
+			return
+		}
 	}
 	p.inSync = true
 	mem := p.eng.mem
@@ -742,6 +809,10 @@ func (p *Proc) Acquire(l SpinLock) {
 func (p *Proc) Release(l SpinLock) {
 	if r := p.eng.Recorder; r != nil {
 		r.SpinRelease(p.id, l.Addr)
+		if p.eng.RecordPure {
+			p.eng.mem.Store32(l.Addr, 0)
+			return
+		}
 	}
 	p.inSync = true
 	p.charge(p.eng.mach.Sync(p.id, l.Addr, p.clock))

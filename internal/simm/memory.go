@@ -141,6 +141,17 @@ func New(nodes int) *Memory {
 // Nodes returns the number of nodes the space was created for.
 func (m *Memory) Nodes() int { return m.nodes }
 
+// WipeContents drops every region's materialized backing chunks, so all
+// simulated memory reads as zero again — exactly the state a fresh
+// NewFromLayout space is in. Regions, page tables, categories, and
+// homes are untouched. The replay-system arena resets pooled address
+// spaces this way instead of rebuilding them per job.
+func (m *Memory) WipeContents() {
+	for _, r := range m.regions {
+		clear(r.chunks)
+	}
+}
+
 // AllocRegion carves a new page-aligned region out of the address space.
 // node may be a specific home node or AnyNode for page interleaving.
 func (m *Memory) AllocRegion(name string, size uint64, cat Category, node int) *Region {

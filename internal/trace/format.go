@@ -2,7 +2,9 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/sched"
 	"repro/internal/simm"
 )
 
@@ -105,6 +107,28 @@ type Replayer interface {
 	LockOp(acquire bool, relID uint32, level uint8, page uint32, mode uint8)
 }
 
+// chunkPool recycles sealed chunk buffers. The execute-as-replay path
+// records a run's streams, replays them once, and discards them, so
+// without reuse the 64KB chunk backing arrays dominate its allocation
+// profile. Only full-capacity buffers circulate; anything else
+// (test-crafted chunks, decoded-blob views) is left to the GC.
+var chunkPool = sync.Pool{New: func() any { return make([]byte, 0, chunkSize) }}
+
+// ReleaseStreams returns the streams' chunk buffers to the shared
+// chunk pool and clears the slices. Call it only for a transient
+// capture the caller owns exclusively, after every cursor over it has
+// finished — released buffers are reused by the next recording.
+func ReleaseStreams(streams []Stream) {
+	for i := range streams {
+		for _, c := range streams[i].Chunks {
+			if cap(c) == chunkSize {
+				chunkPool.Put(c[:0])
+			}
+		}
+		streams[i] = Stream{}
+	}
+}
+
 // streamWriter encodes events into sealed chunks.
 type streamWriter struct {
 	chunks [][]byte
@@ -119,7 +143,7 @@ func (w *streamWriter) ensure() {
 		if w.cur != nil {
 			w.chunks = append(w.chunks, w.cur)
 		}
-		w.cur = make([]byte, 0, chunkSize)
+		w.cur = chunkPool.Get().([]byte)[:0]
 	}
 }
 
@@ -179,24 +203,39 @@ func (w *streamWriter) stream() Stream {
 }
 
 // streamReader decodes a stream chunk by chunk. Events never straddle
-// chunks, so chunk exhaustion only happens at event boundaries.
+// chunks, so chunk exhaustion only happens at event boundaries. Chunks
+// come either from an in-memory slice (a decoded blob) or, when fill is
+// set, on demand from a streaming source that reads them from disk one
+// at a time — the decode loop is identical either way.
 type streamReader struct {
 	chunks [][]byte
 	ci     int
+	fill   func() ([]byte, error) // optional; nil chunk + nil error = end of stream
 	cur    []byte
 	off    int
 	last   uint64
 }
 
-func (r *streamReader) more() bool {
+func (r *streamReader) more() (bool, error) {
 	for r.off >= len(r.cur) {
-		if r.ci >= len(r.chunks) {
-			return false
+		if r.ci < len(r.chunks) {
+			r.cur, r.off = r.chunks[r.ci], 0
+			r.ci++
+			continue
 		}
-		r.cur, r.off = r.chunks[r.ci], 0
-		r.ci++
+		if r.fill == nil {
+			return false, nil
+		}
+		c, err := r.fill()
+		if err != nil {
+			return false, err
+		}
+		if c == nil {
+			return false, nil
+		}
+		r.cur, r.off = c, 0
 	}
-	return true
+	return true, nil
 }
 
 func (r *streamReader) byte() (byte, error) {
@@ -272,8 +311,8 @@ func (s *Stream) Cursor() *Cursor {
 // byte-at-a-time path below.
 func (c *Cursor) Next(ev *Event) (bool, error) {
 	r := &c.r
-	if !r.more() {
-		return false, nil
+	if ok, err := r.more(); !ok {
+		return false, err
 	}
 	if len(r.cur)-r.off >= maxEvent {
 		if op := r.cur[r.off]; op <= opBusy {
@@ -363,6 +402,123 @@ func (c *Cursor) Next(ev *Event) (bool, error) {
 	}
 	return true, nil
 }
+
+// DecodeReplayBatch is DecodeBatch writing the scheduler's replay form
+// directly: the decoded array is the replay driver's working set, and
+// converting it out-of-line would cost a second pass. Data references
+// and busy charges — the bulk of every stream — decode through the same
+// resident-event fast path as Next; the rare synchronization events
+// fall back to Next plus a conversion, with lock-manager operations
+// (the one kind whose replay form is a closure over live lock state the
+// decoder cannot build) going through mkOp. Stale fields from a
+// recycled buffer slot are left in place for kinds that do not use
+// them, exactly as DecodeBatch leaves them.
+func (c *Cursor) DecodeReplayBatch(evs []sched.ReplayEvent,
+	mkOp func(acquire bool, relID uint32, level uint8, page uint32, mode uint8) func(*sched.Proc)) (int, error) {
+	r := &c.r
+	n := 0
+	for n < len(evs) {
+		if ok, err := r.more(); !ok {
+			return n, err
+		}
+		if len(r.cur)-r.off >= maxEvent {
+			if op := r.cur[r.off]; op <= opBusy {
+				b := r.cur
+				i := r.off + 1
+				var u uint64
+				var shift uint
+				for {
+					x := b[i]
+					i++
+					u |= uint64(x&0x7f) << shift
+					if x < 0x80 {
+						break
+					}
+					shift += 7
+					if shift >= 70 {
+						return n, fmt.Errorf("trace: varint overflow")
+					}
+				}
+				r.off = i
+				ev := &evs[n]
+				n++
+				if op < opBusy {
+					r.last += uint64(unzigzag(u))
+					ev.Kind = sched.ReplayRef
+					ev.Addr = simm.Addr(r.last)
+					ev.Size = int(op&7) + 1
+					ev.Write = op >= opWriteBase
+				} else {
+					ev.Kind = sched.ReplayBusy
+					ev.N = int64(u)
+				}
+				continue
+			}
+		}
+		var tmp Event
+		ok, err := c.Next(&tmp)
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		ev := &evs[n]
+		n++
+		switch tmp.Kind {
+		case EvRef:
+			ev.Kind, ev.Addr, ev.Size, ev.Write = sched.ReplayRef, tmp.Addr, tmp.Size, tmp.Write
+		case EvBusy:
+			ev.Kind, ev.N = sched.ReplayBusy, tmp.N
+		case EvSpinAcquire:
+			ev.Kind, ev.Addr = sched.ReplaySpinAcquire, tmp.Addr
+		case EvSpinRelease:
+			ev.Kind, ev.Addr = sched.ReplaySpinRelease, tmp.Addr
+		case EvLockOp:
+			ev.Kind = sched.ReplayOp
+			ev.Op = mkOp(tmp.Acquire, tmp.RelID, tmp.Level, tmp.Page, tmp.Mode)
+		}
+	}
+	return n, nil
+}
+
+// DecodeBatch decodes up to len(evs) events into evs and returns how
+// many it wrote. n == 0 (with a nil error) means the end of the stream.
+// Batch decode is the pipelined replay's unit of work: the decoder runs
+// it off the driver goroutine, filling reusable buffers a chunk's worth
+// of events at a time. A decode error may follow a short batch — the
+// events before the error are valid and returned.
+func (c *Cursor) DecodeBatch(evs []Event) (int, error) {
+	n := 0
+	for n < len(evs) {
+		ok, err := c.Next(&evs[n])
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Source is anything a replay can run from: the trace metadata plus a
+// per-processor stream of decoded events. *QueryTrace (a fully decoded
+// in-memory blob) and *Reader (a streaming view over an undecoded blob)
+// both implement it, so the replay engine is agnostic to whether the
+// trace is resident or streamed chunk-by-chunk from disk.
+type Source interface {
+	Meta() *QueryTrace
+	StreamCursor(i int) *Cursor
+}
+
+// Meta returns the trace itself: a decoded QueryTrace is its own
+// metadata.
+func (t *QueryTrace) Meta() *QueryTrace { return t }
+
+// StreamCursor returns a decoder over processor i's in-memory stream.
+func (t *QueryTrace) StreamCursor(i int) *Cursor { return t.Streams[i].Cursor() }
 
 // Replay decodes the stream, feeding each event to rp in order.
 func (s *Stream) Replay(rp Replayer) error {

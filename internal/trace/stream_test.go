@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/simm"
+)
+
+// testTrace builds a small synthetic trace exercising every event kind
+// across multiple chunks (enough refs to seal at least two).
+func testTrace() *QueryTrace {
+	rec := NewRecorder(2)
+	for i := 0; i < 40000; i++ {
+		rec.Ref(0, simm.Addr(0x1000+8*i), 8, i%3 == 0)
+		if i%100 == 0 {
+			rec.BusyEvent(0, int64(i))
+		}
+	}
+	rec.SpinAcquire(0, 0x40)
+	rec.SpinRelease(0, 0x40)
+	rec.BeginLockOp(0, true, 7, 2, 99, 1)
+	rec.EndLockOp(0)
+	rec.BeginLockOp(0, false, 7, 2, 99, 1)
+	rec.EndLockOp(0)
+	rec.Ref(1, 0x2000, 4, false)
+	rec.BusyEvent(1, 5)
+	return &QueryTrace{
+		Query:         "Qx",
+		Scale:         0.001,
+		Seed:          42,
+		Nodes:         2,
+		BusyPerAccess: 1,
+		SpinBackoff:   50,
+		LockCap:       256,
+		Layout: simm.Layout{
+			Nodes: 2,
+			Regions: []simm.LayoutRegion{
+				{Name: "R0", Size: 1 << 20, Cat: simm.CatData, Node: 0},
+				{Name: "R1", Size: 1 << 16, Cat: simm.CatIndex, Node: simm.AnyNode},
+			},
+			Cats: []simm.CatRun{{Pages: 4, Cat: simm.CatData}},
+		},
+		Rows:    []int{3, 4},
+		Streams: rec.Streams(),
+	}
+}
+
+// canon zeroes the fields that are not meaningful for an event's kind.
+// Decoders only write the meaningful fields — reused Event buffers keep
+// stale values in the rest — so comparisons must go through this.
+func canon(ev Event) Event {
+	out := Event{Kind: ev.Kind}
+	switch ev.Kind {
+	case EvRef:
+		out.Addr, out.Size, out.Write = ev.Addr, ev.Size, ev.Write
+	case EvBusy:
+		out.N = ev.N
+	case EvSpinAcquire, EvSpinRelease:
+		out.Addr = ev.Addr
+	case EvLockOp:
+		out.Acquire, out.RelID, out.Level, out.Page, out.Mode =
+			ev.Acquire, ev.RelID, ev.Level, ev.Page, ev.Mode
+	}
+	return out
+}
+
+func decodeAll(t *testing.T, cur *Cursor) []Event {
+	t.Helper()
+	var out []Event
+	var ev Event
+	for {
+		ok, err := cur.Next(&ev)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, canon(ev))
+	}
+}
+
+// TestOpenBlobMatchesUnmarshal pins the streaming reader to the
+// in-memory decoder: same metadata, same events, for every stream.
+func TestOpenBlobMatchesUnmarshal(t *testing.T) {
+	blob := testTrace().Marshal()
+	tr, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenBlob(bytes.NewReader(blob), int64(len(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := rd.Meta()
+	if meta.Query != tr.Query || meta.Scale != tr.Scale || meta.Seed != tr.Seed ||
+		meta.Nodes != tr.Nodes || meta.BusyPerAccess != tr.BusyPerAccess ||
+		meta.SpinBackoff != tr.SpinBackoff || meta.LockCap != tr.LockCap {
+		t.Fatalf("meta mismatch: %+v vs %+v", meta, tr)
+	}
+	if len(meta.Streams) != len(tr.Streams) {
+		t.Fatalf("streams: %d vs %d", len(meta.Streams), len(tr.Streams))
+	}
+	before := StreamedBytes()
+	for i := range tr.Streams {
+		if meta.Streams[i].Refs != tr.Streams[i].Refs || meta.Streams[i].Events != tr.Streams[i].Events {
+			t.Fatalf("stream %d stats mismatch", i)
+		}
+		want := decodeAll(t, tr.StreamCursor(i))
+		got := decodeAll(t, rd.StreamCursor(i))
+		if len(got) != len(want) {
+			t.Fatalf("stream %d: %d events streamed, %d in memory", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("stream %d event %d: %+v != %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+	if StreamedBytes() == before {
+		t.Fatal("streaming cursors read no bytes")
+	}
+}
+
+// TestOpenBlobRejectsDamage mirrors Unmarshal's corruption contract:
+// truncation and bit flips are errors up front, never short replays.
+func TestOpenBlobRejectsDamage(t *testing.T) {
+	blob := testTrace().Marshal()
+	cases := map[string][]byte{
+		"empty":      {},
+		"short":      blob[:8],
+		"badmagic":   append([]byte("XXXXXXXX"), blob[8:]...),
+		"truncated":  blob[:len(blob)/2],
+		"one-short":  blob[:len(blob)-1],
+		"bitflip":    flipBit(blob, len(blob)/2),
+		"early-flip": flipBit(blob, 20),
+	}
+	for name, b := range cases {
+		if _, err := OpenBlob(bytes.NewReader(b), int64(len(b))); err == nil {
+			t.Errorf("%s: OpenBlob accepted damaged blob", name)
+		}
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("%s: Unmarshal accepted damaged blob", name)
+		}
+	}
+}
+
+func flipBit(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0x40
+	return out
+}
+
+// TestDecodeBatchMatchesNext pins batch decode to per-event decode,
+// including across chunk boundaries and odd batch sizes.
+func TestDecodeBatchMatchesNext(t *testing.T) {
+	tr := testTrace()
+	for i := range tr.Streams {
+		want := decodeAll(t, tr.StreamCursor(i))
+		for _, size := range []int{1, 7, 4096} {
+			cur := tr.StreamCursor(i)
+			buf := make([]Event, size)
+			var got []Event
+			for {
+				n, err := cur.DecodeBatch(buf)
+				if err != nil {
+					t.Fatalf("stream %d batch %d: %v", i, size, err)
+				}
+				if n == 0 {
+					break
+				}
+				for _, ev := range buf[:n] {
+					got = append(got, canon(ev))
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("stream %d batch %d: %d events, want %d", i, size, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("stream %d batch %d event %d mismatch", i, size, j)
+				}
+			}
+		}
+	}
+}
