@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check cover bench bench-diff bench-diff-replay fuzz scenario-goldens cluster-smoke clean
+.PHONY: all build test race vet check cover bench bench-diff bench-diff-replay fuzz scenario-goldens cluster-smoke wal-smoke clean
 
 all: build
 
@@ -43,16 +43,30 @@ check: build vet race test scenario-goldens
 cluster-smoke:
 	$(GO) test -run 'TestClusterEndToEnd|TestWorkerDrainReleases' -count=1 -v ./internal/cluster
 
+# The durability gate: the crash-point matrix. A sweep job's journal is
+# killed mid-flight at several append counts (submission-only durable,
+# task graph + one claim durable, deep mid-sweep), a successor boots
+# over the same WAL dir, and every recovered run must finish with a
+# report byte-identical to a serial render. The wal package's own
+# fault-injection tests (every-prefix recovery, short writes, torn
+# tails) ride along.
+wal-smoke:
+	$(GO) test -run 'TestCrashRestartEndToEnd|TestJournal' -count=1 -v ./internal/cluster
+	$(GO) test -count=1 ./internal/wal
+
 # Fuzz the input decoders: the scenario decoder (decode -> validate ->
 # canonicalize -> re-decode must round-trip or fail cleanly with a
-# field-path error) and the trace decoder (per-event, batched, and
+# field-path error), the trace decoder (per-event, batched, and
 # streamed decode must accept the same inputs, yield the same events,
-# and never panic or silently short-replay a damaged blob). CI runs a
+# and never panic or silently short-replay a damaged blob), and the WAL
+# segment scanner (opening an arbitrary byte soup must never panic, and
+# whatever it recovers must re-encode to a well-formed log). CI runs a
 # short smoke; crank FUZZTIME locally for a real campaign.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzScenarioDecode -fuzztime $(FUZZTIME) ./internal/scenario
 	$(GO) test -run NONE -fuzz FuzzTraceChunkDecode -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run NONE -fuzz FuzzWALRecord -fuzztime $(FUZZTIME) ./internal/wal
 
 # Coverage gate for the observability subsystem: internal/metrics is
 # the one package every other layer reports through, so its own tests

@@ -3,7 +3,7 @@
 // repeated experiment requests are answered from the content-addressed
 // result cache instead of re-simulating.
 //
-//	dssmemd [-addr :8080] [-jobs N] [-cache-dir DIR] [-trace-dir DIR]
+//	dssmemd [-addr :8080] [-jobs N] [-cache-dir DIR] [-trace-dir DIR] [-wal-dir DIR]
 //
 // Endpoints:
 //
@@ -23,7 +23,11 @@
 // Go-runtime instruments.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, lets
-// in-flight experiments finish rendering, then drains the pool.
+// in-flight experiments finish rendering, then drains the pool. With
+// -wal-dir set, every job and task transition is journaled to a
+// write-ahead log first, and a restarted daemon replays the log:
+// finished jobs keep serving their reports, unfinished ones re-run,
+// and drained leases come back queued.
 package main
 
 import (
@@ -49,6 +53,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/wal"
 )
 
 // request is the POST /v1/experiments body. Zero-valued fields take the
@@ -95,6 +100,7 @@ type server struct {
 	store   blobstore.Store // local blob store served at /v1/blobs
 	coord   *cluster.Coordinator
 	manager *cluster.Manager
+	journal *cluster.Journal // nil = not durable
 	// renderTimeout bounds POST /v1/scenarios server-side; 0 = no bound
 	// (the render still completes and caches after a 504, so a retry of
 	// the same spec is cheap).
@@ -112,12 +118,21 @@ type server struct {
 	closed bool
 }
 
-func newServer(exec *experiments.Exec, reg *metrics.Registry, store blobstore.Store, renderTimeout time.Duration) *server {
+// newServer builds the daemon. jl and rec may be nil (no -wal-dir):
+// the fabric then runs in-memory only. With a journal, the coordinator
+// and manager restore the recovered state before serving; the caller
+// resumes unfinished jobs (manager.Resume) once it is ready to run
+// them.
+func newServer(exec *experiments.Exec, reg *metrics.Registry, store blobstore.Store, renderTimeout time.Duration, jl *cluster.Journal, rec *cluster.Recovered) *server {
 	if store == nil {
 		store = blobstore.NewMem()
 	}
 	cmet := cluster.NewMetrics(reg)
-	coord := cluster.NewCoordinator(cmet, cluster.Options{})
+	coord := cluster.NewCoordinator(cmet, cluster.Options{Journal: jl})
+	coord.Restore(rec)
+	manager := cluster.NewManager(exec, coord, cmet)
+	manager.UseJournal(jl)
+	manager.Restore(rec)
 	return &server{
 		exec:          exec,
 		reg:           reg,
@@ -125,7 +140,8 @@ func newServer(exec *experiments.Exec, reg *metrics.Registry, store blobstore.St
 		start:         time.Now(),
 		store:         store,
 		coord:         coord,
-		manager:       cluster.NewManager(exec, coord, cmet),
+		manager:       manager,
+		journal:       jl,
 		renderTimeout: renderTimeout,
 		expSubmitted: reg.Counter("dssmem_experiments_submitted_total",
 			"Experiment requests accepted by POST /v1/experiments."),
@@ -359,6 +375,7 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	recRecords, recTruncated := s.journal.Recovery()
 	resp := map[string]interface{}{
 		"pool":                  ps,
 		"cache_hit_rate":        ps.HitRate(),
@@ -373,13 +390,23 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 			"tasks":      s.coord.Status().Tasks,
 			"peer_fetch": peerFetch,
 		},
+		"wal": map[string]interface{}{
+			"enabled":                  s.journal != nil,
+			"recovery_records":         recRecords,
+			"recovery_truncated_bytes": recTruncated,
+			"appends":                  s.journal.Appends(),
+		},
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
 
 // drain stops accepting submissions, waits for in-flight experiments
-// and async jobs, then stops the cluster machinery.
+// and async jobs, then stops the cluster machinery. The journal closes
+// last — the manager's terminal records and any remote workers'
+// released leases (which arrive over HTTP before the listener stopped)
+// must land in it first, so a drain-then-restart cycle requeues tasks
+// with zero lease expirations.
 func (s *server) drain() {
 	s.mu.Lock()
 	s.closed = true
@@ -387,6 +414,9 @@ func (s *server) drain() {
 	s.wg.Wait()
 	s.manager.Close()
 	s.coord.Close()
+	if err := s.journal.Close(); err != nil {
+		log.Printf("wal close: %v", err)
+	}
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {
@@ -402,6 +432,8 @@ func main() {
 	jobs := flag.Int("jobs", 0, "concurrent experiment workers (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent result cache (empty = in-memory only)")
 	traceDir := flag.String("trace-dir", "", "directory for captured reference-trace blobs (empty = traces stay in the result cache)")
+	walDir := flag.String("wal-dir", "", "directory for the job/task write-ahead log; a restarted daemon replays it and resumes pre-crash jobs (empty = no durability)")
+	walSync := flag.Duration("wal-sync", 0, "WAL group-commit window: appends within it share one fsync (0 = fsync every append)")
 	join := flag.String("join", "", "coordinator URL to join as a worker (e.g. http://coord:8080)")
 	advertise := flag.String("advertise", "", "URL this daemon is reachable at, reported to the coordinator")
 	renderTimeout := flag.Duration("render-timeout", 0, "server-side bound on POST /v1/scenarios renders; exceeded renders answer 504 and finish into the cache (0 = unbounded)")
@@ -463,8 +495,34 @@ func main() {
 	}
 	fan := blobstore.NewFan(store, peers, reg)
 
+	// Durability: open the WAL and replay it before anything serves.
+	// Unlike the cache dirs, an unusable WAL dir is fatal — silently
+	// dropping durability defeats the reason the operator asked for it.
+	// The boot snapshot compacts the replayed log into one record so it
+	// does not grow without bound across restarts.
+	var journal *cluster.Journal
+	var recovered *cluster.Recovered
+	if *walDir != "" {
+		var err error
+		journal, recovered, err = cluster.OpenJournal(wal.Options{
+			Dir: *walDir, SyncWindow: *walSync, Metrics: reg,
+		})
+		if err != nil {
+			log.Fatalf("wal %s: %v", *walDir, err)
+		}
+		records, truncated := journal.Recovery()
+		log.Printf("wal: replayed %d records (%d jobs, %d tasks, %d torn bytes truncated)",
+			records, len(recovered.Jobs), len(recovered.Tasks), truncated)
+		if err := journal.Snapshot(recovered); err != nil {
+			log.Printf("wal compaction failed (log will keep growing): %v", err)
+		}
+	}
+
 	exec := experiments.NewExecConfig(runner.Config{Workers: *jobs, Blobs: fan, Metrics: reg})
-	s := newServer(exec, reg, store, *renderTimeout)
+	s := newServer(exec, reg, store, *renderTimeout, journal, recovered)
+	// Re-run whatever had not finished; the coordinator hands back the
+	// recovered tasks' outcomes and the caches absorb the recompute.
+	s.manager.Resume(recovered)
 
 	var worker *cluster.Worker
 	if *join != "" {

@@ -27,7 +27,7 @@ func newTestServerTimeout(t *testing.T, renderTimeout time.Duration) (*server, *
 	reg.CollectGoRuntime()
 	store := blobstore.NewMem()
 	exec := experiments.NewExecConfig(runner.Config{Workers: 2, Blobs: store, Metrics: reg})
-	s := newServer(exec, reg, store, renderTimeout)
+	s := newServer(exec, reg, store, renderTimeout, nil, nil)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(func() {
 		ts.Close()

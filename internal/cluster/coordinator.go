@@ -42,6 +42,10 @@ type Options struct {
 	// MaxAttempts is how many times a task may be claimed before a
 	// further failure or expiry is terminal (default 3).
 	MaxAttempts int
+	// Journal, when non-nil, makes the coordinator durable: every task
+	// transition is appended to it, and a restarted coordinator
+	// (Restore) picks up the queue where the dead one stopped.
+	Journal *Journal
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +66,7 @@ func (o Options) withDefaults() Options {
 type Coordinator struct {
 	opt Options
 	met *Metrics
+	jl  *Journal // nil = not durable
 
 	mu      sync.Mutex
 	workers map[string]*workerRec
@@ -89,6 +94,10 @@ type taskRec struct {
 	attempts int
 	errText  string
 	batch    *taskBatch
+	// recovered marks a task installed by Restore: it has no batch yet,
+	// and the first RunTasks that re-submits its id adopts it instead
+	// of rejecting the id as a duplicate.
+	recovered bool
 }
 
 // taskBatch tracks one RunTasks call. onDone runs outside the
@@ -109,6 +118,7 @@ func NewCoordinator(met *Metrics, opt Options) *Coordinator {
 	c := &Coordinator{
 		opt:     opt.withDefaults(),
 		met:     met,
+		jl:      opt.Journal,
 		workers: make(map[string]*workerRec),
 		tasks:   make(map[string]*taskRec),
 		stop:    make(chan struct{}),
@@ -135,6 +145,46 @@ func (c *Coordinator) Close() {
 	c.mu.Unlock()
 	for _, fn := range notify {
 		fn()
+	}
+}
+
+// Restore installs journal-recovered tasks into a freshly built
+// coordinator, before any worker registers or job resumes. Queued
+// tasks rejoin the claim queue in log order; leased tasks keep their
+// (presumed-dead) holder with the lease re-armed at one full TTL, so
+// the usual expiry path requeues them unless the worker comes back and
+// finishes first; terminal tasks keep their outcome so a resumed job
+// inherits it. Every restored task is marked recovered, which lets the
+// resumed job's RunTasks adopt it by id. Worker ids resume past the
+// highest ever granted so a surviving pre-crash worker's id is never
+// reissued to a newcomer.
+func (c *Coordinator) Restore(rec *Recovered) {
+	if rec == nil {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rec.MaxWorker > c.nextW {
+		c.nextW = rec.MaxWorker
+	}
+	for _, rt := range rec.Tasks {
+		if rt.Task.ID == "" || c.tasks[rt.Task.ID] != nil {
+			continue
+		}
+		tr := &taskRec{
+			task: rt.Task, state: rt.State, attempts: rt.Attempts,
+			errText: rt.Error, queuedAt: now, recovered: true,
+		}
+		if rt.State == StateLeased {
+			tr.worker = rt.Worker
+			tr.lease = now.Add(c.opt.LeaseTTL)
+		}
+		c.tasks[rt.Task.ID] = tr
+		// The queue holds every task id ever enqueued; Claim skips ids
+		// not currently queued, so terminal and leased tasks ride along.
+		c.queue = append(c.queue, rt.Task.ID)
+		c.met.moveTask("", rt.State)
 	}
 }
 
@@ -238,6 +288,8 @@ func (c *Coordinator) Claim(workerID string) (*Task, error) {
 		rec.attempts++
 		rec.lease = time.Now().Add(c.opt.LeaseTTL)
 		c.met.moveTask(StateQueued, StateLeased)
+		c.jl.append(journalRecord{Kind: recTaskClaim, TaskID: rec.task.ID,
+			Worker: workerID, Attempts: rec.attempts})
 		t := rec.task
 		claimed = &t
 		break
@@ -272,6 +324,7 @@ func (c *Coordinator) Renew(workerID, taskID string) error {
 		return err
 	}
 	rec.lease = time.Now().Add(c.opt.LeaseTTL)
+	c.jl.append(journalRecord{Kind: recTaskRenew, TaskID: taskID, Worker: workerID})
 	return nil
 }
 
@@ -330,21 +383,66 @@ func (c *Coordinator) requeueLocked(rec *taskRec, reason string) func() {
 	rec.worker = ""
 	rec.queuedAt = time.Now()
 	c.met.moveTask(StateLeased, StateQueued)
+	if !c.closed {
+		c.jl.append(journalRecord{Kind: recTaskRequeue, TaskID: rec.task.ID,
+			Attempts: rec.attempts})
+	}
 	return nil
 }
 
 // settleLocked moves a task to a terminal state and returns the batch
-// notification to run outside the lock.
+// notification to run outside the lock. Close's mass shutdown does not
+// journal: those failures are an artifact of this process dying, and
+// the next boot should recover the tasks as they stood. A recovered
+// task not yet adopted by a resumed job has no batch; its settlement
+// is journal-and-metrics only.
 func (c *Coordinator) settleLocked(rec *taskRec, state, errText string) func() {
 	c.met.moveTask(rec.state, state)
 	rec.state = state
 	rec.worker = ""
 	rec.errText = errText
+	if !c.closed {
+		if state == StateDone {
+			c.jl.append(journalRecord{Kind: recTaskDone, TaskID: rec.task.ID})
+		} else {
+			c.jl.append(journalRecord{Kind: recTaskFail, TaskID: rec.task.ID,
+				Error: errText, Attempts: rec.attempts})
+		}
+	}
 	b := rec.batch
 	task := rec.task
 	var err error
 	if state == StateFailed {
 		err = fmt.Errorf("cluster: task %s: %s", task.ID, errText)
+		if b != nil && b.firstErr == nil {
+			b.firstErr = err
+		}
+	}
+	if b == nil {
+		return func() {}
+	}
+	b.remaining--
+	last := b.remaining == 0
+	return func() {
+		if b.onDone != nil {
+			b.onDone(task, err)
+		}
+		if last {
+			close(b.doneCh)
+		}
+	}
+}
+
+// adoptSettledLocked counts an already-terminal recovered task against
+// the batch that just adopted it, returning the notification to run
+// outside the lock. No state moves and nothing is journaled — the
+// outcome was settled (and logged) before the crash.
+func (c *Coordinator) adoptSettledLocked(rec *taskRec) func() {
+	b := rec.batch
+	task := rec.task
+	var err error
+	if rec.state == StateFailed {
+		err = fmt.Errorf("cluster: task %s: %s", task.ID, rec.errText)
 		if b.firstErr == nil {
 			b.firstErr = err
 		}
@@ -377,17 +475,44 @@ func (c *Coordinator) RunTasks(ctx context.Context, tasks []Task, onDone func(Ta
 		return errors.New("cluster: coordinator closed")
 	}
 	for i, t := range tasks {
-		if t.ID == "" || c.tasks[t.ID] != nil {
+		if t.ID == "" {
 			c.mu.Unlock()
-			return fmt.Errorf("cluster: task %d has a missing or duplicate id %q", i, t.ID)
+			return fmt.Errorf("cluster: task %d has a missing id", i)
+		}
+		if ex := c.tasks[t.ID]; ex != nil && !ex.recovered {
+			c.mu.Unlock()
+			return fmt.Errorf("cluster: task %d has a duplicate id %q", i, t.ID)
 		}
 	}
+	var fresh []Task
+	var settled []func()
 	for _, t := range tasks {
+		if ex := c.tasks[t.ID]; ex != nil {
+			// Adopt a journal-recovered task into this batch. Task ids
+			// are deterministic (job id + point index), so a resumed job
+			// re-submits the same batch and inherits whatever state each
+			// task had already reached: queued and leased tasks will
+			// settle against this batch in due course, and tasks that
+			// finished before the crash settle it right now.
+			ex.recovered = false
+			ex.batch = b
+			if ex.state == StateDone || ex.state == StateFailed {
+				settled = append(settled, c.adoptSettledLocked(ex))
+			}
+			continue
+		}
+		fresh = append(fresh, t)
 		c.tasks[t.ID] = &taskRec{task: t, state: StateQueued, queuedAt: now, batch: b}
 		c.queue = append(c.queue, t.ID)
 		c.met.moveTask("", StateQueued)
 	}
+	if len(fresh) > 0 {
+		c.jl.append(journalRecord{Kind: recTaskAdd, Tasks: fresh})
+	}
 	c.mu.Unlock()
+	for _, fn := range settled {
+		fn()
+	}
 
 	select {
 	case <-b.doneCh:

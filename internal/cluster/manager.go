@@ -61,6 +61,7 @@ type Manager struct {
 	exec  *experiments.Exec
 	coord *Coordinator // nil = standalone
 	met   *Metrics
+	jl    *Journal // nil = not durable
 
 	mu     sync.Mutex
 	jobs   map[string]*jobRec
@@ -80,6 +81,7 @@ type jobRec struct {
 	finished  time.Time
 
 	total   int
+	done    int             // settled points (seen's size, or recovered)
 	seen    map[string]bool // progress keys already counted
 	events  []Event
 	subs    map[int]chan Event
@@ -104,6 +106,88 @@ func (m *Manager) Close() {
 	m.wg.Wait()
 }
 
+// UseJournal makes the manager durable: submissions and job lifecycle
+// transitions append to jl, and Restore replays them after a restart.
+// Call before the first Submit or Restore.
+func (m *Manager) UseJournal(jl *Journal) { m.jl = jl }
+
+// Restore installs journal-recovered jobs. Terminal jobs come back
+// whole — state, error, report, progress — and keep serving status and
+// report reads; anything that had not finished is re-queued for Resume
+// to re-run from scratch (the content-addressed caches make the replay
+// cheap, and the coordinator hands back whatever its recovered tasks
+// already settled). Event history is not persisted; terminal jobs get
+// one synthetic state event so late subscribers still see an ending.
+func (m *Manager) Restore(rec *Recovered) {
+	if rec == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rj := range rec.Jobs {
+		if rj.ID == "" || m.jobs[rj.ID] != nil {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(rj.ID, "j-%d", &n); err == nil && n > m.next {
+			m.next = n
+		}
+		j := &jobRec{
+			id: rj.ID, state: StateQueued, submitted: rj.Submitted,
+			total: rj.Total,
+			seen:  make(map[string]bool),
+			subs:  make(map[int]chan Event),
+		}
+		if sc, err := scenario.Decode([]byte(rj.Spec)); err != nil {
+			// The WAL's CRC vouches for these bytes, so a decode failure
+			// means the spec grammar changed underneath the log. Surface
+			// it as a failed job rather than dropping the id.
+			j.state = StateFailed
+			j.errText = "recovered job spec no longer decodes: " + err.Error()
+			j.finished = time.Now()
+		} else {
+			j.spec = *sc
+			j.preset = experiments.ScenarioLabel(*sc)
+			if rj.State == StateDone || rj.State == StateFailed {
+				j.state = rj.State
+				j.errText = rj.Error
+				j.report = rj.Report
+				j.done = rj.Done
+				j.finished = rj.Finished
+			}
+		}
+		if j.state == StateDone || j.state == StateFailed {
+			m.publishLocked(j, Event{JobID: j.id, Kind: "state", Done: j.done,
+				Total: j.total, State: j.state, Error: j.errText})
+		}
+		m.jobs[j.id] = j
+		m.met.moveJob("", j.state)
+	}
+}
+
+// Resume re-runs every restored job that had not finished, in log
+// order. Call after Restore — and after the boot snapshot, so the
+// re-run's transitions land in the compacted log's fresh segment.
+func (m *Manager) Resume(rec *Recovered) {
+	if rec == nil {
+		return
+	}
+	m.mu.Lock()
+	var pend []*jobRec
+	for _, rj := range rec.Jobs {
+		j := m.jobs[rj.ID]
+		if j == nil || j.state != StateQueued {
+			continue
+		}
+		m.wg.Add(1)
+		pend = append(pend, j)
+	}
+	m.mu.Unlock()
+	for _, j := range pend {
+		go m.run(j)
+	}
+}
+
 // Submit accepts a validated spec as an async job and returns its id.
 func (m *Manager) Submit(sc scenario.Scenario) (string, error) {
 	m.mu.Lock()
@@ -125,6 +209,11 @@ func (m *Manager) Submit(sc scenario.Scenario) (string, error) {
 	m.wg.Add(1)
 	m.mu.Unlock()
 	m.met.moveJob("", StateQueued)
+	// Journal before the id escapes to the client: a crash after this
+	// append replays the submission; a crash before it means the caller
+	// never saw the id accepted.
+	m.jl.append(journalRecord{Kind: recJobSubmit, Job: j.id, Name: sc.Name,
+		Spec: string(j.spec.Canonical()), Submitted: j.submitted})
 	go m.run(j)
 	return j.id, nil
 }
@@ -137,6 +226,8 @@ func (m *Manager) run(j *jobRec) {
 	j.total = len(keys)
 	m.mu.Unlock()
 	m.met.moveJob(StateQueued, StateRunning)
+	m.jl.append(journalRecord{Kind: recJobState, Job: j.id,
+		State: StateRunning, Total: j.total})
 
 	keySet := make(map[string]bool, len(keys))
 	for _, k := range keys {
@@ -172,19 +263,32 @@ func (m *Manager) run(j *jobRec) {
 	cancel()
 	fwd.Wait()
 
-	m.mu.Lock()
-	j.finished = time.Now()
+	finished := time.Now()
 	final := StateDone
+	var errText, report string
 	if err != nil {
 		final = StateFailed
-		j.errText = err.Error()
+		errText = err.Error()
 	} else {
-		j.report = buf.String()
+		report = buf.String()
 	}
+	// Write ahead: the terminal record (which carries the report text,
+	// so a restarted daemon serves pre-crash reports straight from the
+	// journal) must be durable before the state flip is observable — a
+	// crash in between must resurrect the job, never lose a finish the
+	// client already saw. j.done is stable here: the progress forwarder
+	// above has drained.
+	m.jl.append(journalRecord{Kind: recJobState, Job: j.id, State: final,
+		Error: errText, Report: report, Done: j.done, Total: j.total,
+		Finished: finished})
+
+	m.mu.Lock()
+	j.finished = finished
 	j.state = final
-	ev := Event{JobID: j.id, Kind: "state", Done: len(j.seen), Total: j.total,
-		State: final, Error: j.errText}
-	m.publishLocked(j, ev)
+	j.errText = errText
+	j.report = report
+	m.publishLocked(j, Event{JobID: j.id, Kind: "state", Done: j.done,
+		Total: j.total, State: final, Error: errText})
 	for id, sub := range j.subs {
 		close(sub)
 		delete(j.subs, id)
@@ -232,15 +336,16 @@ func (m *Manager) progress(j *jobRec, key, via string) {
 		return
 	}
 	j.seen[key] = true
+	j.done = len(j.seen)
 	m.publishLocked(j, Event{JobID: j.id, Kind: "progress", Key: key, Via: via,
-		Done: len(j.seen), Total: j.total})
+		Done: j.done, Total: j.total})
 }
 
 func (m *Manager) note(j *jobRec, msg string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.publishLocked(j, Event{JobID: j.id, Kind: "note", Error: msg,
-		Done: len(j.seen), Total: j.total})
+		Done: j.done, Total: j.total})
 }
 
 // publishLocked appends to the job's replay log and pushes to live
@@ -269,7 +374,7 @@ func (m *Manager) Status(id string) (JobStatus, bool) {
 	return JobStatus{
 		JobID: j.id, Name: j.spec.Name, Preset: j.preset, Hash: j.spec.Hash(),
 		State: j.state, Error: j.errText,
-		Progress:  Progress{Done: len(j.seen), Total: j.total},
+		Progress:  Progress{Done: j.done, Total: j.total},
 		Submitted: j.submitted, Finished: j.finished,
 	}, true
 }

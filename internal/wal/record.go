@@ -1,0 +1,157 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record framing, mirroring the internal/trace blob discipline: every
+// record is CRC-32-framed with a varint length, and records are packed
+// into 64KB-aligned blocks — a record that would straddle a block
+// boundary is pushed to the next block by zero padding, so a torn
+// sector write damages at most the block it landed in and recovery can
+// resynchronize on block boundaries. Records larger than one block
+// (snapshots) are allowed to straddle; they are still a single CRC
+// frame, so a tear anywhere inside is detected the same way.
+//
+//	segment  header || (record | padding)*
+//	header   magic "DSSWAL01", uvarint version, uvarint seq
+//	record   uvarint len (>0), crc32(payload) LE, payload
+//	padding  0x00 bytes up to the next 64KB boundary
+const (
+	// BlockSize is the alignment quantum. Records never straddle a
+	// block boundary unless they are larger than one block.
+	BlockSize = 64 << 10
+
+	segVersion = 1
+)
+
+var segMagic = [8]byte{'D', 'S', 'S', 'W', 'A', 'L', '0', '1'}
+
+// ErrCorrupt reports damage before the log tail — a failed CRC or
+// malformed frame in a segment that later durable writes prove was
+// once complete. Tail damage is not an error; it is truncated.
+var ErrCorrupt = errors.New("wal: corrupt segment")
+
+// appendRecord encodes one framed record onto b. off is the segment
+// offset b starts at; the returned slice includes any block padding
+// inserted before the frame.
+func appendRecord(b []byte, off int64, payload []byte) []byte {
+	frame := len(payload) + binary.MaxVarintLen64 + 4
+	if rem := BlockSize - int(off%BlockSize); frame > rem && frame <= BlockSize {
+		// Push the frame into the next block. Padding bytes are zero,
+		// which no legal frame starts with (len > 0).
+		for i := 0; i < rem; i++ {
+			b = append(b, 0)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(payload)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	return append(b, payload...)
+}
+
+// segmentHeader encodes the segment preamble.
+func segmentHeader(seq uint64) []byte {
+	b := append([]byte(nil), segMagic[:]...)
+	b = binary.AppendUvarint(b, segVersion)
+	return binary.AppendUvarint(b, seq)
+}
+
+// parseHeader decodes a segment preamble, returning the sequence
+// number and the offset of the first record.
+func parseHeader(b []byte) (seq uint64, off int64, err error) {
+	if len(b) < len(segMagic) {
+		return 0, 0, fmt.Errorf("wal: segment too short for magic")
+	}
+	if string(b[:len(segMagic)]) != string(segMagic[:]) {
+		return 0, 0, fmt.Errorf("wal: bad segment magic %q", b[:len(segMagic)])
+	}
+	o := len(segMagic)
+	ver, n := binary.Uvarint(b[o:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("wal: truncated segment version")
+	}
+	o += n
+	if ver != segVersion {
+		return 0, 0, fmt.Errorf("wal: unsupported segment version %d", ver)
+	}
+	seq, n = binary.Uvarint(b[o:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("wal: truncated segment seq")
+	}
+	return seq, int64(o + n), nil
+}
+
+// scanResult is one segment's decode outcome.
+type scanResult struct {
+	seq     uint64
+	records int
+	// clean is the byte offset through which frames decoded cleanly —
+	// the truncation point when the tail beyond it is torn.
+	clean int64
+	// torn reports undecodable bytes after clean (a torn tail on the
+	// last segment, corruption anywhere else).
+	torn bool
+}
+
+// scanSegment walks every frame in a segment image, invoking emit per
+// decoded payload. It never fails on damaged bytes — it reports how
+// far the clean prefix reaches and whether anything lies beyond it;
+// the caller decides whether that is a torn tail (truncate) or
+// mid-log corruption (error). A header that does not parse reports
+// clean=0, torn when any bytes exist.
+func scanSegment(b []byte, emit func(payload []byte) error) (scanResult, error) {
+	seq, off, err := parseHeader(b)
+	if err != nil {
+		return scanResult{torn: len(b) > 0}, nil
+	}
+	res := scanResult{seq: seq, clean: off}
+	for off < int64(len(b)) {
+		if b[off] == 0 {
+			// Padding: zeros must run exactly to the next block
+			// boundary (or be a torn tail).
+			next := (off/BlockSize + 1) * BlockSize
+			if next > int64(len(b)) {
+				res.torn = true
+				return res, nil
+			}
+			for _, z := range b[off:next] {
+				if z != 0 {
+					res.torn = true
+					return res, nil
+				}
+			}
+			off = next
+			res.clean = off
+			continue
+		}
+		ln, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			res.torn = true
+			return res, nil
+		}
+		rest := int64(len(b)) - off - int64(n)
+		if rest < 4 || ln > uint64(rest-4) {
+			res.torn = true
+			return res, nil
+		}
+		frameEnd := off + int64(n) + 4 + int64(ln)
+		sum := binary.LittleEndian.Uint32(b[off+int64(n):])
+		payload := b[off+int64(n)+4 : frameEnd]
+		if crc32.ChecksumIEEE(payload) != sum {
+			res.torn = true
+			return res, nil
+		}
+		if emit != nil {
+			if err := emit(payload); err != nil {
+				return res, err
+			}
+		}
+		res.records++
+		off = frameEnd
+		res.clean = off
+	}
+	return res, nil
+}
