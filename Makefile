@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check cover bench bench-diff bench-diff-replay fuzz scenario-goldens cluster-smoke wal-smoke clean
+.PHONY: all build test race vet check cover bench bench-diff bench-diff-replay fuzz scenario-goldens cluster-smoke wal-smoke parallel-replay-smoke profile clean
 
 all: build
 
@@ -54,6 +54,29 @@ wal-smoke:
 	$(GO) test -run 'TestCrashRestartEndToEnd|TestJournal' -count=1 -v ./internal/cluster
 	$(GO) test -count=1 ./internal/wal
 
+# The parallel-replay gate: the epoch-windowed speculative driver must
+# be byte-identical to the flat serial driver. Runs the determinism
+# matrix at replay workers ∈ {1, 2, 8} under the race detector: the
+# sched-level equivalence tests (including the fuzz corpus), the
+# core-level flat-vs-parallel report comparisons, and the end-to-end
+# fig6 render matrix. Blocking in CI.
+parallel-replay-smoke:
+	$(GO) test -race -count=1 -run 'TestEpoch|FuzzEpochFootprint' ./internal/sched
+	$(GO) test -race -count=1 -run 'TestReplayParallel' ./internal/core
+	$(GO) test -race -count=1 -run 'TestRenderBytesAcrossReplayWorkers' ./internal/experiments
+
+# Profile a named preset (default fig6) under the CPU and heap
+# profilers. The capture/decode/replay pipeline stages run under pprof
+# labels ("stage" = capture | decode | replay), so the epoch driver's
+# parallel fraction is measurable per stage:
+#   go tool pprof -tagfocus stage=replay cpu.pprof
+PROFILE_EXP ?= fig6
+PROFILE_SCALE ?= 0.01
+profile:
+	$(GO) run ./cmd/dssmem -exp $(PROFILE_EXP) -scale $(PROFILE_SCALE) \
+		-cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof (try: go tool pprof -tags cpu.pprof)"
+
 # Fuzz the input decoders: the scenario decoder (decode -> validate ->
 # canonicalize -> re-decode must round-trip or fail cleanly with a
 # field-path error), the trace decoder (per-event, batched, and
@@ -83,7 +106,7 @@ cover:
 # iteration each — the runner's result cache would otherwise serve
 # repeats and measure nothing) plus the per-reference hot-path
 # microbenchmarks, folded into a committed JSON file for cross-PR diffs.
-BENCH_JSON ?= BENCH_pr7.json
+BENCH_JSON ?= BENCH_pr9.json
 bench:
 	$(GO) test -run NONE -bench . -benchmem -benchtime 1x . > bench_output.txt
 	$(GO) test -run NONE -bench . -benchmem ./internal/machine ./internal/sched >> bench_output.txt
@@ -95,7 +118,7 @@ bench:
 # committed baseline snapshot, failing on any >10% ns/op regression.
 # Single-iteration experiment benchmarks are noisy, so CI runs this as
 # a non-blocking job — a red result is a prompt to look, not a gate.
-BENCH_BASELINE ?= BENCH_pr7.json
+BENCH_BASELINE ?= BENCH_pr9.json
 bench-diff:
 	$(GO) test -run NONE -bench . -benchmem -benchtime 1x . > bench_output.txt
 	$(GO) test -run NONE -bench . -benchmem ./internal/machine ./internal/sched >> bench_output.txt
@@ -106,11 +129,11 @@ bench-diff:
 # stable enough to block CI on. A >10% ns/op regression against the
 # committed snapshot fails the build; everything else stays advisory in
 # bench-diff above.
-REPLAY_BASELINE ?= BENCH_pr7.json
+REPLAY_BASELINE ?= BENCH_pr9.json
 bench-diff-replay:
 	$(GO) test -run NONE -bench 'BenchmarkReplay' -benchmem -benchtime 5x . > bench_replay_output.txt
 	$(GO) run ./cmd/benchjson -diff $(REPLAY_BASELINE) -only '^BenchmarkReplay' bench_replay_output.txt
 
 clean:
 	$(GO) clean ./...
-	rm -f bench_output.txt bench_replay_output.txt cover.out
+	rm -f bench_output.txt bench_replay_output.txt cover.out cpu.pprof mem.pprof

@@ -7,6 +7,7 @@ package repro
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -148,4 +149,26 @@ func BenchmarkReplayStreamed(b *testing.B) {
 			f.Close()
 		}
 	})
+}
+
+// BenchmarkReplayParallel measures one full timing replay of the
+// captured Q6 trace under the epoch-windowed driver: the flat serial
+// baseline (workers=1, the bench-diff-replay-gated configuration) and
+// all host cores (workers=NumCPU — identical to workers1 on a
+// single-core host, where the driver degrades to the flat path).
+func BenchmarkReplayParallel(b *testing.B) {
+	tr, _, mcfg := benchReplayTrace(b)
+	run := func(b *testing.B, workers int) {
+		old := core.ReplayWorkers
+		core.ReplayWorkers = workers
+		defer func() { core.ReplayWorkers = old }()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ReplayTrace(tr, mcfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("workers1", func(b *testing.B) { run(b, 1) })
+	b.Run("workersN", func(b *testing.B) { run(b, runtime.NumCPU()) })
 }

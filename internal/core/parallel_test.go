@@ -1,0 +1,86 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// setReplayWorkers overrides the package knob for one test.
+func setReplayWorkers(t *testing.T, n int) {
+	t.Helper()
+	old := ReplayWorkers
+	ReplayWorkers = n
+	t.Cleanup(func() { ReplayWorkers = old })
+}
+
+// TestReplayParallelMatchesFlat is the tentpole equivalence contract:
+// the epoch-windowed parallel replay driver must produce reports
+// deep-equal to the flat serial driver's — clocks, per-processor
+// breakdowns, machine miss tables, everything — for every query and any
+// worker count, including workers exceeding the host's cores.
+func TestReplayParallelMatchesFlat(t *testing.T) {
+	cfg := testConfig(0.001)
+	before := ReadReplayStats()
+	for _, q := range []string{"Q3", "Q6", "Q12"} {
+		s, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, tr := s.RunColdRecorded(q)
+
+		setReplayWorkers(t, 1)
+		flat, err := ReplayTrace(tr, cfg.Machine)
+		if err != nil {
+			t.Fatalf("%s: flat replay: %v", q, err)
+		}
+		for _, w := range []int{2, 8} {
+			ReplayWorkers = w
+			par, err := ReplayTrace(tr, cfg.Machine)
+			if err != nil {
+				t.Fatalf("%s/workers=%d: parallel replay: %v", q, w, err)
+			}
+			if !reflect.DeepEqual(flat, par) {
+				t.Errorf("%s/workers=%d: parallel replay diverges from flat", q, w)
+			}
+		}
+	}
+	// The equality above is vacuous if every window quietly fell back
+	// to the serial runner: prove speculation actually committed.
+	after := ReadReplayStats()
+	if after.EpochParallel == before.EpochParallel {
+		t.Errorf("no epoch window committed in parallel (serial=%d aborted=%d)",
+			after.EpochSerial-before.EpochSerial, after.EpochAborted-before.EpochAborted)
+	}
+	t.Logf("epoch windows: parallel=%d serial=%d aborted=%d",
+		after.EpochParallel-before.EpochParallel,
+		after.EpochSerial-before.EpochSerial,
+		after.EpochAborted-before.EpochAborted)
+}
+
+// TestReplayParallelMatchesFlatAcrossConfigs re-pins the contract under
+// swept machine configurations (the fig8-11 shapes): narrow write
+// buffers force overflow stalls and bigger occupancy interaction, large
+// lines shift the directory footprint.
+func TestReplayParallelMatchesFlatAcrossConfigs(t *testing.T) {
+	cfg := testConfig(0.001)
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr := s.RunColdRecorded("Q6")
+	for _, c := range traceTestConfigs(cfg.Machine) {
+		setReplayWorkers(t, 1)
+		flat, err := ReplayTrace(tr, c.cfg)
+		if err != nil {
+			t.Fatalf("%s: flat replay: %v", c.name, err)
+		}
+		ReplayWorkers = 4
+		par, err := ReplayTrace(tr, c.cfg)
+		if err != nil {
+			t.Fatalf("%s: parallel replay: %v", c.name, err)
+		}
+		if !reflect.DeepEqual(flat, par) {
+			t.Errorf("%s: parallel replay diverges from flat", c.name)
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
 
 	"repro/internal/machine"
@@ -11,6 +13,16 @@ import (
 	"repro/internal/simm"
 	"repro/internal/trace"
 )
+
+// Profiler stage labels: the capture/decode/replay pipeline stages run
+// under pprof labels so a -cpuprofile of a sweep attributes samples per
+// stage ("stage" ∈ capture, decode, replay — `make profile` renders
+// this). Labels are inherited by goroutines spawned inside the labeled
+// region, which covers the decode pipeline and the epoch driver's
+// shadow workers.
+func withStage(stage string, f func()) {
+	pprof.Do(context.Background(), pprof.Labels("stage", stage), func(context.Context) { f() })
+}
 
 // Record-once/replay-many: a cold query run's reference stream depends
 // on (query, scale, seed) but not on cache geometry, so the sweep
@@ -102,7 +114,7 @@ func (s *System) recordPure(runs []QueryRun, rep *Report) *trace.Recorder {
 		s.Eng.Recorder, s.Eng.RecordPure = nil, false
 		s.LockMgr.Tracer = nil
 	}()
-	s.Eng.Run(bodies)
+	withStage("capture", func() { s.Eng.Run(bodies) })
 	return rec
 }
 
@@ -113,7 +125,9 @@ func (s *System) replayStreams(src trace.Source) error {
 	done := make(chan struct{})
 	defer close(done)
 	srcs := batchSources(src, s.LockMgr, s.Mem.Nodes(), done)
-	return s.Eng.RunReplay(srcs)
+	var err error
+	withStage("replay", func() { err = s.Eng.RunReplayParallel(srcs, replayWorkers()) })
+	return err
 }
 
 // runViaReplay executes runs as a record-pure capture followed by a
@@ -208,6 +222,27 @@ func defaultDecodeAhead() int {
 	return 3
 }
 
+// ReplayWorkers is the number of host goroutines a single replay may
+// use for epoch-windowed parallel execution (sched.RunReplayParallel).
+// 1 forces the flat serial driver; 0 or negative selects the adaptive
+// default (GOMAXPROCS, or serial on a single-CPU host). Values above 1
+// on any host are byte-identical to serial — the parallel driver
+// commits a window only after proving the serial interleaving could not
+// have differed — so the knob tunes speed, never results, and is
+// deliberately excluded from scenario specs and result cache keys.
+var ReplayWorkers = 0
+
+func replayWorkers() int {
+	if ReplayWorkers > 0 {
+		return ReplayWorkers
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		return 1
+	}
+	return n
+}
+
 // replayBatch is the pipeline's unit of work: events per decoded batch.
 // A 64KB chunk of typical 2-3-byte ref events decodes to ~2.5 batches.
 const replayBatch = 8192
@@ -226,14 +261,24 @@ type ReplayStats struct {
 	DecodeStalls uint64
 	ArenaHits    uint64
 	ArenaMisses  uint64
+
+	// Epoch replay window counters (sched.EpochStats): committed
+	// parallel windows, up-front serial windows, validation aborts.
+	EpochParallel uint64
+	EpochSerial   uint64
+	EpochAborted  uint64
 }
 
 // ReadReplayStats returns the process-wide replay pipeline counters.
 func ReadReplayStats() ReplayStats {
+	par, ser, ab := sched.EpochStats()
 	return ReplayStats{
-		DecodeStalls: decodeStalls.Load(),
-		ArenaHits:    arenaHits.Load(),
-		ArenaMisses:  arenaMisses.Load(),
+		DecodeStalls:  decodeStalls.Load(),
+		ArenaHits:     arenaHits.Load(),
+		ArenaMisses:   arenaMisses.Load(),
+		EpochParallel: par,
+		EpochSerial:   ser,
+		EpochAborted:  ab,
 	}
 }
 
@@ -287,7 +332,7 @@ func pipelineSource(cur *trace.Cursor, lm *lockmgr.Manager, depth int, done <-ch
 	for i := 0; i < depth+1; i++ {
 		free <- make([]sched.ReplayEvent, replayBatch)
 	}
-	go func() {
+	go withStage("decode", func() {
 		defer close(ch)
 		for {
 			var out []sched.ReplayEvent
@@ -309,7 +354,7 @@ func pipelineSource(cur *trace.Cursor, lm *lockmgr.Manager, depth int, done <-ch
 				return
 			}
 		}
-	}()
+	})
 	var prev []sched.ReplayEvent
 	var perr error
 	return func() ([]sched.ReplayEvent, error) {
@@ -371,7 +416,9 @@ func replayOn(eng *sched.Engine, lm *lockmgr.Manager, src trace.Source) (*Report
 	done := make(chan struct{})
 	defer close(done)
 	srcs := batchSources(src, lm, meta.Nodes, done)
-	if err := eng.RunReplay(srcs); err != nil {
+	var err error
+	withStage("replay", func() { err = eng.RunReplayParallel(srcs, replayWorkers()) })
+	if err != nil {
 		return nil, fmt.Errorf("core: replaying %s: %w", meta.Query, err)
 	}
 	for _, p := range eng.Procs() {

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestRenderBytesAcrossReplayWorkers is the end-to-end determinism
+// matrix for epoch-windowed parallel replay: a full fig6 render must be
+// byte-identical whether each replay runs on the flat serial driver
+// (workers=1) or speculatively across 2 or 8 goroutines — including
+// worker counts past the host's cores. This is the test the blocking
+// `parallel-replay-smoke` CI job runs under -race.
+func TestRenderBytesAcrossReplayWorkers(t *testing.T) {
+	old := core.ReplayWorkers
+	t.Cleanup(func() { core.ReplayWorkers = old })
+
+	render := func(workers int) []byte {
+		core.ReplayWorkers = workers
+		e := NewExec(4)
+		defer e.Close()
+		var buf bytes.Buffer
+		if err := e.Render(&buf, "fig6", goldenOptions()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	for _, w := range []int{2, 8} {
+		if got := render(w); !bytes.Equal(serial, got) {
+			t.Errorf("fig6 bytes differ between replay workers=1 and workers=%d:\n%s",
+				w, firstDiff(serial, got))
+		}
+	}
+}

@@ -1,0 +1,578 @@
+package machine
+
+import "repro/internal/simm"
+
+// Epoch-parallel replay support: one Shadow per processor gives the
+// replay driver a speculative view of the machine for the duration of
+// one clock window. The design splits the machine's mutable state by
+// who may legally touch it mid-window:
+//
+//   - Own-node state (L1/L2 arrays, seen history, write buffer) is
+//     mutated in place — only the owning processor ever touches it —
+//     under an undo journal (cacheJournal) so an aborted window can
+//     roll back byte-for-byte.
+//   - Directory entries read through a per-shadow overlay seeded from
+//     the frozen base table (non-inserting get). The overlay keyset is
+//     exactly the window's directory-touched line set, which
+//     CommitWindow requires to be pairwise disjoint across processors.
+//   - Directory/bus occupancy (dirFreeAt) runs against a private copy,
+//     with every reservation logged; CommitWindow re-derives each delay
+//     from the merged cross-processor reservation order and aborts on
+//     any mismatch or cross-processor tie.
+//   - Remote-node mutations (coherence invalidations, dirty-forward
+//     downgrades) buffer as intents, applied at commit only after
+//     proving the target could not have observed the difference
+//     mid-window (target never touched the line's page, never filled
+//     into the affected cache sets).
+//   - Stats accumulate into the shadow's private copy (the Machine
+//     value embeds Stats by value) and merge at commit; every counter
+//     is additive, so the merge is exact.
+//
+// Windows with lock-manager operations, overlapping page footprints, or
+// prefetching enabled never run on shadows at all — the epoch driver in
+// internal/sched falls back to the flat serial driver for those.
+
+// dirTouch is one logged occupancy reservation (dirQueue or busQueue).
+//
+// issue is the scheduling step's decision clock — the processor's clock
+// at the moment the serial driver would have picked it to run the event
+// (or spin step) that produced this touch. The serial driver applies
+// every occupancy mutation of one step atomically before the next step
+// runs, and steps run in nondecreasing decision-clock order, so the
+// global serial order of touches is (issue, per-processor sequence) —
+// NOT `now` order: a multi-charge step (a spin step's read + atomic,
+// say) reserves occupancy at `now`s far past other processors' pending
+// decision clocks.
+type dirTouch struct {
+	home    int32
+	reserve int64 // DirOccupancy or BusLat
+	issue   int64 // decision clock of the issuing scheduling step
+	now     int64 // requesting processor's clock at the access
+	delay   int64 // start - now observed against the private copy
+}
+
+// intent is one buffered remote-node mutation.
+type intent struct {
+	target int32
+	line   uint64
+	inval  bool // true: invalidate L2 line + L1 range; false: downgrade to shared
+}
+
+// Undo-record kinds. idx/old are interpreted per kind.
+const (
+	uL1Line  = uint8(iota) // idx = L1 set, old = line address
+	uL1Seen                // idx = line, old = seen mark
+	uL2Tag                 // idx = L2 slot, old = tag
+	uL2State               // idx = L2 slot, old = state
+	uL2Order               // idx = L2 set base, old = packed order bytes (ways <= 8)
+	uL2OrderB              // idx = L2 slot, old = one order byte (ways > 8)
+	uL2Seen                // idx = line, old = seen mark
+)
+
+type undoRec struct {
+	kind uint8
+	idx  uint64
+	old  uint64
+}
+
+// cacheJournal is the own-node undo log: every mutation of the owning
+// processor's L1/L2 state during a speculative window appends its
+// pre-image here, and the fill lists feed CommitWindow's intent checks.
+type cacheJournal struct {
+	undo    []undoRec
+	l1Fills []uint64 // L1 set indices filled this window
+	l2Fills []uint64 // L2 set indices filled this window
+}
+
+func (j *cacheJournal) push(kind uint8, idx, old uint64) {
+	j.undo = append(j.undo, undoRec{kind: kind, idx: idx, old: old})
+}
+
+// pushOrder snapshots one L2 set's recency ranks before a touch
+// reorders them: packed into one record for the universal ways <= 8
+// geometries, per-byte otherwise.
+func (j *cacheJournal) pushOrder(c *l2Cache, base int) {
+	if c.ways <= 8 {
+		var packed uint64
+		for w := 0; w < c.ways; w++ {
+			packed |= uint64(c.order[base+w]) << (8 * w)
+		}
+		j.push(uL2Order, uint64(base), packed)
+		return
+	}
+	for w := 0; w < c.ways; w++ {
+		j.push(uL2OrderB, uint64(base+w), uint64(c.order[base+w]))
+	}
+}
+
+func (j *cacheJournal) reset() {
+	j.undo = j.undo[:0]
+	j.l1Fills = j.l1Fills[:0]
+	j.l2Fills = j.l2Fills[:0]
+}
+
+// rollback restores the node's caches by applying pre-images in reverse
+// append order. It writes the arrays directly, so it never re-journals.
+func (j *cacheJournal) rollback(nd *node) {
+	for i := len(j.undo) - 1; i >= 0; i-- {
+		r := j.undo[i]
+		switch r.kind {
+		case uL1Line:
+			nd.l1.lines[r.idx] = r.old
+		case uL1Seen:
+			nd.l1.seen.set(r.idx, uint8(r.old))
+		case uL2Tag:
+			nd.l2.tags[r.idx] = r.old
+		case uL2State:
+			nd.l2.state[r.idx] = uint8(r.old)
+		case uL2Order:
+			for w := 0; w < nd.l2.ways; w++ {
+				nd.l2.order[int(r.idx)+w] = uint8(r.old >> (8 * w))
+			}
+		case uL2OrderB:
+			nd.l2.order[r.idx] = uint8(r.old)
+		case uL2Seen:
+			nd.l2.seen.set(r.idx, uint8(r.old))
+		}
+	}
+}
+
+// dirOverlay is the per-shadow directory view: an open-addressed table
+// whose slots are live only when stamped with the current generation,
+// so a window reset is one counter bump. Entries seed from the base
+// table on first touch; the live keyset is the window's directory
+// footprint.
+type dirOverlay struct {
+	keys  []uint64
+	vals  []dirEntry
+	gen   []uint32
+	cur   uint32
+	mask  uint64
+	used  int
+	lines []uint64 // live keys in first-touch order, for commit iteration
+}
+
+const overlayInitSize = 512
+
+func newDirOverlay() dirOverlay {
+	return dirOverlay{
+		keys: make([]uint64, overlayInitSize),
+		vals: make([]dirEntry, overlayInitSize),
+		gen:  make([]uint32, overlayInitSize),
+		mask: overlayInitSize - 1,
+		cur:  1,
+	}
+}
+
+func (o *dirOverlay) reset() {
+	o.cur++
+	o.used = 0
+	o.lines = o.lines[:0]
+}
+
+// entry returns the overlay slot for line, seeding from base on first
+// touch this window. The pointer is invalidated by the next entry call
+// (growth), same contract as dirTab.entry.
+func (o *dirOverlay) entry(line uint64, base *dirTab) *dirEntry {
+	i := lineHash(line) & o.mask
+	for o.gen[i] == o.cur && o.keys[i] != line {
+		i = (i + 1) & o.mask
+	}
+	if o.gen[i] != o.cur {
+		o.keys[i] = line
+		o.gen[i] = o.cur
+		o.vals[i], _ = base.get(line)
+		o.used++
+		o.lines = append(o.lines, line)
+		if uint64(o.used)*4 > (o.mask+1)*3 {
+			o.grow()
+			return o.entry(line, base)
+		}
+	}
+	return &o.vals[i]
+}
+
+func (o *dirOverlay) grow() {
+	oldK, oldV, oldG := o.keys, o.vals, o.gen
+	n := (o.mask + 1) * 2
+	o.keys = make([]uint64, n)
+	o.vals = make([]dirEntry, n)
+	o.gen = make([]uint32, n)
+	o.mask = n - 1
+	for i, g := range oldG {
+		if g != o.cur {
+			continue
+		}
+		j := lineHash(oldK[i]) & o.mask
+		for o.gen[j] == o.cur {
+			j = (j + 1) & o.mask
+		}
+		o.keys[j], o.vals[j], o.gen[j] = oldK[i], oldV[i], o.cur
+	}
+}
+
+// get returns the committed-to-be value of a live overlay entry.
+func (o *dirOverlay) get(line uint64) (dirEntry, bool) {
+	i := lineHash(line) & o.mask
+	for o.gen[i] == o.cur {
+		if o.keys[i] == line {
+			return o.vals[i], true
+		}
+		i = (i + 1) & o.mask
+	}
+	return dirEntry{}, false
+}
+
+// Shadow is one processor's speculative machine view for the duration
+// of one epoch window. The embedded Machine value copies the base
+// machine with private stats, private occupancy clocks, and the sh
+// back-pointer set, so the unchanged Read/Write/Sync code paths run
+// against it verbatim; interceptions happen at the five points the base
+// methods consult m.sh.
+type Shadow struct {
+	sm   Machine
+	base *Machine
+	node int
+
+	overlay   dirOverlay
+	dirFreeAt []int64
+	dirLog    []dirTouch
+	stepClock int64
+	intents   []intent
+	j         cacheJournal
+	wbSnap    []wbEntry
+}
+
+// SetStepClock records the decision clock of the scheduling step about
+// to run — the processor's clock before the step's first charge. Every
+// occupancy touch logged until the next call carries this clock; see
+// dirTouch.issue. The epoch driver calls this before each replayed
+// event and each spin iteration.
+func (s *Shadow) SetStepClock(c int64) { s.stepClock = c }
+
+// NewShadow builds the reusable shadow view of node's processor.
+func NewShadow(base *Machine, node int) *Shadow {
+	return &Shadow{
+		base:      base,
+		node:      node,
+		overlay:   newDirOverlay(),
+		dirFreeAt: make([]int64, len(base.dirFreeAt)),
+	}
+}
+
+// M returns the shadow machine to drive accesses through during the
+// window. Valid between Begin and the window's commit or rollback.
+func (s *Shadow) M() *Machine { return &s.sm }
+
+// Node returns the processor this shadow belongs to.
+func (s *Shadow) Node() int { return s.node }
+
+// Begin opens a window: re-copies the base machine (stats zeroed,
+// occupancy clocks snapshotted), resets all logs, and attaches the undo
+// journal to the owning node's caches. Safe to call concurrently across
+// shadows — it only reads the base machine.
+func (s *Shadow) Begin() {
+	s.sm = *s.base
+	s.sm.sh = s
+	s.sm.winScratch = nil
+	s.sm.st = Stats{}
+	copy(s.dirFreeAt, s.base.dirFreeAt)
+	s.sm.dirFreeAt = s.dirFreeAt
+	s.overlay.reset()
+	s.dirLog = s.dirLog[:0]
+	s.intents = s.intents[:0]
+	s.j.reset()
+	nd := s.base.nodes[s.node]
+	s.wbSnap = append(s.wbSnap[:0], nd.wb...)
+	nd.l1.j = &s.j
+	nd.l2.j = &s.j
+}
+
+// detach removes the undo journal from the node's caches; called on
+// both the commit and the rollback path, before any cross-node effects
+// (intents) are applied.
+func (s *Shadow) detach() {
+	nd := s.base.nodes[s.node]
+	nd.l1.j = nil
+	nd.l2.j = nil
+}
+
+// Rollback restores every own-node effect of the window: cache arrays
+// and seen history from the undo journal (reverse order), then the
+// write buffer from its snapshot. Directory overlay, occupancy log,
+// intents, and shadow stats are discarded by the next Begin.
+func (s *Shadow) Rollback() {
+	s.detach()
+	nd := s.base.nodes[s.node]
+	s.j.rollback(nd)
+	nd.wb = append(nd.wb[:0], s.wbSnap...)
+}
+
+// dirEntry serves the shadow machine's directory lookups through the
+// overlay (called from Machine.entry when m.sh != nil).
+func (s *Shadow) dirEntry(line uint64) *dirEntry {
+	return s.overlay.entry(line, s.base.dir)
+}
+
+// commitScratch is CommitWindow's reusable validation state.
+type commitScratch struct {
+	// lineOwner detects cross-processor directory-footprint overlap:
+	// line -> owning node, generation-stamped like dirOverlay.
+	keys  []uint64
+	owner []int32
+	gen   []uint32
+	cur   uint32
+	mask  uint64
+	used  int
+
+	dirFreeAt []int64 // merge-replay target
+	heads     []int   // per-shadow dirLog cursor
+}
+
+func newCommitScratch(nodes int) *commitScratch {
+	return &commitScratch{
+		keys:      make([]uint64, overlayInitSize),
+		owner:     make([]int32, overlayInitSize),
+		gen:       make([]uint32, overlayInitSize),
+		mask:      overlayInitSize - 1,
+		cur:       0,
+		dirFreeAt: make([]int64, nodes),
+		heads:     make([]int, nodes),
+	}
+}
+
+// claim records node's claim on line, reporting false on a conflict
+// (another node already claimed it this window).
+func (c *commitScratch) claim(line uint64, node int32) bool {
+	i := lineHash(line) & c.mask
+	for c.gen[i] == c.cur && c.keys[i] != line {
+		i = (i + 1) & c.mask
+	}
+	if c.gen[i] == c.cur {
+		return c.owner[i] == node
+	}
+	c.keys[i], c.owner[i], c.gen[i] = line, node, c.cur
+	c.used++
+	if uint64(c.used)*4 > (c.mask+1)*3 {
+		c.grow()
+	}
+	return true
+}
+
+func (c *commitScratch) grow() {
+	oldK, oldO, oldG := c.keys, c.owner, c.gen
+	n := (c.mask + 1) * 2
+	c.keys = make([]uint64, n)
+	c.owner = make([]int32, n)
+	c.gen = make([]uint32, n)
+	c.mask = n - 1
+	for i, g := range oldG {
+		if g != c.cur {
+			continue
+		}
+		j := lineHash(oldK[i]) & c.mask
+		for c.gen[j] == c.cur {
+			j = (j + 1) & c.mask
+		}
+		c.keys[j], c.owner[j], c.gen[j] = oldK[i], oldO[i], c.cur
+	}
+}
+
+// CommitWindow validates one epoch window's shadows against each other
+// and, when every check passes, folds their effects into the base
+// machine and returns true. shadows is indexed by node; nil entries are
+// processors that did not run this window. pages reports whether the
+// given node's prescanned window footprint contains the page — the
+// prescan's page set is a proven superset of the pages the node's
+// events touch, which is what makes the intent checks sound.
+//
+// On false, the base machine is untouched (all validation runs on
+// scratch state); the caller must Rollback every shadow and re-run the
+// window serially.
+//
+// The checks, and why each one suffices:
+//
+//  1. Directory disjointness: every directory entry touched this window
+//     (demand lines and eviction victims alike — both go through
+//     Machine.entry, both land in the overlay keyset) is claimed by
+//     exactly one processor, so each overlay's entry evolution equals
+//     the serial run's regardless of interleaving.
+//  2. Occupancy merge-replay: reservations from all processors merge in
+//     scheduling-step issue order (decision clock, then per-processor
+//     log sequence — see dirTouch.issue for why `now` order is wrong)
+//     and replay against the window-start clocks; any delay that
+//     differs from the shadow-observed one, and any same-home
+//     reservation from two processors' same-clock steps (where serial
+//     order depends on scheduler history), aborts.
+//  3. Intent safety: a buffered remote mutation of line L on node q
+//     commits only if q provably could not have interacted with L this
+//     window: q never touched L's page (footprint check — so no hit,
+//     probe, or classification involving L happened), q filled no line
+//     into L's L2 set (victim selection there would have seen L's slot
+//     freed mid-window in the serial order), and q filled no L1 line
+//     into the sets L's L1 range maps to (same argument). Everything
+//     else about an invalidation commutes: it changes no recency ranks
+//     and no other line's state.
+//
+// Own-node effects need no validation: they are already in place and
+// only observable to their owner. Stats merge unconditionally — every
+// counter is additive.
+func CommitWindow(base *Machine, shadows []*Shadow, pages func(node int, page uint64) bool) bool {
+	if base.winScratch == nil {
+		base.winScratch = newCommitScratch(base.cfg.Nodes)
+	}
+	c := base.winScratch
+	c.cur++
+	c.used = 0
+
+	// 1. Directory-footprint disjointness.
+	for _, s := range shadows {
+		if s == nil {
+			continue
+		}
+		for _, line := range s.overlay.lines {
+			if !c.claim(line, int32(s.node)) {
+				return false
+			}
+		}
+	}
+
+	// 3. Intent safety (checked before the occupancy replay: it is the
+	// cheaper rejection for contended windows).
+	for _, s := range shadows {
+		if s == nil {
+			continue
+		}
+		for _, it := range s.intents {
+			q := int(it.target)
+			if pages != nil && pages(q, uint64(it.line)>>simm.PageShift) {
+				return false
+			}
+			t := shadows[q]
+			if t == nil {
+				continue
+			}
+			l2set := base.nodes[q].l2.setOf(it.line)
+			for _, f := range t.j.l2Fills {
+				if f == l2set {
+					return false
+				}
+			}
+			l1 := base.nodes[q].l1
+			end := it.line + uint64(base.cfg.L2Line)
+			for _, f := range t.j.l1Fills {
+				for line := it.line; line < end; line += l1.lineSize {
+					if f == l1.setOf(line) {
+						return false
+					}
+				}
+			}
+		}
+	}
+
+	// 2. Occupancy merge-replay, in step-issue order. The serial driver
+	// runs scheduling steps in nondecreasing decision-clock order and
+	// applies all of one step's reservations atomically, so the serial
+	// touch order is (issue, per-processor sequence) — a step's later
+	// touches can carry `now`s past other processors' pending steps.
+	// Touches from distinct-clock steps replay in issue order; runs of
+	// touches from different processors at the SAME decision clock
+	// commute only if they reserve disjoint homes (the serial order
+	// between same-clock steps depends on baton history the shadows
+	// cannot see), so a shared home there aborts.
+	copy(c.dirFreeAt, base.dirFreeAt)
+	for i := range c.heads {
+		c.heads[i] = 0
+	}
+	for {
+		best := int64(1<<63 - 1)
+		for _, s := range shadows {
+			if s == nil || c.heads[s.node] >= len(s.dirLog) {
+				continue
+			}
+			if is := s.dirLog[c.heads[s.node]].issue; is < best {
+				best = is
+			}
+		}
+		if best == 1<<63-1 {
+			break
+		}
+		var seen uint64 // homes reserved at this decision clock so far
+		for _, s := range shadows {
+			if s == nil {
+				continue
+			}
+			h := c.heads[s.node]
+			if h >= len(s.dirLog) || s.dirLog[h].issue != best {
+				continue
+			}
+			var mine uint64
+			for h < len(s.dirLog) && s.dirLog[h].issue == best {
+				e := s.dirLog[h]
+				h++
+				mine |= 1 << uint(e.home)
+				start := e.now
+				if c.dirFreeAt[e.home] > start {
+					start = c.dirFreeAt[e.home]
+				}
+				if start-e.now != e.delay {
+					return false
+				}
+				c.dirFreeAt[e.home] = start + e.reserve
+			}
+			if seen&mine != 0 {
+				return false
+			}
+			seen |= mine
+			c.heads[s.node] = h
+		}
+	}
+
+	// Commit: detach journals first so the cross-node intent application
+	// below is not recorded into anyone's undo log.
+	for _, s := range shadows {
+		if s != nil {
+			s.detach()
+		}
+	}
+	copy(base.dirFreeAt, c.dirFreeAt)
+	for _, s := range shadows {
+		if s == nil {
+			continue
+		}
+		for _, line := range s.overlay.lines {
+			v, _ := s.overlay.get(line)
+			*base.dir.entry(line) = v
+		}
+		for _, it := range s.intents {
+			q := int(it.target)
+			if it.inval {
+				base.nodes[q].l2.invalidate(it.line)
+				base.nodes[q].l1.invalidateRange(it.line, uint64(base.cfg.L2Line), absentInvalidated)
+			} else {
+				base.nodes[q].l2.setState(it.line, stShared)
+			}
+		}
+		base.st.add(&s.sm.st)
+	}
+	return true
+}
+
+// add accumulates another stats block; every field is a pure counter.
+func (s *Stats) add(o *Stats) {
+	s.L1Misses.AddAll(&o.L1Misses)
+	s.L2Misses.AddAll(&o.L2Misses)
+	s.Reads += o.Reads
+	for i := range s.ReadsByCat {
+		s.ReadsByCat[i] += o.ReadsByCat[i]
+	}
+	s.L1ReadMisses += o.L1ReadMisses
+	s.L2ReadMisses += o.L2ReadMisses
+	s.Writes += o.Writes
+	s.WriteMisses += o.WriteMisses
+	s.WBOverflows += o.WBOverflows
+	s.Syncs += o.Syncs
+	s.Invalidations += o.Invalidations
+	s.Prefetches += o.Prefetches
+	s.LatePrefetches += o.LatePrefetches
+}

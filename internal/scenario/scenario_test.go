@@ -72,6 +72,13 @@ func TestDecodeErrors(t *testing.T) {
 		"type mismatch": `{"machine": {"processors": "four"}}`,
 		"trailing data": `{} {"machine": {}}`,
 		"not an object": `[1, 2]`,
+		// replay_workers is execution policy (runner.Config /
+		// -replay-workers), never spec vocabulary: replay output is
+		// byte-identical at any worker count, so admitting it here
+		// would pollute cache keys with a non-semantic knob.
+		"replay_workers top level":   `{"replay_workers": 4}`,
+		"replay_workers in machine":  `{"machine": {"replay_workers": 4}}`,
+		"replay_workers in workload": `{"workload": {"replay_workers": 4}}`,
 	} {
 		if _, err := Decode([]byte(in)); err == nil {
 			t.Errorf("%s: accepted %q", name, in)

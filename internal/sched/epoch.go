@@ -1,0 +1,761 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/machine"
+	"repro/internal/simm"
+	"repro/internal/stats"
+)
+
+// Epoch-windowed parallel replay. RunReplayParallel executes the same
+// recorded streams as RunReplay with byte-identical results, but uses
+// multiple host cores inside a single replay: the timeline is cut into
+// clock windows [E1, E2), and a window whose per-processor footprints
+// are provably disjoint runs its streams concurrently on shadow machine
+// state (see machine/shadow.go) and commits wholesale. A window with a
+// lock-manager op, overlapping page footprints, or a failed commit
+// validation runs (or re-runs) under the flat serial driver for exactly
+// that window, so correctness never depends on the speculation being
+// right.
+//
+// The soundness chain:
+//
+//   - A cheap pre-scan walks each processor's buffered events
+//     accumulating a lower bound on its clock (every event charges at
+//     least its busy cycles), stamping the pages of every event whose
+//     bound is still below E2. An event the pre-scan did not stamp has
+//     bound ≥ E2, hence issues at clock ≥ E2, hence is not executed
+//     this window — the stamped set is a superset of the window's real
+//     footprint (FuzzEpochFootprint pins this).
+//   - Footprint disjointness means no processor reads or writes a page
+//     another processor touches before E2, so per-processor event
+//     streams are independent up to the shared timing state — the
+//     directory, the occupancy clocks, and remote caches — which the
+//     shadows virtualize and CommitWindow validates in (clock, id)
+//     issue order. Any window where concurrent execution could have
+//     diverged from the serial interleaving fails validation and is
+//     re-run serially.
+//   - Spinlocks stay eligible: a lock word's page is stamped like any
+//     other, so a lock touched by two processors in one window forces
+//     that window serial automatically, and a single-toucher spin
+//     (including a processor spinning on a lock whose release lies
+//     beyond E2) replays exactly as the flat driver would.
+//
+// The window width adapts: it grows after each committed parallel
+// window and shrinks when validation aborts one.
+const (
+	winStart = int64(4096)
+	winMin   = int64(1024)
+	winMax   = int64(65536)
+)
+
+// Epoch replay counters (process-wide, atomic), surfaced as gauges by
+// the experiments layer and consulted by tests that must prove the
+// speculative path actually ran: windows committed in parallel, windows
+// classified serial up front (footprint overlap, lock-manager op, or a
+// lone in-window processor), and windows that failed commit validation
+// (each aborted window also re-runs serially but is counted only here).
+var (
+	epochParallelWindows atomic.Uint64
+	epochSerialWindows   atomic.Uint64
+	epochAbortedWindows  atomic.Uint64
+)
+
+// EpochStats returns the process-wide epoch replay window counters.
+func EpochStats() (parallel, serial, aborted uint64) {
+	return epochParallelWindows.Load(), epochSerialWindows.Load(), epochAbortedWindows.Load()
+}
+
+// RunReplayParallel is RunReplay with epoch-windowed parallel execution
+// across workers host goroutines. workers <= 1 — and any configuration
+// the parallel driver does not model: an attached Tracer (issue-order
+// observation), hardware prefetching (asynchronous cross-page fills),
+// or a machine with fewer than two processors — degrades to the flat
+// serial driver.
+func (e *Engine) RunReplayParallel(srcs []ReplaySource, workers int) error {
+	if len(srcs) != len(e.procs) {
+		panic(fmt.Sprintf("sched: %d replay sources for %d processors", len(srcs), len(e.procs)))
+	}
+	if workers <= 1 || e.Tracer != nil || e.mach.Config().PrefetchData || len(e.procs) < 2 {
+		return e.RunReplay(srcs)
+	}
+	r := &epochRunner{
+		e:          e,
+		srcs:       srcs,
+		workers:    workers,
+		bufs:       make([]winBuf, len(e.procs)),
+		snaps:      make([]procSnap, len(e.procs)),
+		memLogs:    make([][]memWrite, len(e.procs)),
+		panics:     make([]interface{}, len(e.procs)),
+		shadows:    make([]*machine.Shadow, len(e.procs)),
+		winShadows: make([]*machine.Shadow, len(e.procs)),
+	}
+	r.pages.init()
+	r.pagesFn = func(node int, page uint64) bool {
+		return r.pages.ownerOf(page) == int32(node)
+	}
+	for i, src := range srcs {
+		if src == nil {
+			continue
+		}
+		p := e.procs[i]
+		p.done = false
+		p.started = true
+		p.panicVal = nil
+		p.spinning = false
+		p.inOp = false
+		r.active = append(r.active, p)
+	}
+	if len(r.active) < 2 {
+		return e.RunReplay(srcs)
+	}
+	defer r.stopWorkers()
+	return r.run()
+}
+
+// memWrite is one journaled simulated-memory store (a spin-word
+// transition) for rollback of an aborted window.
+type memWrite struct {
+	addr simm.Addr
+	old  uint32
+}
+
+// winBuf holds one processor's decoded-but-unissued events. The flat
+// driver consumes source batches in place; the window driver cannot
+// (sources recycle their backing arrays, and a window may end mid-
+// batch), so batches are copied in and compacted as they drain.
+type winBuf struct {
+	evs  []ReplayEvent
+	head int
+	eof  bool
+}
+
+// refill compacts the buffer and appends the source's next batch,
+// reporting whether any events arrived (false means end of stream).
+func (b *winBuf) refill(src ReplaySource) (bool, error) {
+	if b.head > 0 {
+		b.evs = append(b.evs[:0], b.evs[b.head:]...)
+		b.head = 0
+	}
+	evs, err := src()
+	if err != nil {
+		return false, err
+	}
+	if len(evs) == 0 {
+		b.eof = true
+		return false, nil
+	}
+	b.evs = append(b.evs, evs...)
+	return true, nil
+}
+
+// procSnap is the processor-local state restored when a speculative
+// window aborts.
+type procSnap struct {
+	clock    int64
+	bd       stats.CycleBreakdown
+	inSync   bool
+	spinning bool
+	spinAddr simm.Addr
+	head     int
+}
+
+// pageClaims maps page number -> claiming processor for one window,
+// generation-stamped so a window reset is a counter bump. It detects
+// footprint overlap during the pre-scan and answers CommitWindow's
+// footprint queries during validation.
+type pageClaims struct {
+	keys  []uint64
+	owner []int32
+	gen   []uint32
+	cur   uint32
+	mask  uint64
+	used  int
+}
+
+const pageClaimsInitSize = 512
+
+func (c *pageClaims) init() {
+	c.keys = make([]uint64, pageClaimsInitSize)
+	c.owner = make([]int32, pageClaimsInitSize)
+	c.gen = make([]uint32, pageClaimsInitSize)
+	c.mask = pageClaimsInitSize - 1
+	c.cur = 1
+}
+
+func (c *pageClaims) reset() {
+	c.cur++
+	c.used = 0
+}
+
+// claim records node's claim on page, reporting whether another node
+// already holds it (a footprint conflict).
+func (c *pageClaims) claim(page uint64, node int32) (conflict bool) {
+	i := (page * 0x9E3779B97F4A7C15) & c.mask
+	for c.gen[i] == c.cur && c.keys[i] != page {
+		i = (i + 1) & c.mask
+	}
+	if c.gen[i] == c.cur {
+		return c.owner[i] != node
+	}
+	c.keys[i], c.owner[i], c.gen[i] = page, node, c.cur
+	c.used++
+	if uint64(c.used)*4 > (c.mask+1)*3 {
+		c.grow()
+	}
+	return false
+}
+
+func (c *pageClaims) ownerOf(page uint64) int32 {
+	i := (page * 0x9E3779B97F4A7C15) & c.mask
+	for c.gen[i] == c.cur {
+		if c.keys[i] == page {
+			return c.owner[i]
+		}
+		i = (i + 1) & c.mask
+	}
+	return -1
+}
+
+func (c *pageClaims) grow() {
+	oldK, oldO, oldG := c.keys, c.owner, c.gen
+	n := (c.mask + 1) * 2
+	c.keys = make([]uint64, n)
+	c.owner = make([]int32, n)
+	c.gen = make([]uint32, n)
+	c.mask = n - 1
+	for i, g := range oldG {
+		if g != c.cur {
+			continue
+		}
+		j := (oldK[i] * 0x9E3779B97F4A7C15) & c.mask
+		for c.gen[j] == c.cur {
+			j = (j + 1) & c.mask
+		}
+		c.keys[j], c.owner[j], c.gen[j] = oldK[i], oldO[i], c.cur
+	}
+}
+
+// epochRunner is the coordinator state of one RunReplayParallel call.
+type epochRunner struct {
+	e       *Engine
+	srcs    []ReplaySource
+	workers int
+	active  []*Proc
+
+	bufs      []winBuf
+	snaps     []procSnap
+	memLogs   [][]memWrite
+	panics    []interface{}
+	shadows   []*machine.Shadow // lazily created, indexed by node
+	pages     pageClaims
+	pagesFn   func(node int, page uint64) bool
+	spinAddrs []simm.Addr // lock words seen by the current pre-scan
+
+	winShadows []*machine.Shadow // CommitWindow argument, indexed by node
+	inWin      []*Proc
+	tieBuf     []int64
+
+	tasks chan shadowTask
+	wg    sync.WaitGroup
+}
+
+type shadowTask struct {
+	p  *Proc
+	e2 int64
+}
+
+func (r *epochRunner) stopWorkers() {
+	if r.tasks != nil {
+		close(r.tasks)
+		r.tasks = nil
+	}
+}
+
+func (r *epochRunner) run() error {
+	// The runnable ring is persistent across windows: the flat driver's
+	// scheduling rule lets the baton holder keep running through exact
+	// clock ties, so the interleaving at a tie depends on who currently
+	// holds the baton — state a per-window rebuild of the ring would
+	// destroy (the rebuilt ring puts the lowest id first, the flat
+	// driver keeps the incumbent). Serial windows therefore resume the
+	// ring exactly where the previous window left it; only a committed
+	// parallel window rebuilds it, and such windows refuse to commit
+	// with any clock tie among live processors outstanding.
+	r.buildRing()
+	w := winStart
+	for len(r.active) > 0 {
+		e1 := r.active[0].clock
+		for _, p := range r.active[1:] {
+			if p.clock < e1 {
+				e1 = p.clock
+			}
+		}
+		if len(r.active) == 1 {
+			// One stream left: windowing buys nothing. Run it flat to
+			// completion (the serial runner streams its refills, so no
+			// whole-trace buffering happens).
+			if err := r.runSerial(horizonMax); err != nil {
+				return err
+			}
+			r.filterDone()
+			continue
+		}
+		e2 := e1 + w
+		parallel, err := r.prescan(e2)
+		if err != nil {
+			return err
+		}
+		if parallel && len(r.inWin) >= 2 {
+			if r.runParallel(e2) {
+				epochParallelWindows.Add(1)
+				if w < winMax {
+					w *= 2
+				}
+				r.filterDone()
+				r.buildRing()
+				continue
+			}
+			// Validation aborted: the window really was contended.
+			// Narrow the next ones and re-run this one serially.
+			epochAbortedWindows.Add(1)
+			if w > winMin {
+				w /= 2
+			}
+		} else {
+			epochSerialWindows.Add(1)
+		}
+		if err := r.runSerial(e2); err != nil {
+			return err
+		}
+		r.filterDone()
+	}
+	return nil
+}
+
+// buildRing rebuilds the runnable ring (clock, id)-sorted from the
+// active set. Sound only when no two active processors share a clock
+// (or at the very start, where the sorted order is by construction the
+// flat driver's initial state).
+func (r *epochRunner) buildRing() {
+	e := r.e
+	e.ring = e.ring[:0]
+	for _, p := range r.active {
+		e.ringInsert(p)
+	}
+}
+
+// filterDone drops processors whose stream is exhausted and whose
+// engine state is quiescent (not mid-spin, not mid-op).
+func (r *epochRunner) filterDone() {
+	live := r.active[:0]
+	for _, p := range r.active {
+		b := &r.bufs[p.id]
+		if b.head >= len(b.evs) && b.eof && !p.spinning && !p.inOp {
+			continue
+		}
+		live = append(live, p)
+	}
+	r.active = live
+}
+
+// prescan buffers and classifies the window [*, e2): it fills each
+// in-window processor's buffer until the clock lower bound passes e2,
+// stamps the page footprint of every event that might issue, and
+// reports whether the window is eligible for parallel execution. A
+// report of false is always safe — the serial runner needs nothing from
+// the scan.
+func (r *epochRunner) prescan(e2 int64) (bool, error) {
+	r.pages.reset()
+	r.spinAddrs = r.spinAddrs[:0]
+	r.inWin = r.inWin[:0]
+	busy := r.e.cfg.BusyPerAccess
+	parallel := true
+	for _, p := range r.active {
+		if p.clock >= e2 {
+			continue // beyond this window (a previous op overran); idle
+		}
+		r.inWin = append(r.inWin, p)
+		if p.inOp {
+			// Cannot happen — serial windows run until every op
+			// completes — but an op mid-flight could never be suspended
+			// into a shadow, so classify defensively.
+			parallel = false
+		}
+		if p.spinning {
+			// A processor that enters the window mid-acquire touches its
+			// lock word before consuming any event.
+			parallel = parallel && !r.stampSpin(p.id, p.spinAddr)
+		}
+		b := &r.bufs[p.id]
+		est := p.clock
+		i := b.head
+		for est < e2 {
+			if i >= len(b.evs) {
+				if b.eof {
+					break
+				}
+				h := b.head
+				got, err := b.refill(r.srcs[p.id])
+				if err != nil {
+					return false, err
+				}
+				i -= h // refill compacted the buffer
+				if !got {
+					break
+				}
+			}
+			ev := &b.evs[i]
+			i++
+			switch ev.Kind {
+			case ReplayRef:
+				pg := uint64(ev.Addr) >> simm.PageShift
+				parallel = parallel && !r.pages.claim(pg, int32(p.id))
+				if lpg := (uint64(ev.Addr) + uint64(ev.Size) - 1) >> simm.PageShift; lpg != pg {
+					parallel = parallel && !r.pages.claim(lpg, int32(p.id))
+				}
+				est += busy
+			case ReplayBusy:
+				est += ev.N
+			case ReplaySpinAcquire, ReplaySpinRelease:
+				parallel = parallel && !r.stampSpin(p.id, ev.Addr)
+				if ev.Kind == ReplaySpinAcquire {
+					est += busy
+				}
+			case ReplayOp:
+				// Lock-manager code runs live on a goroutine and may
+				// interleave with any processor mid-operation: serial.
+				parallel = false
+			}
+		}
+	}
+	return parallel, nil
+}
+
+// stampSpin claims a lock word's page and remembers the word so
+// runParallel can pre-materialize its backing chunk (concurrent first
+// stores into one 64-KB chunk would otherwise race on materialization).
+func (r *epochRunner) stampSpin(node int, a simm.Addr) (conflict bool) {
+	r.spinAddrs = append(r.spinAddrs, a)
+	return r.pages.claim(uint64(a)>>simm.PageShift, int32(node))
+}
+
+// runParallel executes the current window speculatively and reports
+// whether it committed. On false every side effect has been rolled
+// back and the caller re-runs the window serially.
+func (r *epochRunner) runParallel(e2 int64) bool {
+	mem := r.e.mem
+	for _, a := range r.spinAddrs {
+		mem.Store32(a, mem.Load32(a)) // identity store: materialize the chunk
+	}
+	for _, p := range r.inWin {
+		r.snaps[p.id] = procSnap{
+			clock:    p.clock,
+			bd:       p.bd,
+			inSync:   p.inSync,
+			spinning: p.spinning,
+			spinAddr: p.spinAddr,
+			head:     r.bufs[p.id].head,
+		}
+		if r.shadows[p.id] == nil {
+			r.shadows[p.id] = machine.NewShadow(r.e.mach, p.id)
+		}
+		r.panics[p.id] = nil
+	}
+	r.startWorkers()
+	r.wg.Add(len(r.inWin) - 1)
+	for _, p := range r.inWin[1:] {
+		r.tasks <- shadowTask{p: p, e2: e2}
+	}
+	r.runShadow(r.inWin[0], e2)
+	r.wg.Wait()
+	for _, p := range r.inWin {
+		if v := r.panics[p.id]; v != nil {
+			panic(v)
+		}
+	}
+	if !r.exitClockTie() {
+		for i := range r.winShadows {
+			r.winShadows[i] = nil
+		}
+		for _, p := range r.inWin {
+			r.winShadows[p.id] = r.shadows[p.id]
+		}
+		if machine.CommitWindow(r.e.mach, r.winShadows, r.pagesFn) {
+			for _, p := range r.inWin {
+				r.memLogs[p.id] = r.memLogs[p.id][:0]
+			}
+			return true
+		}
+	}
+	for _, p := range r.inWin {
+		r.shadows[p.id].Rollback()
+		lg := r.memLogs[p.id]
+		for i := len(lg) - 1; i >= 0; i-- {
+			mem.Store32(lg[i].addr, lg[i].old)
+		}
+		r.memLogs[p.id] = lg[:0]
+		s := &r.snaps[p.id]
+		p.clock = s.clock
+		p.bd = s.bd
+		p.inSync = s.inSync
+		p.spinning = s.spinning
+		p.spinAddr = s.spinAddr
+		r.bufs[p.id].head = s.head
+	}
+	return false
+}
+
+// exitClockTie reports whether two processors that can still issue
+// events leave the window with identical clocks. A committed parallel
+// window is followed by a (clock, id)-sorted ring rebuild, and the
+// rebuild reproduces the flat driver's scheduler state only when no
+// exact tie is outstanding: the flat driver breaks ties in favor of the
+// current baton holder, history a rebuild cannot recover. A tie is
+// treated as a validation failure and the window re-runs serially,
+// where baton state is tracked exactly.
+func (r *epochRunner) exitClockTie() bool {
+	live := r.tieBuf[:0]
+	for _, p := range r.active {
+		b := &r.bufs[p.id]
+		if b.head >= len(b.evs) && b.eof && !p.spinning {
+			continue // retired: will never issue again, ties are moot
+		}
+		live = append(live, p.clock)
+	}
+	r.tieBuf = live
+	for i := 1; i < len(live); i++ {
+		for j := 0; j < i; j++ {
+			if live[j] == live[i] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (r *epochRunner) startWorkers() {
+	if r.tasks != nil {
+		return
+	}
+	n := r.workers - 1
+	if max := len(r.e.procs) - 1; n > max {
+		n = max
+	}
+	tasks := make(chan shadowTask)
+	r.tasks = tasks
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range tasks {
+				r.runShadow(t.p, t.e2)
+				r.wg.Done()
+			}
+		}()
+	}
+}
+
+// runShadow replays one processor's window on its shadow machine: the
+// flat driver's exact charge sequences, bounded by e2 — every event and
+// spin iteration issues if and only if the processor's clock is still
+// below e2, mirroring "p is the (clock, id) minimum while minima stay
+// under e2". Panics are captured for the coordinator to re-raise.
+func (r *epochRunner) runShadow(p *Proc, e2 int64) {
+	defer func() {
+		if v := recover(); v != nil {
+			r.panics[p.id] = v
+		}
+	}()
+	sh := r.shadows[p.id]
+	sh.Begin()
+	m := sh.M()
+	b := &r.bufs[p.id]
+	for {
+		if p.spinning {
+			for {
+				if p.clock >= e2 {
+					return // still mid-acquire at the window edge
+				}
+				sh.SetStepClock(p.clock)
+				if r.shadowSpinStep(p, m) {
+					p.spinning = false
+					break
+				}
+			}
+		}
+		if p.clock >= e2 || b.head >= len(b.evs) {
+			// Past the edge, or out of events (pre-scan buffered every
+			// event issuable before e2, so exhaustion means end of
+			// stream or a next event provably at clock >= e2).
+			return
+		}
+		sh.SetStepClock(p.clock)
+		ev := &b.evs[b.head]
+		b.head++
+		switch ev.Kind {
+		case ReplayRef:
+			p.preAccess()
+			if ev.Write {
+				p.charge(m.Write(p.id, ev.Addr, ev.Size, p.clock))
+			} else {
+				p.charge(m.Read(p.id, ev.Addr, ev.Size, p.clock))
+			}
+		case ReplayBusy:
+			p.bd.Busy += uint64(ev.N)
+			p.clock += ev.N
+		case ReplaySpinAcquire:
+			p.spinning, p.spinAddr = true, ev.Addr
+		case ReplaySpinRelease:
+			r.shadowSpinRelease(p, m, ev.Addr)
+		case ReplayOp:
+			panic("sched: lock-manager op reached a speculative window")
+		}
+	}
+}
+
+// shadowSpinStep is flatSpinStep against the shadow machine, with the
+// winning store journaled for rollback.
+func (r *epochRunner) shadowSpinStep(p *Proc, m *machine.Machine) bool {
+	a := p.spinAddr
+	mem := p.eng.mem
+	p.inSync = true
+	p.preAccess()
+	p.charge(m.Read(p.id, a, 4, p.clock))
+	if mem.Load32(a) == 0 {
+		p.charge(m.Sync(p.id, a, p.clock))
+		if mem.Load32(a) == 0 {
+			r.memLogs[p.id] = append(r.memLogs[p.id], memWrite{addr: a, old: 0})
+			mem.Store32(a, 1)
+			p.inSync = false
+			return true
+		}
+	}
+	backoff := p.eng.cfg.SpinBackoff + int64(13*p.id)
+	p.clock += backoff
+	p.bd.MSync += uint64(backoff)
+	return false
+}
+
+// shadowSpinRelease is flatSpinRelease against the shadow machine.
+func (r *epochRunner) shadowSpinRelease(p *Proc, m *machine.Machine, a simm.Addr) {
+	p.inSync = true
+	p.charge(m.Sync(p.id, a, p.clock))
+	r.memLogs[p.id] = append(r.memLogs[p.id], memWrite{addr: a, old: p.eng.mem.Load32(a)})
+	p.eng.mem.Store32(a, 0)
+	p.inSync = false
+}
+
+// runSerial drives the window [*, e2) with the flat driver's exact
+// algorithm over the window buffers: events issue in global (clock, id)
+// order, and a processor whose clock reaches e2 pauses — unless a
+// lock-manager op is in flight anywhere, in which case every processor
+// stays runnable (an op may spin on a lock whose release lies past e2;
+// pausing the releaser would deadlock the replay). Windows therefore
+// always end with no op in flight.
+//
+// The ring is NOT rebuilt here: it persists from the previous window
+// (or buildRing), because the head may be holding the baton through an
+// exact clock tie — the flat driver's tie-break — and a rebuild would
+// hand the tie to the lowest id instead.
+func (r *epochRunner) runSerial(e2 int64) error {
+	e := r.e
+	if e.flatCh == nil {
+		e.flatCh = make(chan *Proc)
+	}
+	e.flat = true
+	defer func() { e.flat = false }()
+	opCount := 0
+outer:
+	for len(e.ring) > 0 {
+		p := e.ring[0]
+		if opCount == 0 && p.clock >= e2 {
+			break // the minimum runnable clock passed the edge: window over
+		}
+		if len(e.ring) > 1 {
+			p.horizon = e.ring[1].clock
+		} else {
+			p.horizon = horizonMax
+		}
+		switch {
+		case p.inOp:
+			p.park <- struct{}{}
+			q := <-e.flatCh
+			if q.panicVal != nil {
+				panic(q.panicVal)
+			}
+			if !q.inOp {
+				opCount--
+			}
+			continue
+		case p.spinning:
+			if p.flatSpinStep() {
+				p.spinning = false
+			}
+		default:
+			b := &r.bufs[p.id]
+			limit := e2
+			if opCount > 0 {
+				limit = horizonMax
+			}
+			for {
+				if b.head >= len(b.evs) {
+					if b.eof {
+						copy(e.ring, e.ring[1:])
+						e.ring = e.ring[:len(e.ring)-1]
+						continue outer
+					}
+					got, err := b.refill(r.srcs[p.id])
+					if err != nil {
+						return err
+					}
+					if !got {
+						copy(e.ring, e.ring[1:])
+						e.ring = e.ring[:len(e.ring)-1]
+						continue outer
+					}
+				}
+				ev := &b.evs[b.head]
+				b.head++
+				switch ev.Kind {
+				case ReplayRef:
+					p.flatRef(ev.Addr, ev.Size, ev.Write)
+				case ReplayBusy:
+					p.bd.Busy += uint64(ev.N)
+					p.clock += ev.N
+				case ReplaySpinAcquire:
+					p.spinning, p.spinAddr = true, ev.Addr
+					continue outer
+				case ReplaySpinRelease:
+					p.flatSpinRelease(ev.Addr)
+				case ReplayOp:
+					p.inOp = true
+					opCount++
+					go func(p *Proc, op func(*Proc)) {
+						defer func() {
+							p.panicVal = recover()
+							p.inOp = false
+							e.flatCh <- p
+						}()
+						<-p.park
+						op(p)
+					}(p, ev.Op)
+					continue outer
+				}
+				if p.clock > p.horizon || p.clock >= limit {
+					break
+				}
+			}
+		}
+		if p.clock > p.horizon {
+			i := 0
+			for i+1 < len(e.ring) && less(e.ring[i+1], p) {
+				e.ring[i] = e.ring[i+1]
+				i++
+			}
+			e.ring[i] = p
+		}
+	}
+	return nil
+}

@@ -1,0 +1,408 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/simm"
+	"repro/internal/stats"
+)
+
+// sliceSource returns a ReplaySource over evs that recycles one backing
+// array across batches, exercising the driver contract that a batch is
+// dead once the next one is requested.
+func sliceSource(evs []ReplayEvent, batch int) ReplaySource {
+	buf := make([]ReplayEvent, 0, batch)
+	i := 0
+	return func() ([]ReplayEvent, error) {
+		buf = buf[:0]
+		for len(buf) < batch && i < len(evs) {
+			buf = append(buf, evs[i])
+			i++
+		}
+		return buf, nil
+	}
+}
+
+type replayResult struct {
+	Clocks []int64
+	Bds    []stats.CycleBreakdown
+	Mach   machine.Stats
+}
+
+// runStreams replays the generated streams on a fresh rig and returns
+// everything the drivers are required to agree on.
+func runStreams(t *testing.T, nodes, workers int, gen func(id int, data, lock simm.Addr) []ReplayEvent) replayResult {
+	t.Helper()
+	e, data, lock := rig(t, nodes)
+	srcs := make([]ReplaySource, nodes)
+	for i := range srcs {
+		if evs := gen(i, data, lock); evs != nil {
+			srcs[i] = sliceSource(evs, 7)
+		}
+	}
+	var err error
+	if workers > 1 {
+		err = e.RunReplayParallel(srcs, workers)
+	} else {
+		err = e.RunReplay(srcs)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := replayResult{Mach: *e.Machine().Stats()}
+	for _, p := range e.Procs() {
+		res.Clocks = append(res.Clocks, p.Clock())
+		res.Bds = append(res.Bds, p.Breakdown())
+	}
+	return res
+}
+
+// requireEqual replays gen's streams flat and parallel (at several
+// worker counts) and requires identical clocks, breakdowns, and machine
+// stats. It returns how many windows committed in parallel across the
+// parallel runs, so callers can assert the classification they expect.
+func requireEqual(t *testing.T, nodes int, gen func(id int, data, lock simm.Addr) []ReplayEvent) (parallelWindows uint64) {
+	t.Helper()
+	flat := runStreams(t, nodes, 1, gen)
+	for _, w := range []int{2, 8} {
+		p0, _, _ := EpochStats()
+		par := runStreams(t, nodes, w, gen)
+		p1, _, _ := EpochStats()
+		parallelWindows += p1 - p0
+		if !reflect.DeepEqual(flat, par) {
+			t.Errorf("workers=%d: parallel replay diverges from flat\nflat: %+v\npar:  %+v", w, flat, par)
+		}
+	}
+	return parallelWindows
+}
+
+// pageStride spaces per-processor working sets onto disjoint pages.
+func pageStride(id int, data simm.Addr) simm.Addr {
+	return data + simm.Addr(id)*simm.PageSize
+}
+
+// TestEpochDisjointRunsParallel: processors touching disjoint pages for
+// thousands of cycles must commit at least one speculative window, and
+// the result must equal the flat driver's.
+func TestEpochDisjointRunsParallel(t *testing.T) {
+	gen := func(id int, data, lock simm.Addr) []ReplayEvent {
+		var evs []ReplayEvent
+		base := pageStride(id, data)
+		for k := 0; k < 4000; k++ {
+			evs = append(evs, ReplayEvent{
+				Kind:  ReplayRef,
+				Addr:  base + simm.Addr(k%500)*8,
+				Size:  8,
+				Write: k%5 == 0,
+			})
+		}
+		return evs
+	}
+	if got := requireEqual(t, 4, gen); got == 0 {
+		t.Error("disjoint-footprint streams committed no parallel window")
+	}
+}
+
+// TestEpochConflictWriteReadOverlap: a page written by one processor
+// and read by its neighbor in the same clock range must force those
+// windows serial — and the replay must still equal the flat driver's
+// exactly, including the coherence misses the sharing causes.
+func TestEpochConflictWriteReadOverlap(t *testing.T) {
+	gen := func(id int, data, lock simm.Addr) []ReplayEvent {
+		var evs []ReplayEvent
+		for k := 0; k < 2000; k++ {
+			// Everyone hammers page 0 the whole run: every window sees
+			// the write/read overlap.
+			evs = append(evs, ReplayEvent{
+				Kind:  ReplayRef,
+				Addr:  data + simm.Addr(k%100)*8,
+				Size:  8,
+				Write: id == 0 && k%3 == 0,
+			})
+		}
+		return evs
+	}
+	if got := requireEqual(t, 4, gen); got != 0 {
+		t.Errorf("overlapping-footprint streams committed %d parallel windows, want 0", got)
+	}
+}
+
+// TestEpochAdjacentWindowHandoff: processor 0 writes a page early and
+// goes quiet; processor 1 reads the same page much later. The touches
+// land in different windows, so later windows may parallelize, but the
+// second processor's reads must still see the coherence state the
+// writes left behind (miss classification equality catches any skew).
+func TestEpochAdjacentWindowHandoff(t *testing.T) {
+	gen := func(id int, data, lock simm.Addr) []ReplayEvent {
+		var evs []ReplayEvent
+		if id == 0 {
+			for k := 0; k < 300; k++ {
+				evs = append(evs, ReplayEvent{Kind: ReplayRef, Addr: data + simm.Addr(k%64)*8, Size: 8, Write: true})
+			}
+			evs = append(evs, ReplayEvent{Kind: ReplayBusy, N: 1 << 20})
+			for k := 0; k < 2000; k++ {
+				evs = append(evs, ReplayEvent{Kind: ReplayRef, Addr: pageStride(2, data) + simm.Addr(k%64)*8, Size: 8})
+			}
+		} else {
+			evs = append(evs, ReplayEvent{Kind: ReplayBusy, N: 1 << 18})
+			for k := 0; k < 2000; k++ {
+				evs = append(evs, ReplayEvent{Kind: ReplayRef, Addr: data + simm.Addr(k%64)*8, Size: 8})
+			}
+		}
+		return evs
+	}
+	requireEqual(t, 2, gen)
+}
+
+// TestEpochLockOpForcesSerial: a window containing a lock-manager op
+// never speculates (the op runs arbitrary live code), and op-heavy
+// streams still replay byte-identically.
+func TestEpochLockOpForcesSerial(t *testing.T) {
+	gen := func(id int, data, lock simm.Addr) []ReplayEvent {
+		var evs []ReplayEvent
+		base := pageStride(id, data)
+		for k := 0; k < 1500; k++ {
+			evs = append(evs, ReplayEvent{Kind: ReplayRef, Addr: base + simm.Addr(k%64)*8, Size: 8})
+			if k%40 == 0 {
+				evs = append(evs, ReplayEvent{Kind: ReplayOp, Op: func(p *Proc) {
+					p.Busy(17)
+					p.Read64(pageStride(p.id, data))
+				}})
+			}
+		}
+		return evs
+	}
+	if got := requireEqual(t, 4, gen); got != 0 {
+		t.Errorf("op-bearing streams committed %d parallel windows, want 0", got)
+	}
+}
+
+// TestEpochSingleToucherSpins: processors spinning on their own private
+// locks stay parallel-eligible (the lock page is stamped like any page,
+// and a single toucher cannot contend), and the MSync attribution must
+// match the flat driver's.
+func TestEpochSingleToucherSpins(t *testing.T) {
+	gen := func(id int, data, lock simm.Addr) []ReplayEvent {
+		var evs []ReplayEvent
+		word := pageStride(id, data) + 512
+		for k := 0; k < 1200; k++ {
+			evs = append(evs, ReplayEvent{Kind: ReplaySpinAcquire, Addr: word})
+			evs = append(evs, ReplayEvent{Kind: ReplayRef, Addr: pageStride(id, data) + simm.Addr(k%64)*8, Size: 8, Write: k%7 == 0})
+			evs = append(evs, ReplayEvent{Kind: ReplaySpinRelease, Addr: word})
+		}
+		return evs
+	}
+	if got := requireEqual(t, 4, gen); got == 0 {
+		t.Error("private-lock streams committed no parallel window")
+	}
+}
+
+// TestEpochSharedSpinForcesSerial: two processors acquiring the same
+// spinlock collide on its page, forcing serial windows; the contended
+// handoffs (spin iterations, release invalidations) must replay exactly.
+func TestEpochSharedSpinForcesSerial(t *testing.T) {
+	gen := func(id int, data, lock simm.Addr) []ReplayEvent {
+		var evs []ReplayEvent
+		for k := 0; k < 600; k++ {
+			evs = append(evs, ReplayEvent{Kind: ReplaySpinAcquire, Addr: lock})
+			evs = append(evs, ReplayEvent{Kind: ReplayRef, Addr: data + simm.Addr(k%32)*8, Size: 8, Write: true})
+			evs = append(evs, ReplayEvent{Kind: ReplaySpinRelease, Addr: lock})
+			evs = append(evs, ReplayEvent{Kind: ReplayBusy, N: 200})
+		}
+		return evs
+	}
+	if got := requireEqual(t, 2, gen); got != 0 {
+		t.Errorf("shared-lock streams committed %d parallel windows, want 0", got)
+	}
+}
+
+// TestEpochZeroLengthEpoch: empty streams, nil sources, and zero-cost
+// events (Busy 0) must neither wedge the window loop nor perturb the
+// result.
+func TestEpochZeroLengthEpoch(t *testing.T) {
+	gen := func(id int, data, lock simm.Addr) []ReplayEvent {
+		switch id {
+		case 0:
+			return nil // idle processor: nil source
+		case 1:
+			return []ReplayEvent{} // empty stream: immediate EOF
+		case 2:
+			// Zero-cost events only: the clock never advances.
+			return []ReplayEvent{{Kind: ReplayBusy, N: 0}, {Kind: ReplayBusy, N: 0}}
+		default:
+			var evs []ReplayEvent
+			for k := 0; k < 500; k++ {
+				evs = append(evs, ReplayEvent{Kind: ReplayRef, Addr: pageStride(3, data) + simm.Addr(k%64)*8, Size: 8})
+			}
+			return evs
+		}
+	}
+	requireEqual(t, 4, gen)
+}
+
+// TestEpochUnevenEOF: one stream ends orders of magnitude before the
+// other, so the runner crosses from two-processor windows into the
+// single-stream fast path mid-replay.
+func TestEpochUnevenEOF(t *testing.T) {
+	gen := func(id int, data, lock simm.Addr) []ReplayEvent {
+		n := 50
+		if id == 0 {
+			n = 5000
+		}
+		var evs []ReplayEvent
+		for k := 0; k < n; k++ {
+			evs = append(evs, ReplayEvent{Kind: ReplayRef, Addr: pageStride(id, data) + simm.Addr(k%64)*8, Size: 8, Write: k%9 == 0})
+		}
+		return evs
+	}
+	requireEqual(t, 2, gen)
+}
+
+// fuzzStreams decodes a fuzz corpus into op-free replay streams for two
+// processors: refs anywhere in the shared region, busy charges, and
+// spins on per-processor private lock words (private so a malformed
+// corpus cannot encode a deadlock).
+func fuzzStreams(raw []byte, data simm.Addr) [][]ReplayEvent {
+	const nodes = 2
+	streams := make([][]ReplayEvent, nodes)
+	held := make([]bool, nodes)
+	lockWord := func(id int) simm.Addr { return data + simm.Addr(id)*16 }
+	for i := 0; i+3 < len(raw); i += 4 {
+		id := int(raw[i]) % nodes
+		off := simm.Addr(raw[i+1]) | simm.Addr(raw[i+2])<<8
+		switch raw[i+3] % 8 {
+		case 0, 1, 2, 3:
+			size := 1 << (raw[i+3] % 4) // 1, 2, 4, 8 bytes
+			if uint64(off)+uint64(size) > 1<<16 {
+				off = 1<<16 - simm.Addr(size)
+			}
+			streams[id] = append(streams[id], ReplayEvent{
+				Kind: ReplayRef, Addr: data + off, Size: size, Write: raw[i+1]%3 == 0,
+			})
+		case 4, 5:
+			streams[id] = append(streams[id], ReplayEvent{Kind: ReplayBusy, N: int64(off % 700)})
+		case 6:
+			if !held[id] {
+				held[id] = true
+				streams[id] = append(streams[id], ReplayEvent{Kind: ReplaySpinAcquire, Addr: lockWord(id)})
+			}
+		case 7:
+			if held[id] {
+				held[id] = false
+				streams[id] = append(streams[id], ReplayEvent{Kind: ReplaySpinRelease, Addr: lockWord(id)})
+			}
+		}
+	}
+	for id, h := range held {
+		if h {
+			streams[id] = append(streams[id], ReplayEvent{Kind: ReplaySpinRelease, Addr: lockWord(id)})
+		}
+	}
+	return streams
+}
+
+// eventPages appends every page an event can touch during replay.
+func eventPages(ev *ReplayEvent, pages []uint64) []uint64 {
+	switch ev.Kind {
+	case ReplayRef:
+		pg := uint64(ev.Addr) >> simm.PageShift
+		pages = append(pages, pg)
+		if lpg := (uint64(ev.Addr) + uint64(ev.Size) - 1) >> simm.PageShift; lpg != pg {
+			pages = append(pages, lpg)
+		}
+	case ReplaySpinAcquire, ReplaySpinRelease:
+		pages = append(pages, uint64(ev.Addr)>>simm.PageShift)
+	}
+	return pages
+}
+
+// FuzzEpochFootprint pins the pre-scan's soundness invariant: whenever
+// a window is classified parallel-eligible, the pages stamped for each
+// processor must be a superset of the pages its events actually touch
+// before the window edge. The oracle runs the same window serially and
+// checks every consumed event's pages against the claim table. The
+// whole-stream replay is also checked flat-vs-parallel for equality.
+func FuzzEpochFootprint(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 1, 200, 4, 6, 0, 7, 1, 7, 1, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 16, 1, 0, 9, 9, 6, 0, 2, 2, 7, 1, 1, 1, 4})
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 {
+			return
+		}
+		if len(raw) > 4096 {
+			raw = raw[:4096]
+		}
+		mkSrcs := func(data simm.Addr) []ReplaySource {
+			streams := fuzzStreams(raw, data)
+			srcs := make([]ReplaySource, len(streams))
+			for i := range streams {
+				srcs[i] = sliceSource(streams[i], 5)
+			}
+			return srcs
+		}
+
+		// Footprint superset check on the first window.
+		e, data, _ := rig(t, 2)
+		srcs := mkSrcs(data)
+		r := &epochRunner{
+			e:       e,
+			srcs:    srcs,
+			workers: 2,
+			bufs:    make([]winBuf, 2),
+			memLogs: make([][]memWrite, 2),
+		}
+		r.pages.init()
+		for _, p := range e.Procs() {
+			p.started, p.done = true, false
+			p.spinning, p.inOp = false, false
+			r.active = append(r.active, p)
+		}
+		e2 := int64(1 + int(raw[0])*64)
+		parallel, err := r.prescan(e2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heads := []int{r.bufs[0].head, r.bufs[1].head}
+		r.buildRing() // runSerial expects the persistent ring to exist
+		if err := r.runSerial(e2); err != nil {
+			t.Fatal(err)
+		}
+		if parallel {
+			for id := range heads {
+				for k := heads[id]; k < r.bufs[id].head; k++ {
+					for _, pg := range eventPages(&r.bufs[id].evs[k], nil) {
+						if r.pages.ownerOf(pg) != int32(id) {
+							t.Fatalf("proc %d touched page %#x before e2=%d, but pre-scan did not stamp it (event %d)",
+								id, pg, e2, k)
+						}
+					}
+				}
+			}
+		}
+
+		// Whole-stream equality, flat vs parallel.
+		ef, dataF, _ := rig(t, 2)
+		if err := ef.RunReplay(mkSrcs(dataF)); err != nil {
+			t.Fatal(err)
+		}
+		ep, dataP, _ := rig(t, 2)
+		if err := ep.RunReplayParallel(mkSrcs(dataP), 2); err != nil {
+			t.Fatal(err)
+		}
+		for i := range ef.Procs() {
+			if ef.Procs()[i].Clock() != ep.Procs()[i].Clock() {
+				t.Fatalf("proc %d: flat clock %d != parallel clock %d",
+					i, ef.Procs()[i].Clock(), ep.Procs()[i].Clock())
+			}
+			if !reflect.DeepEqual(ef.Procs()[i].Breakdown(), ep.Procs()[i].Breakdown()) {
+				t.Fatalf("proc %d: breakdowns diverge", i)
+			}
+		}
+		if !reflect.DeepEqual(ef.Machine().Stats(), ep.Machine().Stats()) {
+			t.Fatal("machine stats diverge")
+		}
+	})
+}
