@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check cover bench bench-diff bench-diff-replay fuzz scenario-goldens cluster-smoke wal-smoke parallel-replay-smoke profile clean
+.PHONY: all build test race vet check cover bench bench-diff bench-diff-replay fuzz scenario-goldens cluster-smoke wal-smoke parallel-replay-smoke stream-smoke profile clean
 
 all: build
 
@@ -65,6 +65,17 @@ parallel-replay-smoke:
 	$(GO) test -race -count=1 -run 'TestReplayParallel' ./internal/core
 	$(GO) test -race -count=1 -run 'TestRenderBytesAcrossReplayWorkers' ./internal/experiments
 
+# The stream gate: multi-phase query streams must be equivalent to
+# direct execution everywhere. Runs the core equivalence suite (direct
+# vs recorded vs per-segment replay, including live-recorded update
+# phases and the legacy warm-pair lowering), the experiments job-chain
+# equivalence at 1 and 4 workers, the capture-per-stream trace-store
+# round trip, and the mixedstreams golden at -jobs 1 vs parallel.
+# Blocking in CI.
+stream-smoke:
+	$(GO) test -count=1 -run 'TestStreamReplayMatchesExecution|TestStreamReplaySweeps|TestLegacyPhasesEquivalence|TestReplayStreamUnsegmented|TestRunStreamAnswers' -v ./internal/core
+	$(GO) test -count=1 -run 'TestStreamSpecMatchesDirectExecution|TestStreamTraceStoreServesPhases|TestGoldenOutput' ./internal/experiments
+
 # Profile a named preset (default fig6) under the CPU and heap
 # profilers. The capture/decode/replay pipeline stages run under pprof
 # labels ("stage" = capture | decode | replay), so the epoch driver's
@@ -106,7 +117,7 @@ cover:
 # iteration each — the runner's result cache would otherwise serve
 # repeats and measure nothing) plus the per-reference hot-path
 # microbenchmarks, folded into a committed JSON file for cross-PR diffs.
-BENCH_JSON ?= BENCH_pr9.json
+BENCH_JSON ?= BENCH_pr10.json
 bench:
 	$(GO) test -run NONE -bench . -benchmem -benchtime 1x . > bench_output.txt
 	$(GO) test -run NONE -bench . -benchmem ./internal/machine ./internal/sched >> bench_output.txt
@@ -118,7 +129,7 @@ bench:
 # committed baseline snapshot, failing on any >10% ns/op regression.
 # Single-iteration experiment benchmarks are noisy, so CI runs this as
 # a non-blocking job — a red result is a prompt to look, not a gate.
-BENCH_BASELINE ?= BENCH_pr9.json
+BENCH_BASELINE ?= BENCH_pr10.json
 bench-diff:
 	$(GO) test -run NONE -bench . -benchmem -benchtime 1x . > bench_output.txt
 	$(GO) test -run NONE -bench . -benchmem ./internal/machine ./internal/sched >> bench_output.txt
@@ -129,7 +140,7 @@ bench-diff:
 # stable enough to block CI on. A >10% ns/op regression against the
 # committed snapshot fails the build; everything else stays advisory in
 # bench-diff above.
-REPLAY_BASELINE ?= BENCH_pr9.json
+REPLAY_BASELINE ?= BENCH_pr10.json
 bench-diff-replay:
 	$(GO) test -run NONE -bench 'BenchmarkReplay' -benchmem -benchtime 5x . > bench_replay_output.txt
 	$(GO) run ./cmd/benchjson -diff $(REPLAY_BASELINE) -only '^BenchmarkReplay' bench_replay_output.txt

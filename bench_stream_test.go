@@ -1,0 +1,91 @@
+// Benchmark for the capture-per-stream pipeline: recording a
+// multi-phase query stream once and deriving its per-phase reports by
+// segmented replay. Runs under `make bench` / `make bench-diff`
+// alongside the per-figure experiment benchmarks.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// benchStreamPhases is a three-phase stream at bench scale: a flushed
+// sequential warm-up, index reads on the warm state, and the sequential
+// scan again — all read-only, so both capture and replay exercise the
+// record-pure fast path.
+func benchStreamPhases() []core.StreamPhase {
+	run := func(q string, v uint64) []core.QueryRun { return []core.QueryRun{{Query: q, Variant: v}} }
+	return []core.StreamPhase{
+		{Flush: true, Runs: [][]core.QueryRun{run("Q6", 0), run("Q6", 1), run("Q6", 2), run("Q6", 3)}},
+		{Runs: [][]core.QueryRun{run("Q3", 10), run("Q12", 11), run("Q3", 12), run("Q12", 13)}},
+		{Runs: [][]core.QueryRun{run("Q6", 20), run("Q6", 21), run("Q6", 22), run("Q6", 23)}},
+	}
+}
+
+var benchStream struct {
+	once sync.Once
+	sys  *core.System
+	blob []byte
+	mcfg machine.Config
+	err  error
+}
+
+func benchStreamCapture(b *testing.B) (*core.System, []byte, machine.Config) {
+	b.Helper()
+	benchStream.once.Do(func() {
+		cfg := core.DefaultConfig()
+		cfg.DB.ScaleFactor = benchScale
+		s, err := core.NewSystem(cfg)
+		if err != nil {
+			benchStream.err = err
+			return
+		}
+		_, segs := s.RunStreamRecorded(benchStreamPhases())
+		benchStream.sys = s
+		benchStream.blob = s.StreamTrace(segs).Marshal()
+		benchStream.mcfg = cfg.Machine
+	})
+	if benchStream.err != nil {
+		b.Fatal(benchStream.err)
+	}
+	return benchStream.sys, benchStream.blob, benchStream.mcfg
+}
+
+// BenchmarkStreamCaptureReplay measures both halves of the
+// capture-per-stream pipeline on a shared system: "capture" records the
+// three-phase stream into one segmented blob; "replay" derives all
+// three per-phase reports from that blob without touching the executor.
+func BenchmarkStreamCaptureReplay(b *testing.B) {
+	s, blob, mcfg := benchStreamCapture(b)
+
+	b.Run("capture", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, segs := s.RunStreamRecorded(benchStreamPhases())
+			if n := len(s.StreamTrace(segs).Marshal()); n == 0 {
+				b.Fatal("empty stream blob")
+			}
+		}
+	})
+
+	b.Run("replay", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr, err := trace.Unmarshal(blob)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reps, err := core.ReplayStream(tr, mcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(reps) != 3 {
+				b.Fatalf("replayed %d segments, want 3", len(reps))
+			}
+		}
+	})
+}

@@ -40,11 +40,28 @@ import (
 	"repro/internal/scenario"
 )
 
-// listPresets writes every preset scenario's name and one-line
-// description, one per row, in the order -exp all runs them.
+// presetWorkload summarizes a preset's workload shape for -list: the
+// phase count for stream presets, the query list otherwise, marking
+// presets whose queries are fixed (they ignore -queries).
+func presetWorkload(p scenario.Preset) string {
+	sc := p.Scenarios[0]
+	var wl string
+	if n := len(sc.Workload.Phases); n > 0 {
+		wl = fmt.Sprintf("%d-phase stream", n)
+	} else {
+		wl = strings.Join(sc.Workload.Queries, ",")
+	}
+	if p.QueriesFixed {
+		wl += " (fixed)"
+	}
+	return wl
+}
+
+// listPresets writes every preset scenario's name, workload shape, and
+// one-line description, one per row, in the order -exp all runs them.
 func listPresets(w io.Writer) {
 	for _, p := range scenario.Presets() {
-		fmt.Fprintf(w, "%-12s %s\n", p.Name, p.Description)
+		fmt.Fprintf(w, "%-12s %-22s %s\n", p.Name, presetWorkload(p), p.Description)
 	}
 }
 

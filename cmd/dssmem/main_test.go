@@ -26,6 +26,12 @@ func TestListPresets(t *testing.T) {
 		if !strings.Contains(lines[i], p.Description) {
 			t.Errorf("line %d = %q, lacks description %q", i, lines[i], p.Description)
 		}
+		if p.QueriesFixed && !strings.Contains(lines[i], "(fixed)") {
+			t.Errorf("line %d = %q, fixed-query preset not marked", i, lines[i])
+		}
+		if p.Name == "mixedstreams" && !strings.Contains(lines[i], "4-phase stream") {
+			t.Errorf("line %d = %q, stream preset lacks its phase count", i, lines[i])
+		}
 	}
 }
 
@@ -46,6 +52,29 @@ func TestExampleScenario(t *testing.T) {
 	want.Sweep = scenario.Sweep{Axis: scenario.AxisLine, Points: scenario.LineSizes}
 	if sc.Hash() != want.Hash() {
 		t.Errorf("example spec is not the default workload + fig8 line sweep:\n%+v", sc)
+	}
+}
+
+// TestExampleStreamScenario pins the shipped stream example: it must
+// decode, validate, hash under the stream format generation ("s2-"
+// prefix, pinned literally so an accidental identity change is loud),
+// and describe exactly the mixedstreams preset's stream — so running it
+// hits the same phase-job cache entries as `dssmem -exp mixedstreams`.
+func TestExampleStreamScenario(t *testing.T) {
+	sc, err := loadScenario("../../examples/scenario-stream.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pinned = "s2-c97d113dfe81281bc31af1afc5c074b43ecf34bbb00af45f49e714698bbca63f"
+	if got := sc.Hash(); got != pinned {
+		t.Errorf("example stream spec hash = %s, want %s", got, pinned)
+	}
+	p, ok := scenario.PresetByName("mixedstreams")
+	if !ok {
+		t.Fatal("mixedstreams preset missing")
+	}
+	if sc.Hash() != p.Scenarios[0].Hash() {
+		t.Errorf("example stream spec diverges from the mixedstreams preset:\n%+v", sc)
 	}
 }
 

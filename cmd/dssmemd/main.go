@@ -10,7 +10,10 @@
 //	POST /v1/experiments      submit {"exp":"fig8","scale":0.01,...}; returns {"id":...}
 //	GET  /v1/experiments/{id} status; when done, the rendered report text
 //	POST /v1/scenarios        render one declarative scenario spec (JSON body);
-//	                          returns {"name","preset","hash","report"} synchronously
+//	                          returns {"name","preset","hash","report"} synchronously.
+//	                          Specs may carry workload.phases (a multi-phase query
+//	                          stream); phase streams render per-phase tables and
+//	                          hash under the s2- stream format generation
 //	GET  /v1/scenarios/presets the preset specs behind every named experiment
 //	GET  /v1/healthz          liveness
 //	GET  /v1/stats            JSON operational snapshot: uptime, requests, cache hit rate

@@ -115,9 +115,10 @@ func TestPresetsEndpoint(t *testing.T) {
 		t.Fatalf("/v1/scenarios/presets: %d", code)
 	}
 	var presets []struct {
-		Name        string              `json:"Name"`
-		Description string              `json:"Description"`
-		Scenarios   []scenario.Scenario `json:"Scenarios"`
+		Name         string              `json:"name"`
+		Description  string              `json:"description"`
+		Scenarios    []scenario.Scenario `json:"scenarios"`
+		QueriesFixed bool                `json:"queries_fixed"`
 	}
 	if err := json.Unmarshal([]byte(body), &presets); err != nil {
 		t.Fatalf("presets json: %v", err)
@@ -134,6 +135,48 @@ func TestPresetsEndpoint(t *testing.T) {
 			if err := sc.Validate(); err != nil {
 				t.Errorf("preset %s serves invalid spec: %v", p.Name, err)
 			}
+		}
+		// The stream preset must surface its phase structure and its
+		// fixed-query marker through the wire format.
+		if p.Name == "mixedstreams" {
+			if !p.QueriesFixed {
+				t.Error("mixedstreams preset not marked queries_fixed")
+			}
+			if len(p.Scenarios[0].Workload.Phases) != 4 {
+				t.Errorf("mixedstreams preset serves %d phases, want 4", len(p.Scenarios[0].Workload.Phases))
+			}
+		}
+	}
+}
+
+// TestStreamScenarioSubmit POSTs a multi-phase stream spec: it must
+// render synchronously like any other spec, hash under the stream
+// format generation, and report per-phase tables.
+func TestStreamScenarioSubmit(t *testing.T) {
+	_, ts := newTestServer(t)
+	spec := `{
+		"name": "stream-acceptance",
+		"workload": {"scale": 0.002, "phases": [
+			{"flush": true, "runs": [[{"query": "Q6"}], [{"query": "Q6", "variant": 1}]]},
+			{"runs": [[{"query": "Q3", "variant": 10}], [{"query": "Q12", "variant": 11}]]}
+		]}
+	}`
+	code, body := post(t, ts.URL+"/v1/scenarios", spec)
+	if code != 200 {
+		t.Fatalf("stream POST: %d %q", code, body)
+	}
+	var res struct {
+		Name, Preset, Hash, Report string
+	}
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Hash, "s2-") {
+		t.Errorf("stream spec hash %q lacks the stream-generation prefix", res.Hash)
+	}
+	for _, want := range []string{"2-phase stream", "Phase execution", "Per-phase secondary-cache misses"} {
+		if !strings.Contains(res.Report, want) {
+			t.Errorf("stream report lacks %q", want)
 		}
 	}
 }

@@ -179,49 +179,90 @@ func (r *Report) MaxClock() int64 {
 // RunQueries executes one query per processor (nil-query processors
 // idle) and reports the measurement. Statistics accumulate from the
 // current machine state; use ColdStart or ResetMeasurement first to
-// control what is measured.
+// control what is measured. It is the one-run-per-processor degenerate
+// case of the phase executor (see RunStream).
 func (s *System) RunQueries(runs []QueryRun) *Report {
 	if len(runs) != s.Mem.Nodes() {
 		panic(fmt.Sprintf("core: %d runs for %d processors", len(runs), s.Mem.Nodes()))
 	}
-	if s.replayable(runs) {
-		return s.runViaReplay(runs)
-	}
-	rep := &Report{Rows: make([]int, len(runs))}
-	s.Eng.Run(s.queryBodies(runs, rep))
-	s.finishReport(rep)
+	rep, _, _ := s.runPhase(singleRunLists(runs), false)
 	return rep
+}
+
+// singleRunLists lifts the legacy one-run-per-processor shape into the
+// phase executor's per-processor run lists.
+func singleRunLists(runs []QueryRun) [][]QueryRun {
+	lists := make([][]QueryRun, len(runs))
+	for i, r := range runs {
+		if r.Query != "" {
+			lists[i] = []QueryRun{r}
+		}
+	}
+	return lists
 }
 
 // queryBodies builds one executor body per non-empty run, filling
 // rep.Queries and (when the bodies execute) rep.Rows.
 func (s *System) queryBodies(runs []QueryRun, rep *Report) []func(*sched.Proc) {
-	bodies := make([]func(*sched.Proc), len(runs))
-	for i, run := range runs {
-		if run.Query == "" {
-			rep.Queries = append(rep.Queries, "")
+	return s.phaseBodies(singleRunLists(runs), rep,
+		func(proc, _ int) *int { return &rep.Rows[proc] })
+}
+
+// phaseBodies builds one executor body per processor for one stream
+// phase: processor i executes runLists[i] in order (missing or empty
+// lists idle the processor). It fills rep.Queries with per-processor
+// labels (multi-run processors join theirs with "+") and arranges for
+// each run's result-row count to land in *slot(proc, run) when the
+// bodies execute. Every run gets a fresh arena over the processor's
+// private heap, exactly as consecutive RunQueries calls would.
+func (s *System) phaseBodies(runLists [][]QueryRun, rep *Report, slot func(proc, run int) *int) []func(*sched.Proc) {
+	n := s.Mem.Nodes()
+	bodies := make([]func(*sched.Proc), n)
+	for i := 0; i < n; i++ {
+		var list []QueryRun
+		if i < len(runLists) {
+			list = runLists[i]
+		}
+		type plannedRun struct {
+			run   QueryRun
+			arena *simm.Arena
+			out   *int
+		}
+		var plan []plannedRun
+		label := ""
+		for j, run := range list {
+			if run.Query == "" {
+				continue
+			}
+			if label != "" {
+				label += "+"
+			}
+			label += run.Query
+			plan = append(plan, plannedRun{run: run, arena: simm.NewArena(s.privRegions[i]), out: slot(i, j)})
+		}
+		rep.Queries = append(rep.Queries, label)
+		if len(plan) == 0 {
 			continue
 		}
-		rep.Queries = append(rep.Queries, run.Query)
-		i, run := i, run
-		arena := simm.NewArena(s.privRegions[i])
 		bodies[i] = func(p *sched.Proc) {
-			c := &executor.Ctx{
-				P: p, Xid: p.ID(), Mem: s.Mem, Arena: arena,
-				Cat:             s.Cat,
-				OverheadTouches: s.Cfg.OverheadTouches,
-				HotTouches:      s.Cfg.HotTouches,
-				TupleBusy:       s.Cfg.TupleBusy,
-				IndexTupleBusy:  s.Cfg.IndexTupleBusy,
-			}
-			switch run.Query {
-			case "UF1":
-				rep.Rows[i] = len(s.DB.RunUF1(c, s.DB.UFCount(), run.Variant))
-			case "UF2":
-				rep.Rows[i] = s.DB.RunUF2(c, s.DB.UFCount(), run.Variant)
-			default:
-				plan := tpcd.BuildQuery(s.DB, run.Query, run.Variant)
-				rep.Rows[i] = executor.Drain(c, plan.Root)
+			for _, pr := range plan {
+				c := &executor.Ctx{
+					P: p, Xid: p.ID(), Mem: s.Mem, Arena: pr.arena,
+					Cat:             s.Cat,
+					OverheadTouches: s.Cfg.OverheadTouches,
+					HotTouches:      s.Cfg.HotTouches,
+					TupleBusy:       s.Cfg.TupleBusy,
+					IndexTupleBusy:  s.Cfg.IndexTupleBusy,
+				}
+				switch pr.run.Query {
+				case "UF1":
+					*pr.out = len(s.DB.RunUF1(c, s.DB.UFCount(), pr.run.Variant))
+				case "UF2":
+					*pr.out = s.DB.RunUF2(c, s.DB.UFCount(), pr.run.Variant)
+				default:
+					qp := tpcd.BuildQuery(s.DB, pr.run.Query, pr.run.Variant)
+					*pr.out = executor.Drain(c, qp.Root)
+				}
 			}
 		}
 	}

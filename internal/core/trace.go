@@ -48,17 +48,25 @@ func (t lockTracer) EndOp(p *sched.Proc) { t.rec.EndLockOp(p.ID()) }
 // the interleaving), and no external observer may be attached (a
 // Tracer or Recorder expects to see the live run).
 func (s *System) replayable(runs []QueryRun) bool {
+	return s.phaseReplayable(singleRunLists(runs))
+}
+
+// phaseReplayable is replayable over one phase's per-processor run
+// lists.
+func (s *System) phaseReplayable(runLists [][]QueryRun) bool {
 	if s.Eng.Tracer != nil || s.Eng.Recorder != nil || s.LockMgr.Tracer != nil {
 		return false
 	}
 	any := false
-	for _, r := range runs {
-		switch r.Query {
-		case "":
-		case "UF1", "UF2":
-			return false
-		default:
-			any = true
+	for _, list := range runLists {
+		for _, r := range list {
+			switch r.Query {
+			case "":
+			case "UF1", "UF2":
+				return false
+			default:
+				any = true
+			}
 		}
 	}
 	return any
@@ -98,15 +106,14 @@ func (snap *lockStateSnapshot) restore(mem *simm.Memory) {
 	}
 }
 
-// recordPure captures runs' reference streams without timing: with the
-// engine in record-pure mode clocks never advance, so the sorted-ring
-// scheduler degenerates to sequential execution with zero goroutine
-// handoffs, and the accessors skip the timing model entirely. The
-// streams are what a live recording would produce — for replayable
+// recordPure captures the bodies' reference streams without timing:
+// with the engine in record-pure mode clocks never advance, so the
+// sorted-ring scheduler degenerates to sequential execution with zero
+// goroutine handoffs, and the accessors skip the timing model entirely.
+// The streams are what a live recording would produce — for replayable
 // (read-only) workloads the reference stream is interleaving-invariant,
 // the contract the sweep equivalence tests pin down.
-func (s *System) recordPure(runs []QueryRun, rep *Report) *trace.Recorder {
-	bodies := s.queryBodies(runs, rep)
+func (s *System) recordPure(bodies []func(*sched.Proc)) *trace.Recorder {
 	rec := trace.NewRecorder(s.Mem.Nodes())
 	s.Eng.Recorder, s.Eng.RecordPure = rec, true
 	s.LockMgr.Tracer = lockTracer{rec: rec}
@@ -130,30 +137,6 @@ func (s *System) replayStreams(src trace.Source) error {
 	return err
 }
 
-// runViaReplay executes runs as a record-pure capture followed by a
-// flat replay of the captured streams on the system's own state. The
-// report is identical to live execution's, but the simulation runs on
-// one goroutine: the live path spends a large share of its time on
-// min-clock baton handoffs between processor goroutines, which the
-// flat replay driver replaces with an in-loop ring re-sort.
-func (s *System) runViaReplay(runs []QueryRun) *Report {
-	rep := &Report{Rows: make([]int, len(runs))}
-	snap := s.snapshotLockState()
-	rec := s.recordPure(runs, rep)
-	snap.restore(s.Mem)
-	src := &trace.QueryTrace{Nodes: s.Mem.Nodes(), Streams: rec.Streams()}
-	if err := s.replayStreams(src); err != nil {
-		panic(fmt.Sprintf("core: replaying just-captured streams: %v", err))
-	}
-	// The capture is dead: on the success path every decode goroutine
-	// has already exited (EOF closes its batch channel before the driver
-	// observes it), so no cursor still references the chunks and they
-	// can recycle into the next recording.
-	trace.ReleaseStreams(src.Streams)
-	s.finishReport(rep)
-	return rep
-}
-
 // RunColdRecorded is RunCold with trace capture: it returns the run's
 // report (byte-identical to an unrecorded run — observation does not
 // perturb the simulation) plus the recorded trace. Read-only queries
@@ -164,7 +147,7 @@ func (s *System) RunColdRecorded(query string) (*Report, *trace.QueryTrace) {
 	if s.replayable(runs) {
 		rep := &Report{Rows: make([]int, len(runs))}
 		snap := s.snapshotLockState()
-		rec := s.recordPure(runs, rep)
+		rec := s.recordPure(s.queryBodies(runs, rep))
 		snap.restore(s.Mem)
 		tr := s.queryTrace(query, rep.Rows, rec)
 		s.ColdStart()
@@ -411,7 +394,13 @@ func replayOn(eng *sched.Engine, lm *lockmgr.Manager, src trace.Source) (*Report
 	meta := src.Meta()
 	rep := &Report{Rows: append([]int(nil), meta.Rows...)}
 	for i := 0; i < meta.Nodes; i++ {
-		rep.Queries = append(rep.Queries, meta.Query)
+		// Phase segments carry per-processor labels; single-query
+		// traces label every processor with the one query.
+		if len(meta.ProcQueries) == meta.Nodes {
+			rep.Queries = append(rep.Queries, meta.ProcQueries[i])
+		} else {
+			rep.Queries = append(rep.Queries, meta.Query)
+		}
 	}
 	done := make(chan struct{})
 	defer close(done)

@@ -447,33 +447,24 @@ func (e *Exec) RunCacheSweep(o Options) ([]SweepPoint, error) {
 	return e.sweepFromPreset("fig10", o)
 }
 
-// runVariants executes one query type on every processor, with variant
-// parameters offset by base so warming and measured runs never share
-// parameters.
-func runVariants(s *core.System, q string, base uint64) {
-	runs := s.SameQueryAllProcs(q)
-	for i := range runs {
-		runs[i].Variant += base
-	}
-	s.RunQueries(runs)
-}
-
 // runWarmPair submits one warm-cache spec (target query, optional
 // warmer, shared system) and returns the index of its measured job in
-// jobs. A spec with a warmer becomes a shared-state pair: a warming job
-// that cold-starts the system and runs the warmer, and a measured job
-// that depends on it, resets the counters without flushing, runs the
-// target, and reports its misses. Cold specs are a single job. Warming
-// jobs are ephemeral and uncached — their effect is cache state — so a
+// jobs. The spec lowers to a stream via scenario.LegacyPhases — a
+// flushed warm-up phase of the warmer and an unflushed measured phase
+// of the target (or a single flushed phase when there is no warmer) —
+// and each phase becomes a job on the shared system. Warming jobs are
+// ephemeral and uncached — their effect is cache state — so a
 // resubmission whose measured results are already cached skips the
 // warming entirely. The measured job's identity is the spec itself: the
 // warmer rides in the spec's workload.warm field.
 func (e *Exec) runWarmPair(sc scenario.Scenario, jobs []*runner.Job) ([]*runner.Job, int) {
 	target, warmer := sc.Workload.Queries[0], sc.Workload.Warm
 	sc.Name = ""
+	phases := core.StreamPhasesFromSpec(scenario.LegacyPhases(target, warmer, sc.Machine.Processors))
 	sk := "fig12/" + target + "<-" + warmer
 	var deps []*runner.Job
 	if warmer != "" {
+		warmup := phases[0]
 		warm := &runner.Job{
 			Name:      "warm/" + target + "<-" + warmer,
 			Spec:      sc,
@@ -485,14 +476,14 @@ func (e *Exec) runWarmPair(sc scenario.Scenario, jobs []*runner.Job) ([]*runner.
 				if err != nil {
 					return nil, err
 				}
-				s.ColdStart()
-				runVariants(s, warmer, 0)
+				s.RunStream([]core.StreamPhase{warmup})
 				return nil, nil
 			},
 		}
 		jobs = append(jobs, warm)
 		deps = append(deps, warm)
 	}
+	measured := phases[len(phases)-1]
 	measure := &runner.Job{
 		Name:     "measure/" + target + "<-" + warmer,
 		Mode:     "warm",
@@ -504,12 +495,7 @@ func (e *Exec) runWarmPair(sc scenario.Scenario, jobs []*runner.Job) ([]*runner.
 			if err != nil {
 				return nil, err
 			}
-			if warmer == "" {
-				s.ColdStart()
-			} else {
-				s.ResetMeasurement()
-			}
-			runVariants(s, target, 100) // measured run uses fresh parameters
+			s.RunStream([]core.StreamPhase{measured})
 			res := WarmResult{Target: target, Warmer: warmer}
 			res.L2 = s.Mach.Stats().L2Misses.ByGroup()
 			return res, nil

@@ -25,10 +25,12 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite golden experiment 
 // goldens were captured from fresh execution before replay existed, so
 // they are the byte-level proof that replay equals execution), and the
 // scorecard, which transitively runs the sweeps, warm-cache pairs, and
-// prefetch comparison.
+// prefetch comparison. mixedstreams pins the multi-phase stream
+// executor: phase-chained jobs on a shared warm system must print the
+// same bytes at every worker count.
 var goldenExperiments = []string{
 	"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-	"ablations", "topology", "scorecard", "fig13",
+	"ablations", "topology", "scorecard", "fig13", "mixedstreams",
 }
 
 func goldenOptions() Options {

@@ -270,6 +270,18 @@ func (e *Exec) renderExperiment(w io.Writer, name string, o Options) error {
 		fmt.Fprintln(w, "Figure 13: impact of sequential data prefetching (Base = 100)")
 		fmt.Fprint(w, Fig13(results))
 
+	case "mixedstreams":
+		res, err := e.RunScenario(applyOptions(presetScenario("mixedstreams"), o))
+		if err != nil {
+			return err
+		}
+		e.addCycles(name, streamClocks(res.Stream)...)
+		fmt.Fprintln(w, "Extension: concurrent client streams mixing reads and updates")
+		fmt.Fprintln(w, "(phases share cache/buffer state; Index: Q3,Q12; Sequential: Q6)")
+		fmt.Fprint(w, StreamPhaseTable(res.Stream))
+		fmt.Fprintln(w, "\nPer-phase secondary-cache misses by structure (phase 0 = 100)")
+		fmt.Fprint(w, StreamMissTable(res.Stream))
+
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

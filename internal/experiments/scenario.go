@@ -17,8 +17,9 @@ import (
 // configuration resolves from the same cache entries.
 
 // ScenarioResult is one spec's outcome. Exactly one of Points, Warm,
-// and Cold is populated, matching the spec's shape: a sweep, a warmed
-// measurement, or a plain cold characterization.
+// Stream, and Cold is populated, matching the spec's shape: a sweep, a
+// warmed measurement, a multi-phase stream, or a plain cold
+// characterization.
 type ScenarioResult struct {
 	Spec scenario.Scenario
 	Hash string
@@ -26,19 +27,28 @@ type ScenarioResult struct {
 	Cold   []QueryResult
 	Warm   []WarmResult
 	Points []SweepPoint
+	Stream []StreamPhaseResult
 }
 
 // RunScenario validates and executes one spec. Swept specs expand into
 // capture+replay jobs exactly like the figure sweeps; specs with a
 // warmer become warm pairs (each query measured cold and after the
-// warmer, so the rendering can normalize); plain specs run each query
-// cold.
+// warmer, so the rendering can normalize); phase specs become one job
+// chain per stream, measured phase by phase; plain specs run each
+// query cold.
 func (e *Exec) RunScenario(sc scenario.Scenario) (*ScenarioResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
 	res := &ScenarioResult{Spec: sc, Hash: sc.Hash()}
 	switch {
+	case len(sc.Workload.Phases) > 0:
+		stream, err := e.runStreamSpec(sc)
+		if err != nil {
+			return nil, err
+		}
+		res.Stream = stream
+
 	case sc.Sweep.Axis != "":
 		pts, err := e.runSweep(sc)
 		if err != nil {
@@ -149,8 +159,13 @@ func (e *Exec) renderScenario(w io.Writer, sc scenario.Scenario, label string) e
 		fmt.Fprint(w, ", snooping bus")
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "Workload: queries %s, scale %g, seed %d\n",
-		strings.Join(sc.Workload.Queries, ","), sc.Workload.Scale, sc.Workload.Seed)
+	if n := len(sc.Workload.Phases); n > 0 {
+		fmt.Fprintf(w, "Workload: %d-phase stream, scale %g, seed %d\n",
+			n, sc.Workload.Scale, sc.Workload.Seed)
+	} else {
+		fmt.Fprintf(w, "Workload: queries %s, scale %g, seed %d\n",
+			strings.Join(sc.Workload.Queries, ","), sc.Workload.Scale, sc.Workload.Seed)
+	}
 	if sc.Workload.Warm != "" {
 		fmt.Fprintf(w, "Warmed by: %s\n", sc.Workload.Warm)
 	}
@@ -160,6 +175,14 @@ func (e *Exec) renderScenario(w io.Writer, sc scenario.Scenario, label string) e
 	fmt.Fprintln(w)
 
 	switch {
+	case res.Stream != nil:
+		e.addCycles(label, streamClocks(res.Stream)...)
+		fmt.Fprintln(w, "Phase execution (Index: Q3,Q12; Sequential: Q6; Update: UF1,UF2)")
+		fmt.Fprint(w, StreamPhaseTable(res.Stream))
+		fmt.Fprintln(w, "\nPer-phase secondary-cache misses by structure (phase 0 = 100)")
+		fmt.Fprint(w, StreamMissTable(res.Stream))
+		fmt.Fprintln(w)
+
 	case res.Points != nil:
 		param := axisParamName(sc.Sweep.Axis)
 		baseline := sc.Sweep.Points[0]

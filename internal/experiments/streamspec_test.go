@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+)
+
+// streamSpec is the mixedstreams preset at test scale — the stream spec
+// every test in this file runs.
+func streamSpec() scenario.Scenario {
+	sc := presetScenario("mixedstreams")
+	sc.Workload.Scale = 0.002
+	sc.Workload.Seed = 4242
+	return sc
+}
+
+// TestStreamSpecMatchesDirectExecution proves the job chain adds
+// nothing: phase-chained jobs on the runner produce exactly the reports
+// of one System running the stream directly, at one worker and several.
+func TestStreamSpecMatchesDirectExecution(t *testing.T) {
+	sc := streamSpec()
+	s, err := core.NewScenarioSystem(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.RunStream(core.StreamPhasesFromSpec(sc.Workload.Phases))
+
+	for _, workers := range []int{1, 4} {
+		e := NewExec(workers)
+		res, err := e.RunScenario(sc)
+		e.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Stream) != len(want) {
+			t.Fatalf("workers=%d: %d phase results for %d phases", workers, len(res.Stream), len(want))
+		}
+		for k, pr := range res.Stream {
+			if !reflect.DeepEqual(pr.Report, want[k]) {
+				t.Errorf("workers=%d phase %d: job-chain report diverges from direct execution", workers, k)
+			}
+			if pr.Phase != k || pr.Flush != sc.Workload.Phases[k].Flush {
+				t.Errorf("workers=%d phase %d: result carries phase=%d flush=%v", workers, k, pr.Phase, pr.Flush)
+			}
+		}
+	}
+}
+
+// TestStreamTraceStoreServesPhases is the capture-per-stream positive
+// path: the first process records the whole stream as one segmented
+// blob; a second process (fresh result cache, same -trace-dir) must
+// derive every phase by replaying the blob's segment prefix — no
+// executor work — with identical reports.
+func TestStreamTraceStoreServesPhases(t *testing.T) {
+	dir := t.TempDir()
+	sc := streamSpec()
+
+	e1 := NewExecConfig(runner.Config{Workers: 2, TraceDir: dir})
+	want, err := e1.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Close()
+	if files, err := filepath.Glob(filepath.Join(dir, "*.trace")); err != nil || len(files) != 1 {
+		t.Fatalf("want one spilled stream blob, got %v (err %v)", files, err)
+	}
+
+	e2 := NewExecConfig(runner.Config{Workers: 2, TraceDir: dir})
+	defer e2.Close()
+	got, err := e2.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Stream, want.Stream) {
+		t.Error("trace-store-served stream diverges from the executed stream")
+	}
+	st := e2.Pool().Stats()
+	if st.TraceHits == 0 {
+		t.Errorf("phase jobs did not consult the trace store: %+v", st)
+	}
+}

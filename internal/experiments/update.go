@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/simm"
 	"repro/internal/stats"
@@ -23,22 +24,32 @@ type UpdateResult struct {
 	Rows     int
 }
 
-// RunUpdate measures Q6 (a read-only baseline), UF1, and UF2, each from
-// a cold start with one instance per processor.
+// RunUpdate measures Q6 (a read-only baseline), UF1, and UF2 as one
+// three-phase stream, every phase flushed: each workload starts from a
+// cold cache with one instance per processor, exactly the shape the
+// one-shot cold runs had before streams existed.
 func RunUpdate(o Options) ([]UpdateResult, error) {
 	s, err := NewSystem(o)
 	if err != nil {
 		return nil, err
 	}
+	workloads := []string{"Q6", "UF1", "UF2"}
+	phases := make([]core.StreamPhase, len(workloads))
+	for k, w := range workloads {
+		runs := make([][]core.QueryRun, s.Mem.Nodes())
+		for i := range runs {
+			runs[i] = []core.QueryRun{{Query: w, Variant: uint64(i)}}
+		}
+		phases[k] = core.StreamPhase{Flush: true, Runs: runs}
+	}
 	var out []UpdateResult
-	for _, w := range []string{"Q6", "UF1", "UF2"} {
-		rep := s.RunCold(w)
+	for k, rep := range s.RunStream(phases) {
 		rows := 0
 		for _, r := range rep.Rows {
 			rows += r
 		}
 		out = append(out, UpdateResult{
-			Workload: w,
+			Workload: workloads[k],
 			Bd:       rep.Total(),
 			Machine:  rep.Machine,
 			Rows:     rows,

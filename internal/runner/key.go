@@ -5,25 +5,25 @@ import (
 	"fmt"
 	"io"
 	"strings"
-
-	"repro/internal/scenario"
 )
 
-// Key returns the job's content-addressed cache key: the scenario
-// format version followed by a hash of (mode, canonical spec encoding,
+// Key returns the job's content-addressed cache key: the spec's format
+// generation followed by a hash of (mode, canonical spec encoding,
 // extra parameters). Jobs with equal keys must compute equal results;
 // the pool uses the key to satisfy repeated submissions from the result
 // cache instead of re-simulating, and the trace store files blobs under
-// it. The "s<version>-" prefix ties every persisted entry (disk cache
-// .gob files, trace .trace blobs) to the spec format that produced it:
-// bumping scenario.FormatVersion changes every key, so entries written
+// it. The "s<generation>-" prefix ties every persisted entry (disk
+// cache .gob files, trace .trace blobs) to the spec format that
+// produced it: legacy query-list specs keep their FormatVersion keys
+// byte for byte, stream specs key under StreamFormatVersion, and
+// bumping either version changes every affected key, so entries written
 // under an older format are never misread — they simply stop being
 // addressed. NoCache jobs have no key.
 func (j *Job) Key() string {
 	if j.NoCache {
 		return ""
 	}
-	return j.keyAt(scenario.FormatVersion)
+	return j.keyAt(j.Spec.Generation())
 }
 
 // keyAt computes the key under an explicit format version, split out so

@@ -60,6 +60,34 @@ func TestKeyCanonicalization(t *testing.T) {
 	}
 }
 
+// TestStreamKeyGeneration checks that stream-workload jobs key under the
+// stream format generation — so no stream result can ever be addressed
+// by (or collide with) a legacy-format cache entry — and that every
+// phase prefix of a stream is its own cache identity.
+func TestStreamKeyGeneration(t *testing.T) {
+	stream := func(n int) *Job {
+		sc := specQ("Q6")
+		sc.Workload.Queries = nil
+		for i := 0; i < n; i++ {
+			sc.Workload.Phases = append(sc.Workload.Phases, scenario.Phase{
+				Flush: i == 0,
+				Runs:  [][]scenario.PhaseRun{{{Query: "Q6", Variant: uint64(i)}}},
+			})
+		}
+		return &Job{Name: "stream", Mode: "stream", Spec: sc}
+	}
+	k2 := stream(2).Key()
+	if want := fmt.Sprintf("s%d-", scenario.StreamFormatVersion); !strings.HasPrefix(k2, want) {
+		t.Fatalf("stream key %q lacks the %q generation prefix", k2, want)
+	}
+	if k1 := stream(1).Key(); k1 == k2 {
+		t.Error("phase prefixes of different lengths share a key")
+	}
+	if legacy := (&Job{Name: "x", Mode: "stream", Spec: specQ("Q6")}).Key(); strings.HasPrefix(legacy, fmt.Sprintf("s%d-", scenario.StreamFormatVersion)) {
+		t.Error("legacy spec keyed under the stream generation")
+	}
+}
+
 // versionResult is the payload for the version-bump round trip.
 type versionResult struct{ N int }
 

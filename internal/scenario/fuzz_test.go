@@ -20,6 +20,19 @@ func FuzzScenarioDecode(f *testing.F) {
 	f.Add([]byte(`{"machine": {"l1_bytes": 0}}`))
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte(`{"machine": {"processors": -1}} trailing`))
+	// Stream-shaped seeds: valid phases, nil/empty idle lists, legacy
+	// conflicts, over-bounds shapes, and unknown stream queries.
+	f.Add([]byte(`{"workload": {"phases": [{"flush": true, "runs": [[{"query": "Q6", "variant": 1}]]}]}}`))
+	f.Add([]byte(`{"workload": {"phases": [
+		{"flush": true, "runs": [[{"query": "Q6"}], []]},
+		{"runs": [null, [{"query": "UF1"}, {"query": "Q3", "variant": 7}]]}
+	]}}`))
+	f.Add([]byte(`{"workload": {"queries": ["Q6"], "phases": [{"runs": [[{"query": "Q3"}]]}]}}`))
+	f.Add([]byte(`{"workload": {"warm": "Q6", "phases": [{"runs": [[{"query": "Q3"}]]}]}}`))
+	f.Add([]byte(`{"workload": {"phases": [{"runs": [[], null]}]}}`))
+	f.Add([]byte(`{"workload": {"phases": [{"runs": [[{"query": "Q99", "variant": 2}]]}]}}`))
+	f.Add([]byte(`{"machine": {"processors": 1}, "workload": {"phases": [{"runs": [[{"query": "Q6"}], [{"query": "Q3"}]]}]}}`))
+	f.Add([]byte(`{"workload": {"phases": []}}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<20 {
@@ -49,6 +62,25 @@ func FuzzScenarioDecode(f *testing.F) {
 		}
 		if sc.Hash() != re.Hash() {
 			t.Fatal("round-tripped spec hashes differently")
+		}
+		if sc.Generation() != re.Generation() {
+			t.Fatal("round-tripped spec changed format generation")
+		}
+		// The legacy→stream mapping always yields a valid stream spec
+		// on the spec's own machine: lowering can never re-reject what
+		// validation accepted.
+		if len(sc.Workload.Phases) == 0 && len(sc.Workload.Queries) > 0 {
+			mapped := *sc
+			mapped.Workload.Phases = LegacyPhases(sc.Workload.Queries[0], sc.Workload.Warm, sc.Machine.Processors)
+			mapped.Workload.Queries = nil
+			mapped.Workload.Warm = ""
+			mapped.Sweep = Sweep{} // streams replay per configuration, never sweep
+			if err := mapped.Validate(); err != nil {
+				t.Fatalf("LegacyPhases of a valid spec does not validate: %v", err)
+			}
+			if mapped.Generation() != StreamFormatVersion {
+				t.Fatal("mapped legacy spec is not stream-generation")
+			}
 		}
 	})
 }

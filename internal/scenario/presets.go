@@ -171,7 +171,42 @@ func Presets() []Preset {
 			Description: "Figure 13: sequential data prefetching vs the baseline",
 			Scenarios:   []Scenario{withSweep(named("fig13"), AxisPrefetch, []int{0, 4})},
 		},
+		{
+			Name:         "mixedstreams",
+			Description:  "Extension: concurrent client streams mixing reads and updates per phase",
+			Scenarios:    []Scenario{mixedStreams()},
+			QueriesFixed: true,
+		},
 	}
+}
+
+// mixedStreams is the stream-workload preset: each processor is one
+// client stream, and the phase sequence interleaves index (Q3, Q12)
+// and sequential (Q6) reads with the UF1/UF2 update transactions,
+// carrying cache state from phase to phase. Variants are 10*phase +
+// stream so no two runs share predicates.
+func mixedStreams() Scenario {
+	sc := named("mixedstreams")
+	run := func(q string, v uint64) []PhaseRun { return []PhaseRun{{Query: q, Variant: v}} }
+	sc.Workload.Queries = nil
+	sc.Workload.Phases = []Phase{
+		// Phase 0: a cold sequential scan on every stream primes the
+		// buffer pool and caches.
+		{Flush: true, Runs: [][]PhaseRun{run("Q6", 0), run("Q6", 1), run("Q6", 2), run("Q6", 3)}},
+		// Phase 1: index-heavy reads on the warmed state; stream 0 chains
+		// two runs back to back.
+		{Runs: [][]PhaseRun{
+			{{Query: "Q3", Variant: 10}, {Query: "Q6", Variant: 14}},
+			run("Q12", 11), run("Q3", 12), run("Q12", 13),
+		}},
+		// Phase 2: updates interleaved with reads — the serving mix the
+		// one-shot workload shape could not express.
+		{Runs: [][]PhaseRun{run("UF1", 20), run("UF2", 21), run("Q6", 22), run("Q3", 23)}},
+		// Phase 3: the sequential scan again, now over updated tables and
+		// update-disturbed caches.
+		{Runs: [][]PhaseRun{run("Q6", 30), run("Q6", 31), run("Q6", 32), run("Q6", 33)}},
+	}
+	return sc
 }
 
 // PresetByName returns the preset named name.

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -11,7 +12,7 @@ func TestPresetRegistry(t *testing.T) {
 	want := []string{
 		"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"update", "ablations", "intraquery", "streams", "topology",
-		"scorecard", "fig13",
+		"scorecard", "fig13", "mixedstreams",
 	}
 	if got := PresetNames(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("preset order = %v\nwant %v", got, want)
@@ -93,6 +94,51 @@ func TestPresetSpecsMatchPaper(t *testing.T) {
 	fig13, _ := PresetByName("fig13")
 	if sw := fig13.Scenarios[0].Sweep; sw.Axis != AxisPrefetch || !reflect.DeepEqual(sw.Points, []int{0, 4}) {
 		t.Errorf("fig13 sweep = %+v, want prefetch off vs degree 4", sw)
+	}
+}
+
+// TestPresetHashGenerations pins the hash-compatibility contract of
+// the stream refactor: every pre-stream preset spec still hashes under
+// the legacy "s1-" generation (its cache keys and trace blobs survive
+// bit for bit), and only the stream preset moved to "s2-".
+func TestPresetHashGenerations(t *testing.T) {
+	for _, p := range Presets() {
+		want := "s1-"
+		if p.Name == "mixedstreams" {
+			want = "s2-"
+		}
+		for i, sc := range p.Scenarios {
+			if h := sc.Hash(); !strings.HasPrefix(h, want) {
+				t.Errorf("preset %q scenario %d hash %s, want prefix %s", p.Name, i, h, want)
+			}
+			if p.Name != "mixedstreams" && strings.Contains(string(sc.Canonical()), "phases") {
+				t.Errorf("preset %q scenario %d canonical encoding mentions phases", p.Name, i)
+			}
+		}
+	}
+}
+
+// TestMixedStreamsPreset pins the stream preset's shape: four phases,
+// a flushed warm-up, interleaved UF1/UF2 updates, and a multi-run
+// processor list.
+func TestMixedStreamsPreset(t *testing.T) {
+	p, ok := PresetByName("mixedstreams")
+	if !ok || !p.QueriesFixed {
+		t.Fatalf("mixedstreams lookup = %+v, %v (want QueriesFixed)", p, ok)
+	}
+	sc := p.Scenarios[0]
+	ph := sc.Workload.Phases
+	if len(ph) != 4 || !ph[0].Flush || ph[1].Flush || ph[2].Flush || ph[3].Flush {
+		t.Fatalf("phases = %+v, want 4 with only the first flushed", ph)
+	}
+	if len(sc.Workload.Queries) != 0 || sc.Workload.Warm != "" {
+		t.Errorf("stream preset still carries legacy fields: %+v", sc.Workload)
+	}
+	if len(ph[1].Runs[0]) != 2 {
+		t.Errorf("phase 1 stream 0 = %+v, want a two-run chain", ph[1].Runs[0])
+	}
+	if ph[2].Runs[0][0].Query != "UF1" || ph[2].Runs[1][0].Query != "UF2" {
+		t.Errorf("phase 2 = %+v, want UF1/UF2 leading", ph[2].Runs)
 	}
 }
 

@@ -21,13 +21,22 @@ import (
 	"repro/internal/tpcd"
 )
 
-// FormatVersion is the spec-format generation. It prefixes every
-// canonical hash (and therefore every runner cache key and trace-store
-// filename) as "s<version>-", so a format change can never silently
-// replay a blob recorded under older semantics: old entries simply miss.
-// Bump it whenever the meaning of an existing field changes or a new
-// field alters how identical-looking specs execute.
+// FormatVersion is the spec-format generation of the legacy
+// Queries+Warm workload shape. It prefixes every canonical hash (and
+// therefore every runner cache key and trace-store filename) as
+// "s<version>-", so a format change can never silently replay a blob
+// recorded under older semantics: old entries simply miss. Bump it
+// whenever the meaning of an existing field changes or a new field
+// alters how identical-looking specs execute.
 const FormatVersion = 1
+
+// StreamFormatVersion is the spec-format generation of workloads that
+// carry an explicit phase sequence (Workload.Phases). Stream specs
+// execute through the phase executor — different semantics than the
+// one-query-list shape — so they hash under their own generation
+// ("s2-...") while legacy specs keep their "s1-..." hashes bit for
+// bit; see (*Scenario).Generation.
+const StreamFormatVersion = 2
 
 // Machine describes the simulated hardware plus the processor
 // front-end cost model — everything core needs to build the
@@ -88,6 +97,34 @@ type Workload struct {
 	HotTouches      int   `json:"hot_touches"`
 	TupleBusy       int64 `json:"tuple_busy"`
 	IndexTupleBusy  int64 `json:"index_tuple_busy"`
+
+	// Phases is the stream-workload shape: an ordered sequence of
+	// phases, each an ordered per-processor list of query runs, with
+	// cache/buffer state carried across phases. Mutually exclusive with
+	// Queries/Warm — a workload is either the legacy one-shot shape or
+	// an explicit stream. The omitempty keeps legacy canonical
+	// encodings (and therefore every existing hash) byte-identical.
+	Phases []Phase `json:"phases,omitempty"`
+}
+
+// PhaseRun is one query execution inside a phase: a query name (the 17
+// read-only TPC-D queries or the UF1/UF2 update transactions) and the
+// variant parameter that seeds its predicates.
+type PhaseRun struct {
+	Query   string `json:"query"`
+	Variant uint64 `json:"variant"`
+}
+
+// Phase is one step of a stream workload. Runs is indexed by
+// processor: Runs[i] is processor i's ordered run list for this phase
+// (empty = idle); processors beyond len(Runs) idle. Flush flushes the
+// caches and measurement state at the phase boundary (database
+// contents persist); without it only the measurement counters reset,
+// so the phase runs on whatever cache state the previous phases left —
+// the warm-state semantics that make streams worth modeling.
+type Phase struct {
+	Flush bool         `json:"flush"`
+	Runs  [][]PhaseRun `json:"runs"`
 }
 
 // Sweep varies one machine axis over a point list; the workload re-runs
@@ -254,6 +291,26 @@ func Decode(data []byte) (*Scenario, error) {
 	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
 		return nil, fmt.Errorf("scenario: trailing data after the spec")
 	}
+	if len(sc.Workload.Phases) > 0 {
+		// A stream workload replaces the default query list. The
+		// defaults fill Queries even when the spec never mentioned it,
+		// so distinguish "defaulted" from "explicitly given": only the
+		// latter is a real conflict, which Validate reports.
+		var probe struct {
+			Workload struct {
+				Queries *json.RawMessage `json:"queries"`
+				Warm    *json.RawMessage `json:"warm"`
+			} `json:"workload"`
+		}
+		// The spec already decoded, so this loose re-parse cannot fail.
+		_ = json.Unmarshal(data, &probe)
+		if probe.Workload.Queries == nil {
+			sc.Workload.Queries = nil
+		}
+		if probe.Workload.Warm == nil {
+			sc.Workload.Warm = ""
+		}
+	}
 	return &sc, nil
 }
 
@@ -284,6 +341,12 @@ const (
 	maxPoints    = 64
 	maxPointVal  = 1 << 20
 	maxHeapBytes = uint64(4) << 30
+
+	// Stream-workload bounds: phases per stream and runs per processor
+	// per phase. Together with maxQueries-scale processor counts they
+	// bound the total work one network-supplied spec can demand.
+	maxPhases      = 32
+	maxRunsPerProc = 8
 )
 
 // knownQuery reports whether q names a runnable workload: one of the
@@ -370,6 +433,47 @@ func validWorkload(w Workload) error {
 	return nil
 }
 
+// validPhases checks the stream-workload shape against the machine's
+// processor count. Phases are mutually exclusive with the legacy
+// Queries/Warm fields: a workload is one shape or the other.
+func validPhases(w Workload, procs int) error {
+	if len(w.Phases) == 0 {
+		return nil
+	}
+	switch {
+	case len(w.Queries) > 0:
+		return bad("workload.queries", "cannot combine a query list with phases")
+	case w.Warm != "":
+		return bad("workload.warm", "cannot combine a warm query with phases")
+	case len(w.Phases) > maxPhases:
+		return bad("workload.phases", "%d phases, max %d", len(w.Phases), maxPhases)
+	}
+	for i, ph := range w.Phases {
+		if len(ph.Runs) > procs {
+			return bad(fmt.Sprintf("workload.phases[%d].runs", i),
+				"%d run lists for %d processors", len(ph.Runs), procs)
+		}
+		runs := 0
+		for j, list := range ph.Runs {
+			if len(list) > maxRunsPerProc {
+				return bad(fmt.Sprintf("workload.phases[%d].runs[%d]", i, j),
+					"%d runs on one processor, max %d", len(list), maxRunsPerProc)
+			}
+			for k, r := range list {
+				if !knownQuery(r.Query) {
+					return bad(fmt.Sprintf("workload.phases[%d].runs[%d][%d].query", i, j, k),
+						"unknown query %q", r.Query)
+				}
+			}
+			runs += len(list)
+		}
+		if runs == 0 {
+			return bad(fmt.Sprintf("workload.phases[%d].runs", i), "phase runs nothing")
+		}
+	}
+	return nil
+}
+
 func validAxis(axis string) bool {
 	for _, a := range Axes {
 		if a == axis {
@@ -387,6 +491,12 @@ func (s *Scenario) Validate() error {
 	}
 	if err := validWorkload(s.Workload); err != nil {
 		return err
+	}
+	if err := validPhases(s.Workload, s.Machine.Processors); err != nil {
+		return err
+	}
+	if len(s.Workload.Phases) > 0 && s.Sweep.Axis != "" {
+		return bad("sweep.axis", "cannot sweep a stream workload; replay its capture per configuration instead")
 	}
 	sw := s.Sweep
 	switch {
@@ -431,6 +541,23 @@ func (s *Scenario) Canonical() []byte {
 	if c.Sweep.Points == nil {
 		c.Sweep.Points = []int{}
 	}
+	if len(c.Workload.Phases) > 0 {
+		// Normalize the nested run slices on a copy (the phase slice is
+		// shared with the caller): nil and empty mean the same idle
+		// processor, so they must encode identically.
+		phases := make([]Phase, len(c.Workload.Phases))
+		for i, ph := range c.Workload.Phases {
+			runs := make([][]PhaseRun, len(ph.Runs))
+			for j, list := range ph.Runs {
+				if list == nil {
+					list = []PhaseRun{}
+				}
+				runs[j] = list
+			}
+			phases[i] = Phase{Flush: ph.Flush, Runs: runs}
+		}
+		c.Workload.Phases = phases
+	}
 	b, err := json.Marshal(c)
 	if err != nil {
 		// Marshal of a struct of scalars and slices cannot fail.
@@ -439,10 +566,49 @@ func (s *Scenario) Canonical() []byte {
 	return b
 }
 
+// Generation returns the spec-format generation this scenario hashes
+// under: StreamFormatVersion for stream workloads (explicit phases),
+// FormatVersion for the legacy Queries+Warm shape. Keeping the two
+// shapes in separate generations means every pre-stream hash, cache
+// key, and trace-store filename survives the refactor bit for bit.
+func (s *Scenario) Generation() int {
+	if len(s.Workload.Phases) > 0 {
+		return StreamFormatVersion
+	}
+	return FormatVersion
+}
+
 // Hash returns the spec's stable content address, prefixed with the
-// format version ("s1-..."): equal canonical bytes hash equal forever
-// within a format generation, and a version bump changes every hash.
+// format generation ("s1-..." legacy, "s2-..." streams): equal
+// canonical bytes hash equal forever within a format generation, and a
+// version bump changes every hash.
 func (s *Scenario) Hash() string {
 	sum := sha256.Sum256(s.Canonical())
-	return fmt.Sprintf("s%d-%x", FormatVersion, sum)
+	return fmt.Sprintf("s%d-%x", s.Generation(), sum)
+}
+
+// LegacyPhases maps the legacy one-shot workload shape onto the
+// explicit stream form: warm != "" becomes a flushed warm-up phase
+// (one run of warm per processor, variant = processor index) followed
+// by an unflushed measured phase; warm == "" is a single flushed
+// phase. The measured runs use variant 100+i, matching what the
+// hand-written experiments always passed, so lowering a legacy spec
+// through the stream executor reproduces the old execution bit for
+// bit.
+func LegacyPhases(target, warm string, procs int) []Phase {
+	measured := make([][]PhaseRun, procs)
+	for i := range measured {
+		measured[i] = []PhaseRun{{Query: target, Variant: uint64(100 + i)}}
+	}
+	if warm == "" {
+		return []Phase{{Flush: true, Runs: measured}}
+	}
+	warming := make([][]PhaseRun, procs)
+	for i := range warming {
+		warming[i] = []PhaseRun{{Query: warm, Variant: uint64(i)}}
+	}
+	return []Phase{
+		{Flush: true, Runs: warming},
+		{Flush: false, Runs: measured},
+	}
 }

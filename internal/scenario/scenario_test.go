@@ -180,6 +180,143 @@ func TestCanonicalAndHash(t *testing.T) {
 	}
 }
 
+// TestStreamDecode checks the stream-workload decode contract: phases
+// replace the defaulted query list, explicitly given legacy fields
+// conflict, and the canonical encoding round-trips under the "s2-"
+// generation.
+func TestStreamDecode(t *testing.T) {
+	sc, err := Decode([]byte(`{"workload": {"phases": [
+		{"flush": true, "runs": [[{"query": "Q6", "variant": 1}], []]},
+		{"runs": [null, [{"query": "UF1"}, {"query": "Q3", "variant": 7}]]}
+	]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("stream spec does not validate: %v", err)
+	}
+	if len(sc.Workload.Queries) != 0 || sc.Workload.Warm != "" {
+		t.Errorf("defaulted legacy fields survived a stream decode: %+v", sc.Workload)
+	}
+	if g := sc.Generation(); g != StreamFormatVersion {
+		t.Errorf("generation = %d, want %d", g, StreamFormatVersion)
+	}
+	if !strings.HasPrefix(sc.Hash(), "s2-") {
+		t.Errorf("stream hash %q lacks the s2- prefix", sc.Hash())
+	}
+	if ph := sc.Workload.Phases; len(ph) != 2 || !ph[0].Flush || ph[1].Flush ||
+		ph[1].Runs[1][1].Variant != 7 {
+		t.Errorf("phases decoded wrong: %+v", sc.Workload.Phases)
+	}
+
+	// nil and empty run lists mean the same idle processor, so they
+	// canonicalize (and therefore hash) identically.
+	other := *sc
+	other.Workload.Phases = append([]Phase(nil), sc.Workload.Phases...)
+	other.Workload.Phases[1].Runs = [][]PhaseRun{{}, sc.Workload.Phases[1].Runs[1]}
+	if sc.Hash() != other.Hash() {
+		t.Error("nil vs empty idle run list perturbs the hash")
+	}
+
+	// Canonical bytes decode back to an equivalent spec (fixed point).
+	re, err := Decode(sc.Canonical())
+	if err != nil {
+		t.Fatalf("canonical stream bytes do not decode: %v", err)
+	}
+	if !bytes.Equal(re.Canonical(), sc.Canonical()) {
+		t.Error("stream canonicalization does not round-trip")
+	}
+	if err := re.Validate(); err != nil {
+		t.Errorf("re-decoded stream spec invalid: %v", err)
+	}
+
+	// A legacy spec keeps its legacy generation and never mentions
+	// phases in its canonical bytes.
+	base := Default()
+	if g := base.Generation(); g != FormatVersion {
+		t.Errorf("legacy generation = %d, want %d", g, FormatVersion)
+	}
+	if strings.Contains(string(base.Canonical()), "phases") {
+		t.Errorf("legacy canonical encoding mentions phases: %s", base.Canonical())
+	}
+}
+
+// TestStreamValidation is the phase-shaped slice of the field-path
+// table.
+func TestStreamValidation(t *testing.T) {
+	run := `[{"query": "Q6"}]`
+	cases := []struct {
+		name string
+		spec string
+		path string
+	}{
+		{"phases with queries", `{"workload": {"queries": ["Q6"], "phases": [{"runs": [` + run + `]}]}}`,
+			"workload.queries"},
+		{"phases with warm", `{"workload": {"warm": "Q6", "phases": [{"runs": [` + run + `]}]}}`,
+			"workload.warm"},
+		{"empty phase", `{"workload": {"phases": [{"runs": [[], []]}]}}`,
+			"workload.phases[0].runs"},
+		{"too many run lists", `{"machine": {"processors": 1}, "workload": {"phases": [{"runs": [` + run + `, ` + run + `]}]}}`,
+			"workload.phases[0].runs"},
+		{"unknown stream query", `{"workload": {"phases": [{"runs": [[{"query": "Q99"}]]}]}}`,
+			"workload.phases[0].runs[0][0].query"},
+		{"swept stream", `{"workload": {"phases": [{"runs": [` + run + `]}]}, "sweep": {"axis": "line", "points": [64]}}`,
+			"sweep.axis"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sc, err := Decode([]byte(c.spec))
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			err = sc.Validate()
+			if err == nil {
+				t.Fatalf("spec %s validated", c.spec)
+			}
+			fe, ok := err.(*FieldError)
+			if !ok {
+				t.Fatalf("error %T is not a FieldError: %v", err, err)
+			}
+			if !strings.HasPrefix(fe.Path, c.path) {
+				t.Errorf("error path %q, want prefix %q (msg: %s)", fe.Path, c.path, fe.Msg)
+			}
+		})
+	}
+}
+
+// TestLegacyPhases checks the lossless legacy→stream mapping: warm
+// specs become a flushed warm-up plus an unflushed measured phase,
+// cold specs a single flushed phase, with the variant convention the
+// hand-written experiments used (warm-up i, measured 100+i).
+func TestLegacyPhases(t *testing.T) {
+	cold := LegacyPhases("Q3", "", 2)
+	if len(cold) != 1 || !cold[0].Flush {
+		t.Fatalf("cold mapping = %+v, want one flushed phase", cold)
+	}
+	if r := cold[0].Runs[1]; len(r) != 1 || r[0].Query != "Q3" || r[0].Variant != 101 {
+		t.Errorf("cold proc 1 = %+v, want Q3 variant 101", r)
+	}
+
+	warm := LegacyPhases("Q3", "Q12", 2)
+	if len(warm) != 2 || !warm[0].Flush || warm[1].Flush {
+		t.Fatalf("warm mapping = %+v, want flushed warm-up then unflushed measure", warm)
+	}
+	if r := warm[0].Runs[1]; r[0].Query != "Q12" || r[0].Variant != 1 {
+		t.Errorf("warm-up proc 1 = %+v, want Q12 variant 1", r)
+	}
+	if r := warm[1].Runs[0]; r[0].Query != "Q3" || r[0].Variant != 100 {
+		t.Errorf("measured proc 0 = %+v, want Q3 variant 100", r)
+	}
+
+	// The mapped form is a valid stream spec on the matching machine.
+	sc := Default()
+	sc.Workload.Queries = nil
+	sc.Workload.Phases = LegacyPhases("Q3", "Q12", sc.Machine.Processors)
+	if err := sc.Validate(); err != nil {
+		t.Errorf("mapped legacy spec invalid: %v", err)
+	}
+}
+
 // TestApplyAxis checks every sweep axis against the hand-written
 // experiment transformations it replaces.
 func TestApplyAxis(t *testing.T) {

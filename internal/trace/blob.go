@@ -17,7 +17,18 @@ import (
 //	magic   "DSSTRC01"
 //	crc32   IEEE, little-endian, over the payload
 //	payload version, header fields, layout, rows, streams (varints)
-const blobVersion = 1
+//
+// Version 1 is the single-query shape: one rows list, one stream per
+// processor. Version 2 is the stream-workload shape: the rows+streams
+// tail is replaced by a phase-segment table (per segment: flush flag,
+// per-processor query labels, rows, streams), so one capture of a
+// multi-phase stream yields independently replayable segments. A trace
+// without segments always encodes as version 1, bit-identical to the
+// pre-stream format.
+const (
+	blobVersion    = 1
+	blobVersionSeg = 2
+)
 
 var blobMagic = [8]byte{'D', 'S', 'S', 'T', 'R', 'C', '0', '1'}
 
@@ -41,11 +52,28 @@ func (w *blobWriter) bytes(p []byte) {
 	w.b = append(w.b, p...)
 }
 
+func (w *blobWriter) streams(streams []Stream) {
+	w.uvarint(uint64(len(streams)))
+	for i := range streams {
+		s := &streams[i]
+		w.uvarint(s.Refs)
+		w.uvarint(s.Events)
+		w.uvarint(uint64(len(s.Chunks)))
+		for _, c := range s.Chunks {
+			w.bytes(c)
+		}
+	}
+}
+
 // Marshal encodes the trace as a blob.
 func (t *QueryTrace) Marshal() []byte {
 	var w blobWriter
 	w.b = make([]byte, 0, t.Bytes()+4096)
-	w.uvarint(blobVersion)
+	ver := uint64(blobVersion)
+	if len(t.Segments) > 0 {
+		ver = blobVersionSeg
+	}
+	w.uvarint(ver)
 	w.str(t.Query)
 	w.uvarint(math.Float64bits(t.Scale))
 	w.uvarint(t.Seed)
@@ -68,19 +96,31 @@ func (t *QueryTrace) Marshal() []byte {
 		w.b = append(w.b, byte(c.Cat))
 	}
 
-	w.uvarint(uint64(len(t.Rows)))
-	for _, n := range t.Rows {
-		w.varint(int64(n))
-	}
-	w.uvarint(uint64(len(t.Streams)))
-	for i := range t.Streams {
-		s := &t.Streams[i]
-		w.uvarint(s.Refs)
-		w.uvarint(s.Events)
-		w.uvarint(uint64(len(s.Chunks)))
-		for _, c := range s.Chunks {
-			w.bytes(c)
+	if ver == blobVersionSeg {
+		w.uvarint(uint64(len(t.Segments)))
+		for si := range t.Segments {
+			seg := &t.Segments[si]
+			var flush byte
+			if seg.Flush {
+				flush = 1
+			}
+			w.b = append(w.b, flush)
+			w.uvarint(uint64(len(seg.Queries)))
+			for _, q := range seg.Queries {
+				w.str(q)
+			}
+			w.uvarint(uint64(len(seg.Rows)))
+			for _, n := range seg.Rows {
+				w.varint(int64(n))
+			}
+			w.streams(seg.Streams)
 		}
+	} else {
+		w.uvarint(uint64(len(t.Rows)))
+		for _, n := range t.Rows {
+			w.varint(int64(n))
+		}
+		w.streams(t.Streams)
 	}
 
 	out := make([]byte, 0, len(w.b)+12)
@@ -157,7 +197,7 @@ func Unmarshal(b []byte) (*QueryTrace, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != blobVersion {
+	if ver != blobVersion && ver != blobVersionSeg {
 		return nil, fmt.Errorf("trace: unsupported blob version %d", ver)
 	}
 	t := &QueryTrace{}
@@ -232,21 +272,73 @@ func Unmarshal(b []byte) (*QueryTrace, error) {
 		t.Layout.Cats = append(t.Layout.Cats, simm.CatRun{Pages: uint32(pages), Cat: simm.Category(cat)})
 	}
 
-	nrows, err := r.uvarint()
+	if ver == blobVersionSeg {
+		nseg, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for si := uint64(0); si < nseg; si++ {
+			var seg Segment
+			flush, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			seg.Flush = flush != 0
+			nq, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			for i := uint64(0); i < nq; i++ {
+				q, err := r.str()
+				if err != nil {
+					return nil, err
+				}
+				seg.Queries = append(seg.Queries, q)
+			}
+			if seg.Rows, err = r.rows(); err != nil {
+				return nil, err
+			}
+			if seg.Streams, err = r.streams(); err != nil {
+				return nil, err
+			}
+			t.Segments = append(t.Segments, seg)
+		}
+	} else {
+		if t.Rows, err = r.rows(); err != nil {
+			return nil, err
+		}
+		if t.Streams, err = r.streams(); err != nil {
+			return nil, err
+		}
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("trace: %d trailing bytes after blob", len(payload)-r.off)
+	}
+	return t, nil
+}
+
+func (r *blobReader) rows() ([]int, error) {
+	n, err := r.uvarint()
 	if err != nil {
 		return nil, err
 	}
-	for i := uint64(0); i < nrows; i++ {
+	var rows []int
+	for i := uint64(0); i < n; i++ {
 		v, err := r.varint()
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, int(v))
+		rows = append(rows, int(v))
 	}
+	return rows, nil
+}
+
+func (r *blobReader) streams() ([]Stream, error) {
 	ns, err := r.uvarint()
 	if err != nil {
 		return nil, err
 	}
+	var streams []Stream
 	for i := uint64(0); i < ns; i++ {
 		var s Stream
 		if s.Refs, err = r.uvarint(); err != nil {
@@ -270,10 +362,7 @@ func Unmarshal(b []byte) (*QueryTrace, error) {
 			}
 			s.Chunks = append(s.Chunks, c)
 		}
-		t.Streams = append(t.Streams, s)
+		streams = append(streams, s)
 	}
-	if r.off != len(payload) {
-		return nil, fmt.Errorf("trace: %d trailing bytes after blob", len(payload)-r.off)
-	}
-	return t, nil
+	return streams, nil
 }

@@ -64,6 +64,22 @@ func (s *Stream) Bytes() int {
 	return n
 }
 
+// Segment is one phase of a recorded stream workload: the per-processor
+// streams and result rows of that phase, recorded on whatever warm
+// system state the previous phases left behind. Each segment replays
+// independently (phase boundaries reset the clocks), so a stream trace
+// is a sequence of self-contained replays sharing one layout.
+type Segment struct {
+	// Queries are the per-processor query labels of the phase ("" =
+	// idle; multi-run processors join their labels with "+").
+	Queries []string
+	// Flush records that the phase started from flushed caches; replay
+	// must flush at the same boundary to reproduce the recorded run.
+	Flush bool
+	Rows  []int // per-processor result rows of the phase
+	Streams []Stream
+}
+
 // QueryTrace is one recorded cold query execution: everything a replay
 // needs to re-derive the run's report under any cache geometry, without
 // the executor or the generated database.
@@ -85,6 +101,18 @@ type QueryTrace struct {
 	Layout  simm.Layout
 	Rows    []int // per-processor result rows of the recorded run
 	Streams []Stream
+
+	// ProcQueries are per-processor query labels when processors ran
+	// different queries (len == Nodes); empty means every processor ran
+	// Query. In-memory only: the single-query blob encoding never needs
+	// it, and segment blobs carry labels per segment.
+	ProcQueries []string
+
+	// Segments, when non-empty, make this a stream trace: Rows and
+	// Streams are empty at the top level and each phase carries its
+	// own. Stream traces marshal under the segmented blob version and
+	// replay one segment at a time (see StreamSource).
+	Segments []Segment
 }
 
 // Bytes returns the total encoded stream size (the metrics gauge).
@@ -92,6 +120,11 @@ func (t *QueryTrace) Bytes() int {
 	n := 0
 	for i := range t.Streams {
 		n += t.Streams[i].Bytes()
+	}
+	for s := range t.Segments {
+		for i := range t.Segments[s].Streams {
+			n += t.Segments[s].Streams[i].Bytes()
+		}
 	}
 	return n
 }
@@ -513,12 +546,66 @@ type Source interface {
 	StreamCursor(i int) *Cursor
 }
 
+// StreamSource is a Source that is (or degenerates to) a sequence of
+// independently replayable phase segments. A single-query trace is a
+// one-segment stream whose only segment starts flushed, so stream-aware
+// replay drivers handle both shapes through this one interface.
+// *QueryTrace and *Reader both implement it.
+type StreamSource interface {
+	Source
+	// NumSegments is the phase count (>= 1).
+	NumSegments() int
+	// Segment returns phase k as a self-contained Source: its Meta
+	// carries the segment's rows, per-processor labels, and stream
+	// stats under the shared layout and cost model.
+	Segment(k int) Source
+	// SegmentFlush reports whether phase k started from flushed caches.
+	SegmentFlush(k int) bool
+}
+
 // Meta returns the trace itself: a decoded QueryTrace is its own
 // metadata.
 func (t *QueryTrace) Meta() *QueryTrace { return t }
 
 // StreamCursor returns a decoder over processor i's in-memory stream.
 func (t *QueryTrace) StreamCursor(i int) *Cursor { return t.Streams[i].Cursor() }
+
+// NumSegments returns the phase count: a single-query trace is one
+// segment.
+func (t *QueryTrace) NumSegments() int {
+	if len(t.Segments) == 0 {
+		return 1
+	}
+	return len(t.Segments)
+}
+
+// Segment returns phase k as a self-contained Source. A single-query
+// trace is its own only segment; a stream trace derives a per-segment
+// view sharing the layout and chunk storage.
+func (t *QueryTrace) Segment(k int) Source {
+	if len(t.Segments) == 0 {
+		if k != 0 {
+			panic(fmt.Sprintf("trace: segment %d of a single-segment trace", k))
+		}
+		return t
+	}
+	seg := &t.Segments[k]
+	d := *t
+	d.Segments = nil
+	d.ProcQueries = seg.Queries
+	d.Rows = seg.Rows
+	d.Streams = seg.Streams
+	return &d
+}
+
+// SegmentFlush reports whether phase k started from flushed caches. A
+// single-query trace records a cold run, so its one segment is flushed.
+func (t *QueryTrace) SegmentFlush(k int) bool {
+	if len(t.Segments) == 0 {
+		return true
+	}
+	return t.Segments[k].Flush
+}
 
 // Replay decodes the stream, feeding each event to rp in order.
 func (s *Stream) Replay(rp Replayer) error {

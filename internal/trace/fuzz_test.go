@@ -29,6 +29,11 @@ func FuzzTraceChunkDecode(f *testing.F) {
 	f.Add(tr.Streams[0].Chunks[0])
 	f.Add([]byte{opBusy, 0x80}) // truncated varint
 	f.Add([]byte{0x15})         // unknown opcode
+	seg := testStreamTrace().Marshal()
+	f.Add(seg)
+	f.Add(seg[:len(seg)-3])
+	f.Add(flipBit(seg, len(seg)/2))
+	f.Add(flipBit(seg, 15))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		checkChunkDecode(t, data)
 		checkBlobDecode(t, data)
@@ -121,8 +126,25 @@ func checkBlobDecode(t *testing.T, data []byte) {
 	if meta.Query != tr.Query || meta.Nodes != tr.Nodes || len(meta.Streams) != len(tr.Streams) {
 		t.Fatalf("meta disagreement: %+v vs %+v", meta, tr)
 	}
-	for i := range tr.Streams {
-		mc, sc := tr.StreamCursor(i), rd.StreamCursor(i)
+	if tr.NumSegments() != rd.NumSegments() {
+		t.Fatalf("segment disagreement: %d vs %d", tr.NumSegments(), rd.NumSegments())
+	}
+	for k := 0; k < len(tr.Segments); k++ {
+		if tr.SegmentFlush(k) != rd.SegmentFlush(k) {
+			t.Fatalf("segment %d flush disagreement", k)
+		}
+		compareStreams(t, tr.Segment(k), rd.Segment(k))
+	}
+	if len(tr.Segments) == 0 {
+		compareStreams(t, tr, rd)
+	}
+}
+
+// compareStreams decodes every stream of two sources in lockstep; they
+// must agree event for event and error for error.
+func compareStreams(t *testing.T, mem, st Source) {
+	for i := range mem.Meta().Streams {
+		mc, sc := mem.StreamCursor(i), st.StreamCursor(i)
 		var mev, sev Event
 		for {
 			mok, merr := mc.Next(&mev)

@@ -35,23 +35,24 @@ type chunkRef struct {
 // Reader is a streaming view over an encoded blob: the decoded metadata
 // (header, layout, rows, stream stats) plus chunk offsets, with the
 // chunk bytes themselves left on the source until a cursor needs them.
-// It implements Source, so replays run from it directly. A Reader is
-// safe for concurrent cursors as long as the underlying ReaderAt is
-// (os.File and bytes.Reader both are).
+// It implements Source (and StreamSource), so replays run from it
+// directly. A Reader is safe for concurrent cursors as long as the
+// underlying ReaderAt is (os.File and bytes.Reader both are).
 type Reader struct {
-	src    io.ReaderAt
-	meta   QueryTrace // Streams carry Refs/Events only; Chunks stay nil
-	chunks [][]chunkRef
+	src  io.ReaderAt
+	meta QueryTrace // Streams carry Refs/Events only; Chunks stay nil
+	// chunks is indexed [segment][processor][chunk]; a version-1 blob
+	// is one segment.
+	chunks [][][]chunkRef
 }
 
 // Meta returns the trace metadata. The returned QueryTrace has empty
 // stream chunks — it describes the trace, it does not hold it.
 func (r *Reader) Meta() *QueryTrace { return &r.meta }
 
-// StreamCursor returns a decoder over processor i's stream that reads
-// chunks from the source on demand into one reusable buffer.
-func (r *Reader) StreamCursor(i int) *Cursor {
-	refs := r.chunks[i]
+// cursorFor builds a decoder that reads the referenced chunks from the
+// source on demand into one reusable buffer.
+func (r *Reader) cursorFor(refs []chunkRef) *Cursor {
 	var buf []byte
 	k := 0
 	fill := func() ([]byte, error) {
@@ -72,6 +73,55 @@ func (r *Reader) StreamCursor(i int) *Cursor {
 	}
 	return &Cursor{r: streamReader{fill: fill}}
 }
+
+// StreamCursor returns a decoder over processor i's stream (of the
+// first segment, which for a single-query blob is the whole trace).
+func (r *Reader) StreamCursor(i int) *Cursor { return r.cursorFor(r.chunks[0][i]) }
+
+// NumSegments returns the blob's phase count (1 for a version-1 blob).
+func (r *Reader) NumSegments() int {
+	if len(r.meta.Segments) == 0 {
+		return 1
+	}
+	return len(r.meta.Segments)
+}
+
+// Segment returns phase k as a self-contained streaming Source sharing
+// this Reader's underlying blob.
+func (r *Reader) Segment(k int) Source {
+	if len(r.meta.Segments) == 0 {
+		if k != 0 {
+			panic(fmt.Sprintf("trace: segment %d of a single-segment trace", k))
+		}
+		return r
+	}
+	seg := &r.meta.Segments[k]
+	meta := r.meta
+	meta.Segments = nil
+	meta.ProcQueries = seg.Queries
+	meta.Rows = seg.Rows
+	meta.Streams = seg.Streams
+	return &readerSeg{r: r, k: k, meta: meta}
+}
+
+// SegmentFlush reports whether phase k started from flushed caches.
+func (r *Reader) SegmentFlush(k int) bool {
+	if len(r.meta.Segments) == 0 {
+		return true
+	}
+	return r.meta.Segments[k].Flush
+}
+
+// readerSeg is one phase of a segmented blob as a streaming Source.
+type readerSeg struct {
+	r    *Reader
+	k    int
+	meta QueryTrace
+}
+
+func (s *readerSeg) Meta() *QueryTrace { return &s.meta }
+
+func (s *readerSeg) StreamCursor(i int) *Cursor { return s.r.cursorFor(s.r.chunks[s.k][i]) }
 
 func readAtFull(src io.ReaderAt, p []byte, off int64) error {
 	n, err := src.ReadAt(p, off)
@@ -203,6 +253,63 @@ func (p *payloadReader) str() (string, error) {
 	return string(out), nil
 }
 
+func (p *payloadReader) rows() ([]int, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	var rows []int
+	for i := uint64(0); i < n; i++ {
+		v, err := p.varint()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, int(v))
+	}
+	return rows, nil
+}
+
+// streams parses one stream table, returning chunkless Stream stats and
+// the per-processor chunk locations.
+func (p *payloadReader) streams() ([]Stream, [][]chunkRef, error) {
+	ns, err := p.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	var streams []Stream
+	var chunkRefs [][]chunkRef
+	for i := uint64(0); i < ns; i++ {
+		var s Stream
+		if s.Refs, err = p.uvarint(); err != nil {
+			return nil, nil, err
+		}
+		if s.Events, err = p.uvarint(); err != nil {
+			return nil, nil, err
+		}
+		nch, err := p.uvarint()
+		if err != nil {
+			return nil, nil, err
+		}
+		var refs []chunkRef
+		for j := uint64(0); j < nch; j++ {
+			cn, err := p.uvarint()
+			if err != nil {
+				return nil, nil, err
+			}
+			if cn > uint64(p.size-p.consumed()) {
+				return nil, nil, fmt.Errorf("trace: truncated blob")
+			}
+			refs = append(refs, chunkRef{off: p.base + p.consumed(), n: int(cn)})
+			if err := p.skip(cn); err != nil {
+				return nil, nil, err
+			}
+		}
+		streams = append(streams, s)
+		chunkRefs = append(chunkRefs, refs)
+	}
+	return streams, chunkRefs, nil
+}
+
 // OpenBlob opens an encoded blob for streaming replay. It verifies the
 // magic and CRC (reading the whole payload once, in sections) and
 // decodes everything except the stream chunk bytes, which later cursors
@@ -233,7 +340,7 @@ func OpenBlob(src io.ReaderAt, size int64) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != blobVersion {
+	if ver != blobVersion && ver != blobVersionSeg {
 		return nil, fmt.Errorf("trace: unsupported blob version %d", ver)
 	}
 	if t.Query, err = p.str(); err != nil {
@@ -307,48 +414,47 @@ func OpenBlob(src io.ReaderAt, size int64) (*Reader, error) {
 		t.Layout.Cats = append(t.Layout.Cats, simm.CatRun{Pages: uint32(pages), Cat: simm.Category(cat)})
 	}
 
-	nrows, err := p.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	for i := uint64(0); i < nrows; i++ {
-		v, err := p.varint()
+	if ver == blobVersionSeg {
+		nseg, err := p.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, int(v))
-	}
-	ns, err := p.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	for i := uint64(0); i < ns; i++ {
-		var s Stream
-		if s.Refs, err = p.uvarint(); err != nil {
-			return nil, err
-		}
-		if s.Events, err = p.uvarint(); err != nil {
-			return nil, err
-		}
-		nch, err := p.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		var refs []chunkRef
-		for j := uint64(0); j < nch; j++ {
-			cn, err := p.uvarint()
+		for si := uint64(0); si < nseg; si++ {
+			var seg Segment
+			flush, err := p.byte()
 			if err != nil {
 				return nil, err
 			}
-			if cn > uint64(p.size-p.consumed()) {
-				return nil, fmt.Errorf("trace: truncated blob")
-			}
-			refs = append(refs, chunkRef{off: p.base + p.consumed(), n: int(cn)})
-			if err := p.skip(cn); err != nil {
+			seg.Flush = flush != 0
+			nq, err := p.uvarint()
+			if err != nil {
 				return nil, err
 			}
+			for i := uint64(0); i < nq; i++ {
+				q, err := p.str()
+				if err != nil {
+					return nil, err
+				}
+				seg.Queries = append(seg.Queries, q)
+			}
+			if seg.Rows, err = p.rows(); err != nil {
+				return nil, err
+			}
+			var segRefs [][]chunkRef
+			if seg.Streams, segRefs, err = p.streams(); err != nil {
+				return nil, err
+			}
+			t.Segments = append(t.Segments, seg)
+			rd.chunks = append(rd.chunks, segRefs)
 		}
-		t.Streams = append(t.Streams, s)
+	} else {
+		if t.Rows, err = p.rows(); err != nil {
+			return nil, err
+		}
+		var refs [][]chunkRef
+		if t.Streams, refs, err = p.streams(); err != nil {
+			return nil, err
+		}
 		rd.chunks = append(rd.chunks, refs)
 	}
 	if rem := p.size - p.consumed(); rem != 0 {

@@ -123,18 +123,158 @@ func TestOpenBlobMatchesUnmarshal(t *testing.T) {
 	}
 }
 
+// testStreamTrace builds a synthetic two-segment stream trace: phase 0
+// flushed with both processors active, phase 1 unflushed with processor
+// 1 idle.
+func testStreamTrace() *QueryTrace {
+	base := testTrace()
+	rec0 := NewRecorder(2)
+	for i := 0; i < 30000; i++ {
+		rec0.Ref(0, simm.Addr(0x1000+8*i), 8, i%5 == 0)
+		rec0.Ref(1, simm.Addr(0x9000+16*i), 4, false)
+	}
+	rec0.BusyEvent(0, 7)
+	rec1 := NewRecorder(2)
+	rec1.Ref(0, 0x2000, 8, true)
+	rec1.SpinAcquire(0, 0x40)
+	rec1.SpinRelease(0, 0x40)
+	rec1.BeginLockOp(0, true, 3, 1, 12, 2)
+	rec1.EndLockOp(0)
+	return &QueryTrace{
+		Query:         "stream",
+		Scale:         base.Scale,
+		Seed:          base.Seed,
+		Nodes:         2,
+		BusyPerAccess: base.BusyPerAccess,
+		SpinBackoff:   base.SpinBackoff,
+		LockCap:       base.LockCap,
+		Layout:        base.Layout,
+		Segments: []Segment{
+			{Queries: []string{"Q6", "Q6"}, Flush: true, Rows: []int{5, 6}, Streams: rec0.Streams()},
+			{Queries: []string{"Q3+Q6", ""}, Flush: false, Rows: []int{2, 0}, Streams: rec1.Streams()},
+		},
+	}
+}
+
+// TestSegmentedBlobRoundTrip pins the segmented blob format: a stream
+// trace survives Marshal/Unmarshal and OpenBlob with identical segment
+// metadata and identical per-segment events, and the single-segment
+// degenerate view of an unsegmented trace is the trace itself.
+func TestSegmentedBlobRoundTrip(t *testing.T) {
+	orig := testStreamTrace()
+	blob := orig.Marshal()
+	tr, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenBlob(bytes.NewReader(blob), int64(len(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []StreamSource{tr, rd} {
+		if n := src.NumSegments(); n != 2 {
+			t.Fatalf("NumSegments = %d, want 2", n)
+		}
+		if !src.SegmentFlush(0) || src.SegmentFlush(1) {
+			t.Fatal("segment flush flags lost")
+		}
+		if len(src.Meta().Streams) != 0 || len(src.Meta().Rows) != 0 {
+			t.Fatalf("segmented meta carries top-level rows/streams: %+v", src.Meta())
+		}
+		for k := 0; k < 2; k++ {
+			seg := src.Segment(k)
+			meta := seg.Meta()
+			want := &orig.Segments[k]
+			if meta.Nodes != 2 || meta.Query != "stream" ||
+				!equalStrs(meta.ProcQueries, want.Queries) || !equalInts(meta.Rows, want.Rows) {
+				t.Fatalf("segment %d meta = %+v, want queries %v rows %v", k, meta, want.Queries, want.Rows)
+			}
+			if len(meta.Streams) != 2 {
+				t.Fatalf("segment %d has %d streams", k, len(meta.Streams))
+			}
+			for i := 0; i < 2; i++ {
+				if meta.Streams[i].Refs != want.Streams[i].Refs ||
+					meta.Streams[i].Events != want.Streams[i].Events {
+					t.Fatalf("segment %d stream %d stats mismatch", k, i)
+				}
+				got := decodeAll(t, seg.StreamCursor(i))
+				ref := decodeAll(t, orig.Segments[k].Streams[i].Cursor())
+				if len(got) != len(ref) {
+					t.Fatalf("segment %d stream %d: %d events, want %d", k, i, len(got), len(ref))
+				}
+				for j := range ref {
+					if got[j] != ref[j] {
+						t.Fatalf("segment %d stream %d event %d: %+v != %+v", k, i, j, got[j], ref[j])
+					}
+				}
+			}
+		}
+	}
+
+	// An unsegmented trace is its own single segment, flushed.
+	single := testTrace()
+	if single.NumSegments() != 1 || !single.SegmentFlush(0) || single.Segment(0) != Source(single) {
+		t.Fatal("single-query trace is not its own only segment")
+	}
+	sblob := single.Marshal()
+	srd, err := OpenBlob(bytes.NewReader(sblob), int64(len(sblob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srd.NumSegments() != 1 || !srd.SegmentFlush(0) || srd.Segment(0) != Source(srd) {
+		t.Fatal("single-query reader is not its own only segment")
+	}
+	// And its blob stays on version 1: byte 12 (after magic+crc) is the
+	// payload's version varint.
+	if sblob[12] != 1 {
+		t.Fatalf("unsegmented blob version byte = %d, want 1", sblob[12])
+	}
+	if blob[12] != 2 {
+		t.Fatalf("segmented blob version byte = %d, want 2", blob[12])
+	}
+}
+
+func equalStrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // TestOpenBlobRejectsDamage mirrors Unmarshal's corruption contract:
 // truncation and bit flips are errors up front, never short replays.
 func TestOpenBlobRejectsDamage(t *testing.T) {
 	blob := testTrace().Marshal()
+	seg := testStreamTrace().Marshal()
 	cases := map[string][]byte{
-		"empty":      {},
-		"short":      blob[:8],
-		"badmagic":   append([]byte("XXXXXXXX"), blob[8:]...),
-		"truncated":  blob[:len(blob)/2],
-		"one-short":  blob[:len(blob)-1],
-		"bitflip":    flipBit(blob, len(blob)/2),
-		"early-flip": flipBit(blob, 20),
+		"empty":          {},
+		"short":          blob[:8],
+		"badmagic":       append([]byte("XXXXXXXX"), blob[8:]...),
+		"truncated":      blob[:len(blob)/2],
+		"one-short":      blob[:len(blob)-1],
+		"bitflip":        flipBit(blob, len(blob)/2),
+		"early-flip":     flipBit(blob, 20),
+		"seg-truncated":  seg[:len(seg)/2],
+		"seg-one-short":  seg[:len(seg)-1],
+		"seg-bitflip":    flipBit(seg, len(seg)/2),
+		"seg-early-flip": flipBit(seg, 20),
 	}
 	for name, b := range cases {
 		if _, err := OpenBlob(bytes.NewReader(b), int64(len(b))); err == nil {
